@@ -1,0 +1,121 @@
+// E9/E10 — Figure 8(a,b): duplicate elimination under heavy skew.
+//
+// 8(a): TPC-H customer with Zipf-distributed duplicate counts in [1,50] and
+// [1,100]; CleanDB vs BigDansing vs Spark SQL. Paper shape: CleanDB scales
+// best because it pre-aggregates locally; the baselines shuffle the whole
+// dataset to build their blocks.
+//
+// 8(b): MAG-like publication data (real-world skew), year-2014 subset vs
+// the full set; CleanDB vs Spark SQL. Paper: Spark SQL needs >10h on the
+// full set; CleanDB's skew-resilient primitives finish.
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "datagen/generators.h"
+
+namespace cleanm {
+namespace {
+
+CleanDBOptions BenchOptions() {
+  CleanDBOptions opts;
+  opts.num_nodes = 8;
+  // Per-byte shuffle cost including serialization (see DESIGN.md).
+  opts.shuffle_ns_per_byte = 40.0;
+  return opts;
+}
+
+DedupClause CustomerDedup() {
+  DedupClause dedup;
+  dedup.op = FilteringAlgo::kExactKey;
+  dedup.metric = SimilarityMetric::kLevenshtein;
+  dedup.theta = 0.8;
+  dedup.attributes = {ParseCleanMExpr("c.address").ValueOrDie()};
+  return dedup;
+}
+
+DedupClause MagDedup() {
+  DedupClause dedup;
+  dedup.op = FilteringAlgo::kExactKey;
+  dedup.metric = SimilarityMetric::kLevenshtein;
+  dedup.theta = 0.8;
+  dedup.attributes = {ParseCleanMExpr("c.year").ValueOrDie(),
+                      ParseCleanMExpr("c.author_id").ValueOrDie()};
+  return dedup;
+}
+
+template <typename System>
+double Run(System& system, const Dataset& data, const DedupClause& dedup,
+           uint64_t* shuffled = nullptr) {
+  system.RegisterTable("t", data);
+  DedupClause d = dedup;
+  // Rebind attribute exprs from alias c to the registered alias.
+  auto r = system.Deduplicate("t", "c", d);
+  CLEANM_CHECK(r.ok());
+  if (shuffled) *shuffled = system.cluster().metrics().rows_shuffled.load();
+  return r.value().seconds;
+}
+
+}  // namespace
+}  // namespace cleanm
+
+int main() {
+  using namespace cleanm;
+  std::printf("=== E9 — Figure 8a: customer dedup, Zipf duplicates ===\n");
+  std::printf("paper: CleanDB fastest; BigDansing and SparkSQL shuffle the whole "
+              "dataset to build blocks\n\n");
+  std::printf("%-14s %12s %14s %12s\n", "duplicates", "CleanDB(s)", "BigDansing(s)",
+              "SparkSQL(s)");
+  {  // Warm-up pass so measurement order is fair.
+    datagen::CustomerOptions w;
+    w.base_rows = 4000;
+    w.max_duplicates = 20;
+    CleanDB warm(BenchOptions());
+    (void)Run(warm, datagen::MakeCustomer(w), CustomerDedup());
+  }
+  for (size_t max_dups : {50, 100}) {
+    datagen::CustomerOptions copts;
+    copts.base_rows = 4000;
+    copts.duplicate_fraction = 0.05;
+    copts.max_duplicates = max_dups;
+    auto data = datagen::MakeCustomer(copts);
+
+    CleanDB cleandb(BenchOptions());
+    uint64_t cdb_shuffled = 0;
+    const double cdb = Run(cleandb, data, CustomerDedup(), &cdb_shuffled);
+    BigDansingSim bigdansing(BenchOptions());
+    uint64_t bd_shuffled = 0;
+    const double bd = Run(bigdansing, data, CustomerDedup(), &bd_shuffled);
+    SparkSqlSim spark(BenchOptions());
+    uint64_t sp_shuffled = 0;
+    const double sp = Run(spark, data, CustomerDedup(), &sp_shuffled);
+    std::printf("[1-%-3zu] %19.3f %14.3f %12.3f   (rows shuffled: %llu / %llu / %llu)\n",
+                max_dups, cdb, bd, sp, static_cast<unsigned long long>(cdb_shuffled),
+                static_cast<unsigned long long>(bd_shuffled),
+                static_cast<unsigned long long>(sp_shuffled));
+  }
+
+  std::printf("\n=== E10 — Figure 8b: MAG-like dedup (real-world skew) ===\n");
+  std::printf("paper: CleanDB 52 min on the full 33GB set; SparkSQL > 10h; on the "
+              "2014 subset both finish but CleanDB is faster\n\n");
+  datagen::MagOptions mopts;
+  mopts.rows = 15000;
+  auto mag = datagen::MakeMag(mopts);
+  // Year-2014 subset.
+  Dataset mag2014(mag.schema());
+  const size_t year_idx = mag.schema().IndexOf("year").ValueOrDie();
+  for (const auto& row : mag.rows()) {
+    if (row[year_idx].AsInt() == 2014) mag2014.Append(row);
+  }
+  std::printf("%-10s %10s %12s %12s\n", "dataset", "rows", "CleanDB(s)", "SparkSQL(s)");
+  for (const auto* which : {"MAG2014", "MAGtotal"}) {
+    const Dataset& data = std::string(which) == "MAG2014" ? mag2014 : mag;
+    CleanDB cleandb(BenchOptions());
+    const double cdb = Run(cleandb, data, MagDedup());
+    SparkSqlSim spark(BenchOptions());
+    const double sp = Run(spark, data, MagDedup());
+    std::printf("%-10s %10zu %12.3f %12.3f\n", which, data.num_rows(), cdb, sp);
+  }
+  std::printf("\n[measured] verify CleanDB < baselines in every row and that the gap "
+              "grows with the duplicate skew / dataset size.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The Figure-5 scenario, programmatically: three cleaning operations that
+// share a grouping on `address`, executed separately and as one unified
+// query — showing the optimizer's Nest coalescing and its effect on
+// shuffle traffic.
+//
+//   build/examples/example_unified_cleaning
+#include <cstdio>
+
+#include "cleaning/cleandb.h"
+#include "datagen/generators.h"
+
+using namespace cleanm;
+
+int main() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 3000;
+  copts.duplicate_fraction = 0.08;
+  copts.max_duplicates = 6;
+  copts.fd_violation_fraction = 0.05;
+  auto customer = datagen::MakeCustomer(copts);
+
+  const char* query = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, LD, 0.8, c.address)
+  )";
+
+  for (bool unify : {false, true}) {
+    CleanDBOptions options;
+    options.num_nodes = 4;
+    options.unify_operations = unify;
+    CleanDB db(options);
+    db.RegisterTable("customer", customer);
+    auto result = db.Execute(query).ValueOrDie();
+    std::printf("--- %s execution ---\n", unify ? "unified" : "separate");
+    std::printf("  nest stages coalesced: %d\n", result.nests_coalesced);
+    for (const auto& op : result.ops) {
+      std::printf("  %-10s %6zu violations  %.3f s\n", op.op_name.c_str(),
+                  op.violations.size(), op.seconds);
+    }
+    std::printf("  dirty entities: %zu | rows shuffled: %llu | total %.3f s\n\n",
+                result.dirty_entities.size(),
+                static_cast<unsigned long long>(result.rows_shuffled),
+                result.total_seconds);
+  }
+  std::printf("The unified run groups the customer table once for all three "
+              "operations (Plan BC of the paper's Figure 1), so it shuffles "
+              "fewer rows than the separate run.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Driver-side reference evaluator for algebra plans.
+//
+// Single-threaded, nested-loop executable semantics for the nested
+// relational algebra. The distributed physical plans (src/physical) must
+// produce the same results; the integration tests compare the two.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace cleanm {
+
+/// Name → table binding used to resolve Scan operators.
+struct Catalog {
+  std::map<std::string, const Dataset*> tables;
+
+  Result<const Dataset*> Find(const std::string& name) const {
+    auto it = tables.find(name);
+    if (it == tables.end()) return Status::KeyError("unknown table '" + name + "'");
+    return it->second;
+  }
+};
+
+/// Converts a dataset row to a record Value using the schema's field names.
+Value RowToRecord(const Schema& schema, const Row& row);
+
+/// Evaluates a plan whose root is anything but Reduce; returns the bag of
+/// output tuples, each a struct Value mapping bound variables to records.
+Result<std::vector<Value>> EvalPlanTuples(const AlgOpPtr& plan, const Catalog& catalog);
+
+/// Evaluates a full plan. A Reduce root folds to a single Value; any other
+/// root returns the tuple bag as a list Value.
+Result<Value> EvalPlan(const AlgOpPtr& plan, const Catalog& catalog);
+
+/// All tuple variables a plan binds (scan vars, unnest vars, nest outputs).
+std::vector<std::string> CollectVars(const AlgOpPtr& plan);
+
+}  // namespace cleanm

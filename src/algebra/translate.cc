@@ -1,0 +1,90 @@
+#include "algebra/translate.h"
+
+#include <set>
+
+namespace cleanm {
+
+namespace {
+
+/// Is every free variable of `e` among `bound`?
+bool CoveredBy(const ExprPtr& e, const std::set<std::string>& bound) {
+  for (const auto& v : FreeVars(e)) {
+    if (!bound.count(v)) return false;
+  }
+  return true;
+}
+
+/// Does the path expression root at one of the bound variables (making the
+/// generator an Unnest rather than a Scan)?
+bool IsPathOverBound(const ExprPtr& e, const std::set<std::string>& bound) {
+  const Expr* cur = e.get();
+  while (cur) {
+    if (cur->kind == ExprKind::kVar) return bound.count(cur->name) > 0;
+    if (cur->kind == ExprKind::kField) {
+      cur = cur->child.get();
+      continue;
+    }
+    if (cur->kind == ExprKind::kCall) {
+      // e.g. tokens(c.name, 2): a computed collection over bound variables.
+      for (const auto& a : cur->args) {
+        if (IsPathOverBound(a, bound)) return true;
+      }
+      return false;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AlgOpPtr> TranslateComprehension(const ExprPtr& comprehension) {
+  if (!comprehension || comprehension->kind != ExprKind::kComprehension) {
+    return Status::InvalidArgument("translator expects a comprehension");
+  }
+  const auto& comp = comprehension->comp;
+
+  AlgOpPtr plan;
+  std::set<std::string> bound;
+
+  for (const auto& q : comp.qualifiers) {
+    switch (q.kind) {
+      case Qualifier::Kind::kBinding:
+        return Status::InvalidArgument(
+            "comprehension still contains a binding; normalize before translating");
+      case Qualifier::Kind::kGenerator: {
+        if (q.expr->kind == ExprKind::kVar && !bound.count(q.expr->name)) {
+          // Base table scan.
+          AlgOpPtr scan = Scan(q.expr->name, q.var);
+          plan = plan ? JoinOp(std::move(plan), std::move(scan), nullptr)
+                      : std::move(scan);
+        } else if (plan && IsPathOverBound(q.expr, bound)) {
+          plan = UnnestOp(std::move(plan), q.expr, q.var);
+        } else {
+          return Status::NotImplemented(
+              "unsupported generator source in translation: " + q.expr->ToString());
+        }
+        bound.insert(q.var);
+        break;
+      }
+      case Qualifier::Kind::kPredicate: {
+        if (!plan) {
+          // A predicate before any generator: constant under normalization;
+          // keep it as a degenerate selection over the first input later.
+          return Status::InvalidArgument(
+              "predicate before any generator; normalize first");
+        }
+        if (!CoveredBy(q.expr, bound)) {
+          return Status::InvalidArgument("predicate references unbound variable: " +
+                                         q.expr->ToString());
+        }
+        plan = SelectOp(std::move(plan), q.expr);
+        break;
+      }
+    }
+  }
+  if (!plan) return Status::InvalidArgument("comprehension has no generators");
+  return ReduceOp(std::move(plan), comp.monoid, comp.head);
+}
+
+}  // namespace cleanm

@@ -1,0 +1,28 @@
+// Comprehension → nested relational algebra translation (Section 5).
+//
+// Implements the Fegaras-Maier translation for the comprehension shapes
+// CleanM's desugarer produces after normalization:
+//
+//   ⊕{ head | v1 <- T1, ..., vn <- Tn, p1, ..., pk }
+//
+// where each generator source is either a base table (→ Scan / Join) or a
+// path over an already-bound variable (→ Unnest). Predicates become Select
+// operators placed as early as possible; the rewriter then turns
+// join-spanning equality selections into hash equi-joins and the head/monoid
+// pair becomes the root Reduce. Grouping (Nest) plans are built by the
+// cleaning-operator desugarer directly, since they arise from the fixed
+// comprehension templates of Section 4.4.
+#pragma once
+
+#include "algebra/algebra.h"
+#include "common/status.h"
+
+namespace cleanm {
+
+/// Translates a normalized comprehension into an algebra plan rooted at a
+/// Reduce. Table references are Var expressions whose names are resolved
+/// against the catalog at execution time. Errors on shapes outside the
+/// supported fragment (e.g. leftover bindings — run Normalize first).
+Result<AlgOpPtr> TranslateComprehension(const ExprPtr& comprehension);
+
+}  // namespace cleanm

@@ -1,0 +1,95 @@
+// Baseline-system simulators (paper Section 8 competitors).
+//
+// Both baselines run on the same virtual cluster and value model as CleanDB
+// — what differs is exactly what the paper describes as differing:
+//
+//  SparkSqlSim (Spark SQL + Catalyst):
+//   * sort-based shuffle aggregation (range partitioning → skew-prone)
+//   * theta joins execute as cartesian product + filter
+//   * a multi-operation query runs each operation standalone, then pays an
+//     extra full-outer-join pass to combine the violation sets (Catalyst
+//     cannot detect the cross-operation grouping opportunity)
+//   * no term-validation operator: the only expressible plan is the cross
+//     product against the dictionary (provided for the record; it is the
+//     plan that "was non-interactive" in the paper's experiments)
+//
+//  BigDansingSim (BigDansing):
+//   * hash-based shuffle aggregation (all raw rows travel)
+//   * theta joins use per-partition min-max pruning
+//   * one rule per job — no cross-operation work sharing at all
+//   * no computed attributes in rules: an FD whose side contains a function
+//     call (e.g. prefix(phone)) is rejected, as in Figure 5's note
+#pragma once
+
+#include "cleaning/cleandb.h"
+
+namespace cleanm {
+
+/// Spark SQL simulator. Wraps a CleanDB configured with Spark SQL's
+/// physical strategies and per-operation execution.
+class SparkSqlSim {
+ public:
+  explicit SparkSqlSim(CleanDBOptions base = {});
+
+  void RegisterTable(const std::string& name, Dataset dataset) {
+    db_.RegisterTable(name, std::move(dataset));
+  }
+
+  Result<OpResult> CheckFd(const std::string& table, const std::string& var,
+                           const FdClause& fd) {
+    return db_.CheckFd(table, var, fd);
+  }
+
+  /// Cartesian-product theta join: the plan that fails to terminate at
+  /// scale (Table 5). `max_comparisons` aborts the run beyond a budget so
+  /// benchmarks can report "did not terminate" without actually hanging.
+  Result<OpResult> CheckDenialConstraint(const std::string& table, ExprPtr pred,
+                                         ExprPtr prefilter, uint64_t max_comparisons);
+
+  Result<OpResult> Deduplicate(const std::string& table, const std::string& var,
+                               const DedupClause& dedup) {
+    return db_.Deduplicate(table, var, dedup);
+  }
+
+  /// Runs a multi-operation query: each operation standalone plus the
+  /// combination pass (full outer join of the violation sets).
+  Result<QueryResult> ExecuteQuery(const CleanMQuery& query);
+
+  engine::Cluster& cluster() { return db_.cluster(); }
+
+ private:
+  CleanDB db_;
+};
+
+/// BigDansing simulator.
+class BigDansingSim {
+ public:
+  explicit BigDansingSim(CleanDBOptions base = {});
+
+  void RegisterTable(const std::string& name, Dataset dataset) {
+    db_.RegisterTable(name, std::move(dataset));
+  }
+
+  /// Rejects rules with computed attributes (no UDF support in rule
+  /// specifications); otherwise runs under hash-based shuffling.
+  Result<OpResult> CheckFd(const std::string& table, const std::string& var,
+                           const FdClause& fd);
+
+  /// Min-max partition-pruned theta join.
+  Result<OpResult> CheckDenialConstraint(const std::string& table, ExprPtr pred,
+                                         ExprPtr prefilter = nullptr) {
+    return db_.CheckDenialConstraint(table, std::move(pred), std::move(prefilter));
+  }
+
+  Result<OpResult> Deduplicate(const std::string& table, const std::string& var,
+                               const DedupClause& dedup) {
+    return db_.Deduplicate(table, var, dedup);
+  }
+
+  engine::Cluster& cluster() { return db_.cluster(); }
+
+ private:
+  CleanDB db_;
+};
+
+}  // namespace cleanm

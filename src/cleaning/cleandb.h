@@ -1,0 +1,125 @@
+// CleanDB: the unified querying + cleaning engine (paper Section 7,
+// Figure 2).
+//
+// Pipeline per query: Parser → (Monoid Rewriter) cleaning clauses desugar to
+// canonical plans → Monoid/algebra optimizer (normalization + CoalesceNests
+// + RewritePlan) → physical executor on the virtual cluster → unified
+// violation report (the top-level outer join of Section 4.4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/rewriter.h"
+#include "cleaning/plan_builder.h"
+#include "common/timer.h"
+#include "language/parser.h"
+#include "physical/planner.h"
+
+namespace cleanm {
+
+struct CleanDBOptions {
+  size_t num_nodes = 4;
+  /// Simulated interconnect cost (see engine::ClusterOptions).
+  double shuffle_ns_per_byte = 1.0;
+  PhysicalOptions physical;
+  /// Defaults for token filtering / k-means parameters (q, k, delta, seed).
+  FilteringOptions filtering;
+  /// When false, cleaning clauses run as standalone plans with no Nest
+  /// coalescing and no scan sharing — the ablation knob for Figure 5.
+  bool unify_operations = true;
+};
+
+/// Output of one cleaning operation.
+struct OpResult {
+  std::string op_name;
+  /// Violation tuples (struct Values; fields depend on the operation).
+  ValueList violations;
+  double seconds = 0;
+};
+
+/// Output of a whole query: per-operation results plus the entities that
+/// violate at least one rule (paper: the outer join of all violations).
+struct QueryResult {
+  std::vector<OpResult> ops;
+  /// entity → names of the operations it violates.
+  std::vector<std::pair<Value, std::vector<std::string>>> dirty_entities;
+  double total_seconds = 0;
+  int nests_coalesced = 0;
+  uint64_t rows_shuffled = 0;
+  uint64_t bytes_shuffled = 0;
+};
+
+/// \brief The CleanDB engine. Register tables, then execute CleanM queries
+/// or call the programmatic cleaning APIs (used by the benchmarks).
+class CleanDB {
+ public:
+  explicit CleanDB(CleanDBOptions options = {});
+
+  /// Registers (or replaces) a named table.
+  void RegisterTable(const std::string& name, Dataset dataset);
+  Result<const Dataset*> GetTable(const std::string& name) const;
+
+  /// Parses and executes a CleanM query end to end.
+  Result<QueryResult> Execute(const std::string& query_text);
+
+  /// Executes an already-parsed query.
+  Result<QueryResult> ExecuteQuery(const CleanMQuery& query);
+
+  // ---- Programmatic cleaning operations ----
+
+  /// FD check: lhs → rhs over `table` (alias `var` inside the exprs).
+  Result<OpResult> CheckFd(const std::string& table, const std::string& var,
+                           const FdClause& fd);
+
+  /// General denial constraint with inequalities: a theta self-join with
+  /// predicate over variables t1/t2; `prefilter` (over t1 or t2 alone) is
+  /// pushed below the join. Violations are the matching pairs.
+  Result<OpResult> CheckDenialConstraint(const std::string& table, ExprPtr pred,
+                                         ExprPtr prefilter = nullptr);
+
+  /// Duplicate elimination per the DEDUP clause semantics.
+  Result<OpResult> Deduplicate(const std::string& table, const std::string& var,
+                               const DedupClause& dedup);
+
+  /// Term validation: values of `term` (an expression over `data_var`) are
+  /// validated against `dict_table`.`dict_attr`; violations couple each
+  /// dirty term with its suggested repairs. Terms that appear verbatim in
+  /// the dictionary are clean and skipped before grouping.
+  Result<OpResult> ValidateTerms(const std::string& data_table,
+                                 const std::string& data_var,
+                                 const std::string& dict_table,
+                                 const std::string& dict_attr,
+                                 const ClusterByClause& cb);
+
+  /// Syntactic transformations (Table 4): split a date column into
+  /// year/month/day and/or fill missing numeric values with the column
+  /// average. `one_pass` applies all requested repairs in a single dataset
+  /// traversal; otherwise each repair re-traverses (the baseline).
+  struct TransformSpec {
+    std::string split_date_column;    ///< empty = skip
+    std::string fill_missing_column;  ///< empty = skip
+  };
+  Result<Dataset> Transform(const std::string& table, const TransformSpec& spec,
+                            bool one_pass);
+
+  engine::Cluster& cluster() { return *cluster_; }
+  const CleanDBOptions& options() const { return options_; }
+
+  /// Samples k-means centers for a grouping clause: from the dictionary
+  /// when given, else from the data column.
+  std::vector<std::string> SampleCenters(const std::string& table,
+                                         const std::string& attr, size_t k) const;
+
+ private:
+  Result<OpResult> RunCleaningPlan(Executor& exec, const CleaningPlan& cp);
+  Catalog MakeCatalog() const;
+
+  CleanDBOptions options_;
+  std::unique_ptr<engine::Cluster> cluster_;
+  std::map<std::string, Dataset> tables_;
+};
+
+}  // namespace cleanm

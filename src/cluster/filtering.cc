@@ -1,0 +1,120 @@
+#include "cluster/filtering.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/status.h"
+
+namespace cleanm {
+
+bool ParseFilteringAlgo(std::string_view name, FilteringAlgo* out) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  // Accept the spellings used in the paper's queries and obvious variants.
+  if (lower == "token_filtering" || lower == "token filtering" || lower == "tf") {
+    *out = FilteringAlgo::kTokenFiltering;
+    return true;
+  }
+  if (lower == "kmeans" || lower == "k-means" || lower == "k_means") {
+    *out = FilteringAlgo::kKMeans;
+    return true;
+  }
+  if (lower == "exact" || lower == "key" || lower == "exact_key") {
+    *out = FilteringAlgo::kExactKey;
+    return true;
+  }
+  return false;
+}
+
+std::vector<GroupAssignment> TokenFilterAssign(const std::vector<std::string>& values,
+                                               size_t q) {
+  std::vector<GroupAssignment> out;
+  for (uint32_t i = 0; i < values.size(); i++) {
+    // Each distinct q-gram of the value yields one assignment; duplicates
+    // within a single string are emitted once (set semantics of the token
+    // filtering monoid).
+    auto grams = QGrams(values[i], q);
+    std::sort(grams.begin(), grams.end());
+    grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+    for (auto& g : grams) {
+      out.push_back({std::move(g), i});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ReservoirSample(const std::vector<std::string>& input,
+                                         size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> reservoir;
+  reservoir.reserve(k);
+  for (size_t i = 0; i < input.size(); i++) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(input[i]);
+    } else {
+      const uint64_t j = rng.Uniform(i + 1);
+      if (j < k) reservoir[j] = input[i];
+    }
+  }
+  return reservoir;
+}
+
+std::vector<std::string> SinglePassKMeans::SampleCenters(
+    const std::vector<std::string>& sample_from) {
+  return ReservoirSample(sample_from, k_, seed_);
+}
+
+std::vector<GroupAssignment> SinglePassKMeans::Assign(
+    const std::vector<std::string>& values,
+    const std::vector<std::string>& centers) const {
+  CLEANM_CHECK(!centers.empty());
+  std::vector<GroupAssignment> out;
+  for (uint32_t i = 0; i < values.size(); i++) {
+    // Find the minimum edit distance to any center (the Min monoid of the
+    // center-assignment step), then emit one assignment per center within
+    // delta of that minimum.
+    size_t best = SIZE_MAX;
+    std::vector<size_t> dists(centers.size());
+    for (size_t c = 0; c < centers.size(); c++) {
+      dists[c] = LevenshteinDistance(values[i], centers[c]);
+      best = std::min(best, dists[c]);
+    }
+    const double cutoff = static_cast<double>(best) + delta_;
+    for (size_t c = 0; c < centers.size(); c++) {
+      if (static_cast<double>(dists[c]) <= cutoff) {
+        out.push_back({"c" + std::to_string(c), i});
+      }
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::vector<uint32_t>> BuildGroups(
+    const std::vector<std::string>& values, const FilteringOptions& options,
+    const std::vector<std::string>& center_pool) {
+  std::vector<GroupAssignment> assignments;
+  switch (options.algo) {
+    case FilteringAlgo::kTokenFiltering:
+      assignments = TokenFilterAssign(values, options.q);
+      break;
+    case FilteringAlgo::kKMeans: {
+      SinglePassKMeans km(options.k, options.delta, options.seed);
+      const auto centers = km.SampleCenters(center_pool.empty() ? values : center_pool);
+      assignments = km.Assign(values, centers);
+      break;
+    }
+    case FilteringAlgo::kExactKey:
+      for (uint32_t i = 0; i < values.size(); i++) {
+        assignments.push_back({values[i], i});
+      }
+      break;
+  }
+  std::unordered_map<std::string, std::vector<uint32_t>> groups;
+  for (auto& a : assignments) {
+    groups[a.key].push_back(a.index);
+  }
+  return groups;
+}
+
+}  // namespace cleanm

@@ -1,0 +1,90 @@
+// Pair-pruning building blocks for similarity joins (Section 4.2/4.3):
+// token filtering and the single-pass k-means variant of ClusterJoin.
+//
+// Both are monoid-mappable groupings (see src/monoid/monoid.h): each assigns
+// every string to one or more group keys such that similar strings share at
+// least one key with high probability; similarity checks then run only
+// within groups, replacing the quadratic cartesian product.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+
+/// The filtering/blocking algorithms CleanM queries can name in the <op>
+/// position of DEDUP / CLUSTER BY.
+enum class FilteringAlgo {
+  kTokenFiltering,  ///< group by q-gram tokens (paper: "tf")
+  kKMeans,          ///< single-pass k-means on edit distance to sampled centers
+  kExactKey,        ///< group by the exact attribute value (equality blocking)
+};
+
+/// Parses "token_filtering"/"tf", "kmeans"/"k-means", "exact"/"key".
+bool ParseFilteringAlgo(std::string_view name, FilteringAlgo* out);
+
+/// Configuration for either algorithm.
+struct FilteringOptions {
+  FilteringAlgo algo = FilteringAlgo::kTokenFiltering;
+  size_t q = 2;           ///< token length for token filtering
+  size_t k = 10;          ///< number of centers for k-means
+  double delta = 1.0;     ///< extra distance slack for multi-assignment
+  uint64_t seed = 42;     ///< center-sampling seed
+};
+
+/// \brief Group assignment produced by a filtering algorithm: the element at
+/// input index `index` belongs to group `key`.
+struct GroupAssignment {
+  std::string key;
+  uint32_t index;
+};
+
+/// \brief Token filtering (Section 4.3): associates each string with every
+/// q-gram it contains, so candidate pairs must share at least one token.
+/// The mapping is the monoid unit str -> {(token_i, {str}), ...}.
+std::vector<GroupAssignment> TokenFilterAssign(const std::vector<std::string>& values,
+                                               size_t q);
+
+/// \brief Single-pass k-means variant (ClusterJoin-inspired): samples k
+/// centers by reservoir sampling — the function-composition-monoid
+/// parameterization of Section 4.3 — then assigns each string to every
+/// center whose edit distance is within `delta` of the minimum (favouring
+/// multiple assignments so that similar strings meet in some cluster).
+class SinglePassKMeans {
+ public:
+  SinglePassKMeans(size_t k, double delta, uint64_t seed)
+      : k_(k), delta_(delta), seed_(seed) {}
+
+  /// Chooses centers from `sample_from` (dedicated dictionary when available,
+  /// else the data itself) and returns them; deterministic given the seed.
+  std::vector<std::string> SampleCenters(const std::vector<std::string>& sample_from);
+
+  /// Assigns each value to its nearest center(s). `centers` must be the
+  /// output of SampleCenters (or any non-empty center list).
+  std::vector<GroupAssignment> Assign(const std::vector<std::string>& values,
+                                      const std::vector<std::string>& centers) const;
+
+ private:
+  size_t k_;
+  double delta_;
+  uint64_t seed_;
+};
+
+/// Reservoir sampling (Vitter): k uniform samples in one pass. This is the
+/// "center initialization via the function composition monoid" of the paper.
+std::vector<std::string> ReservoirSample(const std::vector<std::string>& input,
+                                         size_t k, uint64_t seed);
+
+/// \brief Runs the configured filtering algorithm end to end: groups
+/// `values` and returns key → member indexes. Exposed for direct use by
+/// the cleaning operators and the benchmarks.
+std::unordered_map<std::string, std::vector<uint32_t>> BuildGroups(
+    const std::vector<std::string>& values, const FilteringOptions& options,
+    const std::vector<std::string>& center_pool = {});
+
+}  // namespace cleanm

@@ -1,0 +1,118 @@
+#include "cluster/iterative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/filtering.h"
+#include "common/status.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+
+IterativeKMeansResult IterativeKMeans(const std::vector<std::string>& values,
+                                      size_t k, size_t max_iters, uint64_t seed) {
+  IterativeKMeansResult result;
+  if (values.empty()) return result;
+  k = std::min(k, values.size());
+  result.centers = ReservoirSample(values, k, seed);
+  result.assignment.assign(values.size(), 0);
+
+  for (size_t iter = 0; iter < max_iters; iter++) {
+    result.iterations = iter + 1;
+    // Assignment step: nearest center per element (the Min monoid fold).
+    bool changed = false;
+    for (size_t i = 0; i < values.size(); i++) {
+      size_t best = 0;
+      size_t best_dist = SIZE_MAX;
+      for (size_t c = 0; c < result.centers.size(); c++) {
+        const size_t d = LevenshteinDistance(values[i], result.centers[c], best_dist);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      result.converged = true;
+      break;
+    }
+    // Update step: each center becomes its cluster's medoid.
+    for (size_t c = 0; c < result.centers.size(); c++) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < values.size(); i++) {
+        if (result.assignment[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      size_t best_member = members[0];
+      uint64_t best_cost = std::numeric_limits<uint64_t>::max();
+      for (size_t candidate : members) {
+        uint64_t cost = 0;
+        for (size_t other : members) {
+          cost += LevenshteinDistance(values[candidate], values[other]);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_member = candidate;
+        }
+      }
+      result.centers[c] = values[best_member];
+    }
+  }
+  return result;
+}
+
+std::vector<size_t> HierarchicalAgglomerative(const std::vector<std::string>& values,
+                                              size_t k) {
+  const size_t n = values.size();
+  std::vector<size_t> cluster(n);
+  if (n == 0) return cluster;
+  CLEANM_CHECK(k >= 1);
+  for (size_t i = 0; i < n; i++) cluster[i] = i;
+  size_t n_clusters = n;
+
+  // Pairwise distance matrix (single linkage merges shrink it implicitly).
+  std::vector<std::vector<size_t>> dist(n, std::vector<size_t>(n, 0));
+  for (size_t i = 0; i < n; i++) {
+    for (size_t j = i + 1; j < n; j++) {
+      dist[i][j] = dist[j][i] = LevenshteinDistance(values[i], values[j]);
+    }
+  }
+
+  while (n_clusters > k) {
+    // Min monoid fold over cross-cluster pairs: the closest pair merges.
+    size_t best_i = 0, best_j = 0;
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < n; i++) {
+      for (size_t j = i + 1; j < n; j++) {
+        if (cluster[i] == cluster[j]) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best == SIZE_MAX) break;  // everything already merged
+    const size_t from = cluster[best_j];
+    const size_t to = cluster[best_i];
+    for (size_t i = 0; i < n; i++) {
+      if (cluster[i] == from) cluster[i] = to;
+    }
+    n_clusters--;
+  }
+
+  // Renumber cluster ids densely into [0, n_clusters).
+  std::vector<size_t> remap(n, SIZE_MAX);
+  size_t next = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (remap[cluster[i]] == SIZE_MAX) remap[cluster[i]] = next++;
+    cluster[i] = remap[cluster[i]];
+  }
+  return cluster;
+}
+
+}  // namespace cleanm

@@ -1,0 +1,47 @@
+// Multi-pass and hierarchical clustering (paper Section 4.3, "Multi-pass
+// partitional algorithms" and "Hierarchical clustering").
+//
+// The paper maps iterative algorithms to the monoid calculus as n chained
+// comprehensions — each iteration folds the dataset into a new state that
+// feeds the next iteration (the "iteration monoid", a foldLeft). These are
+// the reference implementations of that mapping:
+//
+//  * IterativeKMeans — the original k-means over strings under edit
+//    distance: each pass assigns every string to its nearest center (a Min
+//    monoid fold per element) and recomputes each center as the group's
+//    medoid. Converges or stops after max_iters.
+//  * HierarchicalAgglomerative — single-linkage agglomerative clustering:
+//    every iteration merges the pair of clusters at minimum distance (a Min
+//    monoid fold over pairs) until `k` clusters remain.
+//
+// Both are CPU-heavy relative to the single-pass variant (which is why
+// CleanM defaults to single-pass for similarity-join pruning); the tests
+// check they refine the single-pass grouping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cleanm {
+
+struct IterativeKMeansResult {
+  std::vector<std::string> centers;
+  /// assignment[i] = index into `centers` for input string i.
+  std::vector<size_t> assignment;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Classic k-means over strings with edit distance; centers are medoids
+/// (the member minimizing the sum of distances within its cluster).
+/// Deterministic given the seed. k is clamped to the input size.
+IterativeKMeansResult IterativeKMeans(const std::vector<std::string>& values,
+                                      size_t k, size_t max_iters, uint64_t seed);
+
+/// Single-linkage agglomerative clustering down to `k` clusters.
+/// Returns cluster id per input string (ids in [0, k)).
+std::vector<size_t> HierarchicalAgglomerative(const std::vector<std::string>& values,
+                                              size_t k);
+
+}  // namespace cleanm

@@ -1,0 +1,35 @@
+// Hashing utilities used by shuffles, hash joins, and grouping operators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cleanm {
+
+/// 64-bit FNV-1a over arbitrary bytes. Deterministic across runs so that
+/// partition assignments (and therefore experiment shapes) are reproducible.
+inline uint64_t Fnv1a(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashInt(uint64_t v, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a(&v, sizeof(v), seed);
+}
+
+/// Combines two hashes (boost::hash_combine flavour).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace cleanm

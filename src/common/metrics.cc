@@ -1,0 +1,17 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace cleanm {
+
+std::string QueryMetrics::ToString() const {
+  std::ostringstream os;
+  os << "rows_shuffled=" << rows_shuffled.load()
+     << " bytes_shuffled=" << bytes_shuffled.load()
+     << " comparisons=" << comparisons.load()
+     << " rows_scanned=" << rows_scanned.load()
+     << " groups_built=" << groups_built.load();
+  return os.str();
+}
+
+}  // namespace cleanm

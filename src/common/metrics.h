@@ -1,0 +1,53 @@
+// Execution metrics collected by the virtual cluster.
+//
+// The paper's evaluation reasons about shuffle traffic and per-node load
+// (skew); since our substrate is a thread-based simulator rather than a real
+// network, these counters are the observable equivalent of "cross-node
+// traffic" and "node lag" (see DESIGN.md, Substitutions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cleanm {
+
+/// \brief Counters for one engine run. Thread-safe.
+struct QueryMetrics {
+  std::atomic<uint64_t> rows_shuffled{0};
+  std::atomic<uint64_t> bytes_shuffled{0};
+  std::atomic<uint64_t> comparisons{0};       ///< pairwise similarity checks
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> groups_built{0};
+
+  void Reset() {
+    rows_shuffled = 0;
+    bytes_shuffled = 0;
+    comparisons = 0;
+    rows_scanned = 0;
+    groups_built = 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Per-node load sample used to quantify skew-induced imbalance.
+struct LoadReport {
+  std::vector<uint64_t> rows_per_node;
+
+  /// max/mean load ratio; 1.0 = perfectly balanced.
+  double ImbalanceFactor() const {
+    if (rows_per_node.empty()) return 1.0;
+    uint64_t mx = 0, sum = 0;
+    for (uint64_t r : rows_per_node) {
+      mx = mx > r ? mx : r;
+      sum += r;
+    }
+    if (sum == 0) return 1.0;
+    const double mean = static_cast<double>(sum) / rows_per_node.size();
+    return static_cast<double>(mx) / mean;
+  }
+};
+
+}  // namespace cleanm

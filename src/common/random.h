@@ -1,0 +1,117 @@
+// Deterministic pseudo-random utilities shared by the data generators and
+// the sampling-based operators (reservoir sampling, theta-join statistics).
+//
+// All randomness in the repository flows through Rng so experiments are
+// reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cleanm {
+
+/// \brief SplitMix64-seeded xoshiro256** generator.
+///
+/// Small, fast, and good enough statistically for workload synthesis and
+/// sampling; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    CLEANM_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    CLEANM_CHECK(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    CLEANM_CHECK(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf(s) sampler over {1..n} via inverse-CDF table.
+///
+/// Used to model skewed value frequencies: duplicate counts for Figure 8(a)
+/// and key skew in the TPC-H noise injection (Section 8 setup).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed = 42) : rng_(seed) {
+    CLEANM_CHECK(n > 0);
+    cdf_.reserve(n);
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), s);
+      cdf_.push_back(sum);
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  /// Returns a rank in [1, n]; rank 1 is the most frequent.
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo + 1;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace cleanm

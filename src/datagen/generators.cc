@@ -1,0 +1,294 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+
+namespace cleanm::datagen {
+
+namespace {
+
+const char* kFirstNames[] = {
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "stella",
+    "manos", "anastasia", "benjamin", "yannis", "ioanna", "nikos", "maria"};
+const char* kLastNames[] = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "karpathiotakis", "ailamaki", "giannakopoulou", "gaidioz", "fegaras"};
+const char* kStreets[] = {"rue de lausanne", "bahnhofstrasse", "main street",
+                          "avenue de la gare", "chemin des fleurs", "route cantonale",
+                          "via roma", "hauptstrasse", "king street", "station road"};
+const char* kTitleWords[] = {
+    "scalable", "distributed", "query", "processing", "data", "cleaning",
+    "adaptive", "optimization", "monoid", "calculus", "engine", "systems",
+    "transactional", "analytical", "storage", "indexing", "streams", "learning",
+    "declarative", "language", "heterogeneous", "raw", "files", "parallel"};
+const char* kJournals[] = {"PVLDB", "SIGMOD Record", "TODS", "VLDBJ", "TKDE",
+                           "CACM", "ICDE Proc", "EDBT Proc"};
+const char* kAffiliations[] = {"EPFL", "ETHZ", "MIT", "CMU", "Stanford",
+                               "TUM", "NUS", "Oxford"};
+
+std::string MakeName(Rng* rng) {
+  return std::string(rng->Pick(std::vector<std::string>(
+             std::begin(kFirstNames), std::end(kFirstNames)))) +
+         " " +
+         rng->Pick(std::vector<std::string>(std::begin(kLastNames),
+                                            std::end(kLastNames)));
+}
+
+std::string MakePhone(size_t prefix_group, Rng* rng) {
+  // Prefix encodes the region; the FD address → prefix(phone) holds when
+  // customers at one address share the prefix.
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%03zu-555-%04llu", prefix_group % 1000,
+                static_cast<unsigned long long>(rng->Uniform(10000)));
+  return buf;
+}
+
+std::string MakeDate(Rng* rng) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%04llu-%02llu-%02llu",
+                static_cast<unsigned long long>(1992 + rng->Uniform(7)),
+                static_cast<unsigned long long>(1 + rng->Uniform(12)),
+                static_cast<unsigned long long>(1 + rng->Uniform(28)));
+  return buf;
+}
+
+}  // namespace
+
+std::string AddNoise(const std::string& s, double factor, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  const auto edits = std::max<size_t>(
+      1, static_cast<size_t>(factor * static_cast<double>(s.size())));
+  for (size_t i = 0; i < edits; i++) {
+    const size_t pos = rng->Uniform(out.size());
+    out[pos] = static_cast<char>('a' + rng->Uniform(26));
+  }
+  return out;
+}
+
+Dataset MakeLineitem(const LineitemOptions& options) {
+  Rng rng(options.seed);
+  Dataset d(Schema{{"orderkey", ValueType::kInt},
+                   {"linenumber", ValueType::kInt},
+                   {"suppkey", ValueType::kInt},
+                   {"price", ValueType::kDouble},
+                   {"discount", ValueType::kDouble},
+                   {"quantity", ValueType::kDouble},
+                   {"receiptdate", ValueType::kString}});
+  const size_t orders = std::max<size_t>(1, options.rows / 4);
+  for (size_t i = 0; i < options.rows; i++) {
+    const int64_t orderkey = static_cast<int64_t>(i / 4);
+    const int64_t linenumber = static_cast<int64_t>(i % 4);
+    // The clean FD: (orderkey, linenumber) → suppkey.
+    const int64_t suppkey = static_cast<int64_t>((orderkey * 7 + linenumber) % 1000);
+    Row row{Value(orderkey),
+            Value(linenumber),
+            Value(suppkey),
+            Value(900.0 + static_cast<double>(rng.Uniform(100000)) / 100.0),
+            Value(static_cast<double>(rng.Uniform(11)) / 100.0),
+            options.missing_fraction > 0 && rng.Chance(options.missing_fraction)
+                ? Value::Null()
+                : Value(1.0 + static_cast<double>(rng.Uniform(50))),
+            Value(MakeDate(&rng))};
+    d.Append(std::move(row));
+  }
+  // Noise injection: replace noise_column values with Zipf-skewed draws
+  // from the SF15-equivalent domain. The domain stays fixed while the
+  // dataset grows, and popular values repeat Zipf-style, so key skew
+  // increases with the scale factor — the paper's construction.
+  const size_t col = d.schema().IndexOf(options.noise_column).ValueOrDie();
+  const size_t noisy = static_cast<size_t>(options.noise_fraction *
+                                           static_cast<double>(options.rows));
+  ZipfGenerator noise_zipf(options.noise_domain, 1.2, options.seed + 9);
+  for (size_t i = 0; i < noisy; i++) {
+    const size_t row = rng.Uniform(options.rows);
+    const auto drawn = static_cast<int64_t>(noise_zipf.Next() - 1);
+    if (d.schema().field(col).type == ValueType::kDouble) {
+      d.mutable_rows()[row][col] = Value(static_cast<double>(drawn) / 100.0);
+    } else {
+      d.mutable_rows()[row][col] = Value(drawn);
+    }
+  }
+  (void)orders;
+  return d;
+}
+
+Dataset MakeCustomer(const CustomerOptions& options) {
+  Rng rng(options.seed);
+  Dataset d(Schema{{"custkey", ValueType::kInt},
+                   {"name", ValueType::kString},
+                   {"address", ValueType::kString},
+                   {"phone", ValueType::kString},
+                   {"nationkey", ValueType::kInt}});
+  // Base customers: address groups share phone prefix and nationkey, so
+  // the FDs hold except for injected violations.
+  const size_t address_groups = std::max<size_t>(1, options.base_rows / 5);
+  std::vector<Row> base;
+  base.reserve(options.base_rows);
+  for (size_t i = 0; i < options.base_rows; i++) {
+    const size_t group = rng.Uniform(address_groups);
+    std::string address = std::string(kStreets[group % 10]) + " " +
+                          std::to_string(group / 10 + 1);
+    const bool violate = rng.Chance(options.fd_violation_fraction);
+    const size_t prefix_group = violate ? group + 1 : group;
+    const int64_t nationkey = static_cast<int64_t>(
+        violate ? (group + 1) % 25 : group % 25);
+    base.push_back(Row{Value(static_cast<int64_t>(i)), Value(MakeName(&rng)),
+                       Value(std::move(address)), Value(MakePhone(prefix_group, &rng)),
+                       Value(nationkey)});
+  }
+  // Duplicates: Zipf-distributed counts, name/phone edited, address kept.
+  ZipfGenerator zipf(options.max_duplicates, 1.0, options.seed + 1);
+  int64_t next_key = static_cast<int64_t>(options.base_rows);
+  std::vector<Row> all = base;
+  for (const auto& row : base) {
+    if (!rng.Chance(options.duplicate_fraction)) continue;
+    const uint64_t copies = zipf.Next();
+    for (uint64_t c = 0; c < copies; c++) {
+      Row dup = row;
+      dup[0] = Value(next_key++);
+      dup[1] = Value(AddNoise(dup[1].AsString(), 0.1, &rng));
+      dup[3] = Value(AddNoise(dup[3].AsString(), 0.1, &rng));
+      all.push_back(std::move(dup));
+    }
+  }
+  // Shuffle row order (the paper shuffles tuple order).
+  for (size_t i = all.size(); i > 1; i--) {
+    std::swap(all[i - 1], all[rng.Uniform(i)]);
+  }
+  for (auto& row : all) d.Append(std::move(row));
+  return d;
+}
+
+Dataset MakeDblp(const DblpOptions& options,
+                 std::vector<std::pair<std::string, std::string>>* noisy_to_clean) {
+  Rng rng(options.seed);
+  // Author pool (the clean terminology).
+  std::vector<std::string> authors;
+  authors.reserve(options.author_pool);
+  for (size_t i = 0; i < options.author_pool; i++) {
+    authors.push_back(MakeName(&rng) + " " + std::to_string(i % 97));
+  }
+
+  Dataset d(Schema{{"title", ValueType::kString},
+                   {"journal", ValueType::kString},
+                   {"year", ValueType::kInt},
+                   {"author", ValueType::kList}});
+  ZipfGenerator title_zipf(std::max<size_t>(options.rows / 4, 1),
+                           options.skew > 0 ? options.skew : 1.0, options.seed + 2);
+  auto make_title = [&] {
+    if (options.skew > 0) {
+      // Skewed: a few hot titles repeat very often.
+      return "on the " + std::string(kTitleWords[title_zipf.Next() % 24]) + " " +
+             kTitleWords[title_zipf.Next() % 24];
+    }
+    std::string t;
+    const size_t words = 4 + rng.Uniform(4);
+    for (size_t w = 0; w < words; w++) {
+      if (w) t += ' ';
+      t += kTitleWords[rng.Uniform(24)];
+    }
+    return t;
+  };
+
+  std::vector<Row> rows;
+  for (size_t i = 0; i < options.rows; i++) {
+    ValueList author_list;
+    const size_t n_authors = 1 + rng.Uniform(4);
+    for (size_t a = 0; a < n_authors; a++) {
+      std::string name = rng.Pick(authors);
+      if (rng.Chance(options.noise_fraction)) {
+        std::string noisy = AddNoise(name, options.noise_factor, &rng);
+        if (noisy_to_clean && noisy != name) {
+          noisy_to_clean->emplace_back(noisy, name);
+        }
+        name = std::move(noisy);
+      }
+      author_list.push_back(Value(std::move(name)));
+    }
+    Row row{Value(make_title()), Value(std::string(kJournals[rng.Uniform(8)])),
+            Value(static_cast<int64_t>(1990 + rng.Uniform(30))),
+            Value(std::move(author_list))};
+    rows.push_back(row);
+    if (rng.Chance(options.duplicate_fraction)) {
+      Row dup = row;
+      // Duplicate publication: same journal + title (the blocking keys),
+      // lightly perturbed authors.
+      if (!dup[3].AsList().empty()) {
+        ValueList perturbed = dup[3].AsList();
+        perturbed[0] = Value(AddNoise(perturbed[0].AsString(), 0.1, &rng));
+        dup[3] = Value(std::move(perturbed));
+      }
+      rows.push_back(std::move(dup));
+    }
+  }
+  for (auto& row : rows) d.Append(std::move(row));
+  return d;
+}
+
+Dataset MakeAuthorDictionary(size_t names, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(Schema{{"name", ValueType::kString}});
+  for (size_t i = 0; i < names; i++) {
+    d.Append({Value(MakeName(&rng) + " " + std::to_string(i % 97))});
+  }
+  return d;
+}
+
+Dataset MakeMag(const MagOptions& options) {
+  Rng rng(options.seed);
+  Dataset d(Schema{{"id", ValueType::kInt},
+                   {"title", ValueType::kString},
+                   {"doi", ValueType::kString},
+                   {"year", ValueType::kInt},
+                   {"author_id", ValueType::kInt},
+                   {"affiliation", ValueType::kString}});
+  // Real-world skew: years and authors follow Zipf.
+  ZipfGenerator year_zipf(25, 1.3, options.seed + 3);
+  // Author productivity is skewed but bounded: exponent 0.9 over a pool of
+  // rows/5 keeps the hottest (year, author) blocks in the hundreds of rows,
+  // as in the real MAG, instead of one degenerate mega-block.
+  ZipfGenerator author_zipf(std::max<size_t>(options.rows / 5, 1), 0.9,
+                            options.seed + 4);
+  int64_t next_id = 0;
+  std::vector<Row> rows;
+  for (size_t i = 0; i < options.rows; i++) {
+    std::string title;
+    const size_t words = 5 + rng.Uniform(5);
+    for (size_t w = 0; w < words; w++) {
+      if (w) title += ' ';
+      title += kTitleWords[rng.Uniform(24)];
+    }
+    char doi[32];
+    std::snprintf(doi, sizeof(doi), "10.1145/%07llu",
+                  static_cast<unsigned long long>(rng.Uniform(10000000)));
+    Row row{Value(next_id++),
+            Value(title),
+            Value(std::string(doi)),
+            Value(static_cast<int64_t>(2015 - static_cast<int64_t>(year_zipf.Next()))),
+            Value(static_cast<int64_t>(author_zipf.Next())),
+            Value(std::string(kAffiliations[rng.Uniform(8)]))};
+    rows.push_back(row);
+    if (rng.Chance(options.duplicate_fraction)) {
+      Row dup = row;
+      dup[0] = Value(next_id++);
+      // Variation in title or DOI, or missing DOI (the paper's MAG issues).
+      const uint64_t kind = rng.Uniform(3);
+      if (kind == 0) {
+        dup[1] = Value(AddNoise(dup[1].AsString(), 0.05, &rng));
+      } else if (kind == 1) {
+        dup[2] = Value(AddNoise(dup[2].AsString(), 0.1, &rng));
+      } else {
+        dup[2] = Value::Null();
+      }
+      rows.push_back(std::move(dup));
+    }
+  }
+  for (auto& row : rows) d.Append(std::move(row));
+  return d;
+}
+
+}  // namespace cleanm::datagen

@@ -1,0 +1,96 @@
+// Synthetic workload generators mirroring the paper's Section 8 setup,
+// scaled to laptop sizes (row counts ~1/1000 of the paper's; scale-factor
+// *ratios*, noise percentages, and skew distributions preserved — see
+// DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/dataset.h"
+
+namespace cleanm::datagen {
+
+/// \brief TPC-H-like lineitem: orderkey, linenumber, suppkey, price,
+/// discount, quantity, receiptdate.
+///
+/// `noise_fraction` of the rows get their `noise_column` value replaced by
+/// a value drawn from the SF15-equivalent domain, so skew grows with the
+/// scale factor exactly as in the paper's setup. `missing_fraction` nulls
+/// out quantity values (for the fill-missing transformation).
+struct LineitemOptions {
+  size_t rows = 90000;        ///< paper SF15 = 90M rows; default 1/1000
+  double noise_fraction = 0.10;
+  std::string noise_column = "orderkey";
+  size_t noise_domain = 22500;  ///< SF15-equivalent orderkey domain
+  double missing_fraction = 0.0;
+  uint64_t seed = 42;
+};
+Dataset MakeLineitem(const LineitemOptions& options);
+
+/// \brief TPC-H-like customer: custkey, name, address, phone, nationkey.
+///
+/// `duplicate_fraction` of the customers receive duplicate records; the
+/// per-customer duplicate count is Zipf-distributed over
+/// [1, max_duplicates] (Figure 8a uses 50 and 100). Duplicates randomly
+/// edit the name and phone values, keeping the address intact.
+struct CustomerOptions {
+  size_t base_rows = 15000;
+  double duplicate_fraction = 0.10;
+  size_t max_duplicates = 50;
+  /// Fraction of customers whose phone prefix disagrees with their address
+  /// group (FD1 violations) / whose nationkey disagrees (FD2 violations).
+  double fd_violation_fraction = 0.05;
+  uint64_t seed = 42;
+};
+Dataset MakeCustomer(const CustomerOptions& options);
+
+/// \brief DBLP-like bibliography with nested authors.
+///
+/// Titles are word permutations over a vocabulary (the paper scales DBLP up
+/// "by permuting the words of existing titles"); each record has a journal,
+/// a year, and 1–4 authors from a name pool. `noise_fraction` of the author
+/// occurrences get `noise_factor` of their characters edited.
+/// `duplicate_fraction` of publications appear twice with a slightly edited
+/// title (same journal), for the deduplication experiments.
+/// `skew` > 0 makes a few titles extremely frequent (the skew that breaks
+/// Spark SQL in Figure 7's setup).
+struct DblpOptions {
+  size_t rows = 6400;
+  size_t author_pool = 2000;
+  double noise_fraction = 0.10;
+  double noise_factor = 0.20;
+  double duplicate_fraction = 0.10;
+  double skew = 0.0;  ///< 0 = uniform titles; >0 = Zipf exponent
+  uint64_t seed = 42;
+};
+/// Returns the nested dataset (authors as a list column) plus, via
+/// `clean_authors`, the ground-truth clean author name per noisy
+/// occurrence (index-aligned with the flattened author occurrences) for
+/// accuracy measurement.
+Dataset MakeDblp(const DblpOptions& options,
+                 std::vector<std::pair<std::string, std::string>>* noisy_to_clean = nullptr);
+
+/// The author-name dictionary used for term validation: the clean name
+/// pool (paper: 200K names; scaled by the same factor as the data).
+Dataset MakeAuthorDictionary(size_t names, uint64_t seed = 42);
+
+/// \brief MAG-like publication records: id, title, doi, year, author_id,
+/// affiliation. Highly skewed (Zipf years/venues); `duplicate_fraction`
+/// of the papers repeat with title/DOI variations or missing DOI — the
+/// paper's main MAG quality issue.
+struct MagOptions {
+  size_t rows = 33000;
+  double duplicate_fraction = 0.10;
+  uint64_t seed = 42;
+};
+Dataset MakeMag(const MagOptions& options);
+
+/// Applies `factor` random character edits (substitutions) to roughly
+/// factor*|s| positions of `s`.
+std::string AddNoise(const std::string& s, double factor, Rng* rng);
+
+}  // namespace cleanm::datagen

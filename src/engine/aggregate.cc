@@ -1,0 +1,208 @@
+#include "engine/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace cleanm::engine {
+
+const char* AggregateStrategyName(AggregateStrategy s) {
+  switch (s) {
+    case AggregateStrategy::kLocalCombine: return "local-combine";
+    case AggregateStrategy::kSortShuffle: return "sort-shuffle";
+    case AggregateStrategy::kHashShuffle: return "hash-shuffle";
+  }
+  return "?";
+}
+
+Value RowsAccInit(const Row& row) {
+  ValueList one;
+  ValueList row_vals(row.begin(), row.end());
+  one.push_back(Value(std::move(row_vals)));
+  return Value(std::move(one));
+}
+
+Value RowsAccMerge(Value a, const Value& b) {
+  auto& list = a.MutableList();
+  const auto& other = b.AsList();
+  list.insert(list.end(), other.begin(), other.end());
+  return a;
+}
+
+std::function<Value(const Row&)> DistinctAccInit(
+    std::function<Value(const Row&)> project) {
+  return [project = std::move(project)](const Row& row) {
+    return Value(ValueList{project(row)});
+  };
+}
+
+Value DistinctAccMerge(Value a, const Value& b) {
+  auto& list = a.MutableList();
+  for (const auto& v : b.AsList()) {
+    bool found = false;
+    for (const auto& existing : list) {
+      if (existing.Equals(v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) list.push_back(v);
+  }
+  return a;
+}
+
+namespace {
+
+/// Hash map keyed by Value (deep hash/equality).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+using AccMap = std::unordered_map<Value, Value, ValueHash, ValueEq>;
+
+/// Aggregates one partition's rows into an accumulator map.
+AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec) {
+  AccMap accs;
+  for (const auto& row : rows) {
+    Value key = spec.key(row);
+    auto it = accs.find(key);
+    if (it == accs.end()) {
+      accs.emplace(std::move(key), spec.init(row));
+    } else {
+      it->second = spec.merge(std::move(it->second), spec.init(row));
+    }
+  }
+  return accs;
+}
+
+Partitioned FinalizePerNode(Cluster& cluster, std::vector<AccMap>& per_node,
+                            const AggregateSpec& spec) {
+  Partitioned out(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) {
+    for (const auto& [key, acc] : per_node[n]) {
+      spec.finalize(key, acc, &out[n]);
+    }
+    cluster.metrics().groups_built += per_node[n].size();
+  });
+  return out;
+}
+
+/// Encodes a (key, accumulator) partial as a two-value row for shuffling.
+Row EncodePartial(const Value& key, Value acc) {
+  return Row{key, std::move(acc)};
+}
+
+/// CleanDB strategy: local combine → shuffle partials → merge → finalize.
+Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
+                            const AggregateSpec& spec, LoadReport* load) {
+  // Phase 1: node-local aggregation (no data movement).
+  std::vector<AccMap> local(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) { local[n] = LocalAggregate(in[n], spec); });
+
+  // Phase 2: shuffle only the combined partials, one row per (node, key).
+  Partitioned partials(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) {
+    partials[n].reserve(local[n].size());
+    for (auto& [key, acc] : local[n]) {
+      partials[n].push_back(EncodePartial(key, std::move(acc)));
+    }
+  });
+  Partitioned routed =
+      cluster.Shuffle(partials, [](const Row& r) { return r[0].Hash(); });
+  if (load != nullptr) *load = cluster.Load(routed);
+
+  // Phase 3: merge partials per key, then finalize.
+  std::vector<AccMap> merged(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) {
+    for (auto& row : routed[n]) {
+      auto it = merged[n].find(row[0]);
+      if (it == merged[n].end()) {
+        merged[n].emplace(row[0], std::move(row[1]));
+      } else {
+        it->second = spec.merge(std::move(it->second), row[1]);
+      }
+    }
+  });
+  return FinalizePerNode(cluster, merged, spec);
+}
+
+/// Spark SQL strategy: sample key quantiles, range-partition all raw rows
+/// (the shuffle stage of a sort-based aggregation), aggregate per node.
+Partitioned RunSortShuffle(Cluster& cluster, const Partitioned& in,
+                           const AggregateSpec& spec, LoadReport* load) {
+  // Driver-side sample of keys to derive range boundaries, mimicking
+  // Spark's RangePartitioner.
+  std::vector<Value> sample;
+  constexpr size_t kSampleStride = 17;
+  size_t i = 0;
+  for (const auto& p : in) {
+    for (const auto& row : p) {
+      if (i++ % kSampleStride == 0) sample.push_back(spec.key(row));
+    }
+  }
+  std::sort(sample.begin(), sample.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  const size_t n_nodes = cluster.num_nodes();
+  std::vector<Value> bounds;  // n_nodes - 1 split points
+  for (size_t b = 1; b < n_nodes && !sample.empty(); b++) {
+    bounds.push_back(sample[b * sample.size() / n_nodes]);
+  }
+  auto range_of = [&bounds](const Value& key) -> uint64_t {
+    // First bound greater than the key determines the range. Equal keys all
+    // map to the same range — the property that makes hot keys pile up.
+    size_t lo = 0;
+    for (; lo < bounds.size(); lo++) {
+      if (key.Compare(bounds[lo]) <= 0) break;
+    }
+    return lo;
+  };
+
+  Partitioned routed =
+      cluster.Shuffle(in, [&](const Row& r) { return range_of(spec.key(r)); });
+  if (load != nullptr) *load = cluster.Load(routed);
+
+  // Node-local sort by key then aggregate runs of equal keys (the "sort"
+  // part of sort-based aggregation).
+  std::vector<AccMap> merged(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) {
+    Partition rows = routed[n];
+    std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      return spec.key(a).Compare(spec.key(b)) < 0;
+    });
+    merged[n] = LocalAggregate(rows, spec);
+  });
+  return FinalizePerNode(cluster, merged, spec);
+}
+
+/// BigDansing strategy: route every raw row by key hash, aggregate per node.
+Partitioned RunHashShuffle(Cluster& cluster, const Partitioned& in,
+                           const AggregateSpec& spec, LoadReport* load) {
+  Partitioned routed =
+      cluster.Shuffle(in, [&](const Row& r) { return spec.key(r).Hash(); });
+  if (load != nullptr) *load = cluster.Load(routed);
+  std::vector<AccMap> merged(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) { merged[n] = LocalAggregate(routed[n], spec); });
+  return FinalizePerNode(cluster, merged, spec);
+}
+
+}  // namespace
+
+Partitioned AggregateByKey(Cluster& cluster, const Partitioned& in,
+                           const AggregateSpec& spec, AggregateStrategy strategy,
+                           LoadReport* load) {
+  CLEANM_CHECK(spec.key && spec.init && spec.merge && spec.finalize);
+  switch (strategy) {
+    case AggregateStrategy::kLocalCombine:
+      return RunLocalCombine(cluster, in, spec, load);
+    case AggregateStrategy::kSortShuffle:
+      return RunSortShuffle(cluster, in, spec, load);
+    case AggregateStrategy::kHashShuffle:
+      return RunHashShuffle(cluster, in, spec, load);
+  }
+  CLEANM_CHECK(false);
+  return {};
+}
+
+}  // namespace cleanm::engine

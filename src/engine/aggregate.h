@@ -1,0 +1,72 @@
+// Distributed grouping/aggregation strategies (paper Section 6,
+// "Handling data skew").
+//
+// All three strategies compute the same monoid aggregation — key extraction,
+// a unit function, an associative merge, and a finalizer — but differ in
+// *where* rows travel, which is exactly the contrast the paper draws:
+//
+//  * kLocalCombine  — CleanDB's plan (Spark `aggregateByKey`): aggregate
+//    locally on each node first, shuffle only the combined partials, merge.
+//    Traffic is O(distinct keys); hot keys are pre-collapsed, so skew does
+//    not concentrate load.
+//  * kSortShuffle   — Spark SQL's sort-based aggregation: sample the key
+//    distribution, range-partition all raw rows, aggregate per node. All
+//    rows travel, and a hot key lands whole on one node.
+//  * kHashShuffle   — BigDansing's hash-based blocking: route all raw rows
+//    by key hash, aggregate per node. All rows travel; a hot key again
+//    lands whole on one node.
+//
+// Being a monoid is what makes kLocalCombine legal: the merge's
+// associativity lets partial aggregates combine in any grouping/order —
+// the language-level property (Section 4) surfacing at the physical level.
+#pragma once
+
+#include <functional>
+
+#include "engine/cluster.h"
+
+namespace cleanm::engine {
+
+enum class AggregateStrategy {
+  kLocalCombine,
+  kSortShuffle,
+  kHashShuffle,
+};
+
+const char* AggregateStrategyName(AggregateStrategy s);
+
+/// \brief A monoid aggregation over rows.
+///
+/// `init` lifts one row into the accumulator domain (the unit function U⊕);
+/// `merge` is the associative ⊕; `finalize` maps each (key, accumulator)
+/// group to zero or more output rows (e.g. "emit the group if it has > 1
+/// distinct RHS value" for an FD check).
+struct AggregateSpec {
+  std::function<Value(const Row&)> key;
+  std::function<Value(const Row&)> init;
+  std::function<Value(Value, const Value&)> merge;
+  std::function<void(const Value& key, const Value& acc, Partition*)> finalize;
+};
+
+/// Common accumulator helpers used by the cleaning operators.
+
+/// unit: row → list-of-one-row (collects whole groups; ⊕ = list concat).
+Value RowsAccInit(const Row& row);
+/// ⊕ for RowsAccInit.
+Value RowsAccMerge(Value a, const Value& b);
+
+/// unit: row → singleton list of one projected value; merge keeps the list
+/// *distinct* (set semantics), so the accumulator stays small for FD checks.
+std::function<Value(const Row&)> DistinctAccInit(std::function<Value(const Row&)> project);
+Value DistinctAccMerge(Value a, const Value& b);
+
+/// \brief Runs the aggregation under the chosen strategy.
+///
+/// Returns the finalized output, still partitioned by node; `load` (if not
+/// null) receives the per-node row counts *after* the shuffle and *before*
+/// aggregation — the quantity that exhibits skew imbalance.
+Partitioned AggregateByKey(Cluster& cluster, const Partitioned& in,
+                           const AggregateSpec& spec, AggregateStrategy strategy,
+                           LoadReport* load = nullptr);
+
+}  // namespace cleanm::engine

@@ -1,0 +1,151 @@
+#include "engine/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cleanm::engine {
+
+Cluster::Cluster(ClusterOptions options) : options_(options) {
+  CLEANM_CHECK(options_.num_nodes > 0);
+}
+
+void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
+  std::vector<std::thread> workers;
+  workers.reserve(options_.num_nodes);
+  for (size_t n = 0; n < options_.num_nodes; n++) {
+    workers.emplace_back(fn, n);
+  }
+  for (auto& w : workers) w.join();
+}
+
+Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
+  Partitioned out(options_.num_nodes);
+  const size_t per_node = rows.size() / options_.num_nodes + 1;
+  for (auto& p : out) p.reserve(per_node);
+  for (size_t i = 0; i < rows.size(); i++) {
+    out[i % options_.num_nodes].push_back(rows[i]);
+  }
+  metrics_.rows_scanned += rows.size();
+  return out;
+}
+
+std::vector<Row> Cluster::Collect(const Partitioned& data) const {
+  std::vector<Row> out;
+  out.reserve(TotalRows(data));
+  for (const auto& p : data) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+size_t Cluster::TotalRows(const Partitioned& data) {
+  size_t n = 0;
+  for (const auto& p : data) n += p.size();
+  return n;
+}
+
+LoadReport Cluster::Load(const Partitioned& data) const {
+  LoadReport report;
+  report.rows_per_node.reserve(data.size());
+  for (const auto& p : data) report.rows_per_node.push_back(p.size());
+  return report;
+}
+
+Partitioned Cluster::Map(const Partitioned& in,
+                         const std::function<Row(const Row&)>& fn) const {
+  Partitioned out(in.size());
+  RunOnNodes([&](size_t n) {
+    out[n].reserve(in[n].size());
+    for (const auto& row : in[n]) out[n].push_back(fn(row));
+  });
+  return out;
+}
+
+Partitioned Cluster::Filter(const Partitioned& in,
+                            const std::function<bool(const Row&)>& pred) const {
+  Partitioned out(in.size());
+  RunOnNodes([&](size_t n) {
+    for (const auto& row : in[n]) {
+      if (pred(row)) out[n].push_back(row);
+    }
+  });
+  return out;
+}
+
+Partitioned Cluster::FlatMap(
+    const Partitioned& in,
+    const std::function<void(const Row&, Partition*)>& fn) const {
+  Partitioned out(in.size());
+  RunOnNodes([&](size_t n) {
+    for (const auto& row : in[n]) fn(row, &out[n]);
+  });
+  return out;
+}
+
+Partitioned Cluster::MapPartitions(
+    const Partitioned& in,
+    const std::function<Partition(size_t, const Partition&)>& fn) const {
+  Partitioned out(in.size());
+  RunOnNodes([&](size_t n) { out[n] = fn(n, in[n]); });
+  return out;
+}
+
+void Cluster::ChargeShuffle(uint64_t bytes) const {
+  metrics_.bytes_shuffled += bytes;
+  if (options_.shuffle_ns_per_byte <= 0) return;
+  const auto delay = std::chrono::nanoseconds(
+      static_cast<int64_t>(static_cast<double>(bytes) * options_.shuffle_ns_per_byte));
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+Partitioned Cluster::Shuffle(const Partitioned& in,
+                             const std::function<uint64_t(const Row&)>& route) {
+  const size_t n_nodes = options_.num_nodes;
+  // outgoing[src][dst] staged per sending node, then concatenated per
+  // destination. Each source node routes and charges its own traffic.
+  std::vector<std::vector<Partition>> outgoing(in.size(),
+                                               std::vector<Partition>(n_nodes));
+  RunOnNodes([&](size_t src) {
+    if (src >= in.size()) return;
+    uint64_t bytes_sent = 0, rows_sent = 0;
+    for (const auto& row : in[src]) {
+      const size_t dst = route(row) % n_nodes;
+      if (dst != src) {
+        bytes_sent += RowByteSize(row);
+        rows_sent++;
+      }
+      outgoing[src][dst].push_back(row);
+    }
+    metrics_.rows_shuffled += rows_sent;
+    ChargeShuffle(bytes_sent);
+  });
+
+  Partitioned result(n_nodes);
+  RunOnNodes([&](size_t dst) {
+    size_t total = 0;
+    for (const auto& src : outgoing) total += src[dst].size();
+    result[dst].reserve(total);
+    for (auto& src : outgoing) {
+      for (auto& row : src[dst]) result[dst].push_back(std::move(row));
+    }
+  });
+  return result;
+}
+
+Partition Cluster::BroadcastAll(const Partitioned& in) {
+  Partition all;
+  uint64_t bytes = 0;
+  for (const auto& p : in) {
+    for (const auto& row : p) {
+      bytes += RowByteSize(row);
+      all.push_back(row);
+    }
+  }
+  // Every node receives a full copy: N-1 network transfers per row.
+  const uint64_t transfers = bytes * (options_.num_nodes - 1);
+  metrics_.rows_shuffled += TotalRows(in) * (options_.num_nodes - 1);
+  ChargeShuffle(transfers);
+  return all;
+}
+
+}  // namespace cleanm::engine

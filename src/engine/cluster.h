@@ -1,0 +1,97 @@
+// Virtual cluster: the scale-out execution substrate.
+//
+// The paper executes CleanM plans on Spark over 10 worker nodes. This module
+// substitutes a *virtual cluster*: N nodes, each a worker thread owning one
+// partition set. Data moves between nodes only through explicit shuffle
+// calls, which (a) meter rows/bytes moved into QueryMetrics and (b) charge a
+// configurable simulated network cost, so that the shuffle-volume and
+// load-balance differences the evaluation studies are visible in both the
+// counters and the wall clock. See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace cleanm::engine {
+
+/// One node's slice of a distributed collection.
+using Partition = std::vector<Row>;
+/// A distributed collection: element i lives on node i.
+using Partitioned = std::vector<Partition>;
+
+struct ClusterOptions {
+  /// Number of virtual worker nodes (the paper uses 10).
+  size_t num_nodes = 10;
+  /// Simulated network cost charged to a sending node per shuffled byte.
+  /// The default models a ~1 GB/s effective interconnect. Set to 0 to
+  /// benchmark pure compute.
+  double shuffle_ns_per_byte = 1.0;
+};
+
+/// \brief N-node virtual cluster. All engine operators run through it.
+///
+/// Thread model: every operator call fans one thread out per node, runs the
+/// node-local work, and joins. Shuffles stage outgoing rows per (source,
+/// destination) pair, charge the simulated network cost, then hand each node
+/// its incoming rows.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  size_t num_nodes() const { return options_.num_nodes; }
+  const ClusterOptions& options() const { return options_; }
+  QueryMetrics& metrics() { return metrics_; }
+
+  /// Runs fn(node_id) on every node concurrently and waits for all.
+  void RunOnNodes(const std::function<void(size_t)>& fn) const;
+
+  /// Distributes rows round-robin across nodes ("parallelize").
+  Partitioned Parallelize(const std::vector<Row>& rows) const;
+
+  /// Gathers all partitions to the driver (order: node 0..N-1).
+  std::vector<Row> Collect(const Partitioned& data) const;
+
+  static size_t TotalRows(const Partitioned& data);
+
+  /// Per-node row counts, for imbalance analysis.
+  LoadReport Load(const Partitioned& data) const;
+
+  // ---- Narrow-dependency transformations (no shuffle) ----
+
+  Partitioned Map(const Partitioned& in,
+                  const std::function<Row(const Row&)>& fn) const;
+
+  Partitioned Filter(const Partitioned& in,
+                     const std::function<bool(const Row&)>& pred) const;
+
+  Partitioned FlatMap(const Partitioned& in,
+                      const std::function<void(const Row&, Partition*)>& fn) const;
+
+  /// mapPartitions: the function sees a whole node-local partition at once.
+  Partitioned MapPartitions(
+      const Partitioned& in,
+      const std::function<Partition(size_t node, const Partition&)>& fn) const;
+
+  // ---- Wide dependencies (shuffle; metered + charged) ----
+
+  /// Routes every row to the node chosen by `route(row) % num_nodes`.
+  Partitioned Shuffle(const Partitioned& in,
+                      const std::function<uint64_t(const Row&)>& route);
+
+  /// Replicates every row of `in` to all nodes (broadcast); traffic is
+  /// charged once per (row, receiving node).
+  Partition BroadcastAll(const Partitioned& in);
+
+ private:
+  ClusterOptions options_;
+  mutable QueryMetrics metrics_;
+
+  /// Applies the simulated per-byte network charge for one node's sends.
+  void ChargeShuffle(uint64_t bytes) const;
+};
+
+}  // namespace cleanm::engine

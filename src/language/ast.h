@@ -1,0 +1,74 @@
+// CleanM abstract syntax (paper Listing 1).
+//
+//   SELECT [ALL|DISTINCT] <SELECTLIST> <FROMCLAUSE>
+//   [WHERECLAUSE][GBCLAUSE[HCLAUSE]][FD|DEDUP|CLUSTER BY]*
+//
+//   FD        = FD(attributesLHS, attributesRHS)
+//   DEDUP     = DEDUP(<op>[,<metric>,<theta>][,<attributes>])
+//   CLUSTERBY = CLUSTER BY(<op>[,<metric>,<theta>],<term>)
+//
+// Scalar expressions reuse the monoid-level Expr IR directly, so the
+// desugarer can drop them into comprehensions and algebra plans verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/filtering.h"
+#include "monoid/expr.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+
+struct SelectItem {
+  bool star = false;   ///< `*`
+  ExprPtr expr;        ///< null when star
+  std::string alias;   ///< optional AS name
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to the table name
+};
+
+/// FD(lhs..., rhs...): functional dependency lhs → rhs.
+struct FdClause {
+  std::vector<ExprPtr> lhs;
+  std::vector<ExprPtr> rhs;
+};
+
+/// DEDUP(op[, metric, theta][, attributes]).
+struct DedupClause {
+  FilteringAlgo op = FilteringAlgo::kTokenFiltering;
+  SimilarityMetric metric = SimilarityMetric::kLevenshtein;
+  double theta = 0.8;
+  std::vector<ExprPtr> attributes;  ///< blocking/filter attributes
+};
+
+/// CLUSTER BY(op[, metric, theta], term): term validation against the
+/// dictionary table (the second FROM entry).
+struct ClusterByClause {
+  FilteringAlgo op = FilteringAlgo::kTokenFiltering;
+  SimilarityMetric metric = SimilarityMetric::kLevenshtein;
+  double theta = 0.8;
+  ExprPtr term;
+};
+
+struct CleanMQuery {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  ExprPtr where;                  ///< may be null
+  std::vector<ExprPtr> group_by;  ///< empty when absent
+  ExprPtr having;                 ///< may be null
+  std::vector<FdClause> fds;
+  std::vector<DedupClause> dedups;
+  std::vector<ClusterByClause> cluster_bys;
+
+  bool HasCleaningOps() const {
+    return !fds.empty() || !dedups.empty() || !cluster_bys.empty();
+  }
+};
+
+}  // namespace cleanm

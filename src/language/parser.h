@@ -1,0 +1,23 @@
+// Recursive-descent parser for CleanM (paper Listing 1).
+//
+// Keywords are case-insensitive; identifiers keep their case. `token
+// filtering` (with a space, as written in the paper's queries) and
+// `token_filtering` both parse.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "language/ast.h"
+
+namespace cleanm {
+
+/// Parses one CleanM query. ParseError statuses carry the offending
+/// position's context.
+Result<CleanMQuery> ParseCleanM(const std::string& query);
+
+/// Parses a standalone scalar expression (exposed for tests and the
+/// programmatic cleaning API, e.g. "prefix(c.phone)").
+Result<ExprPtr> ParseCleanMExpr(const std::string& text);
+
+}  // namespace cleanm

@@ -1,0 +1,43 @@
+// Reference interpreter for the expression IR and monoid comprehensions.
+//
+// This is the *executable semantics* of CleanM: a direct, driver-side
+// evaluation of comprehensions over in-memory collections. The distributed
+// path (algebra → physical plan → engine) must agree with it; the test
+// suite checks normalized and translated plans against this interpreter.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "monoid/expr.h"
+#include "monoid/monoid.h"
+
+namespace cleanm {
+
+/// Variable bindings. Collections are Values of list type; records are
+/// struct Values, so field access works uniformly.
+using Env = std::map<std::string, Value>;
+
+/// \brief Evaluation context: the base monoid registry plus caller-supplied
+/// parameterized monoids (e.g. "tf2" → token filtering with q=2).
+struct EvalContext {
+  std::map<std::string, std::shared_ptr<Monoid>> extra_monoids;
+
+  Result<const Monoid*> FindMonoid(const std::string& name) const;
+};
+
+/// Evaluates `e` under `env`. Comprehensions iterate their generators in
+/// order (nested-loop semantics) and fold heads with the monoid's merge.
+Result<Value> EvalExpr(const ExprPtr& e, const Env& env, const EvalContext& ctx = {});
+
+/// \brief Evaluates a builtin function by name. Shared with the physical
+/// expression compiler so both layers agree on function semantics.
+///
+/// Supported: prefix, lower, upper, trim, substr, length, contains, concat,
+/// split, tokens, levenshtein, similarity, similar, year, month, day, abs,
+/// to_string, to_int, distinct, count, avg, is_null.
+Result<Value> EvalBuiltin(const std::string& name, const std::vector<Value>& args);
+
+}  // namespace cleanm

@@ -1,0 +1,367 @@
+#include "monoid/expr.h"
+
+#include <sstream>
+
+namespace cleanm {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+namespace {
+ExprPtr Make(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr Const(Value v) {
+  auto e = Make(ExprKind::kConst);
+  e->literal = std::move(v);
+  return e;
+}
+ExprPtr ConstInt(int64_t v) { return Const(Value(v)); }
+ExprPtr ConstDouble(double v) { return Const(Value(v)); }
+ExprPtr ConstString(std::string v) { return Const(Value(std::move(v))); }
+ExprPtr ConstBool(bool v) { return Const(Value(v)); }
+
+ExprPtr Var(std::string name) {
+  auto e = Make(ExprKind::kVar);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr FieldAccess(ExprPtr child, std::string field) {
+  auto e = Make(ExprKind::kField);
+  e->child = std::move(child);
+  e->name = std::move(field);
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = Make(ExprKind::kBinary);
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr child) {
+  auto e = Make(ExprKind::kUnary);
+  e->un_op = op;
+  e->child = std::move(child);
+  return e;
+}
+
+ExprPtr If(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) {
+  auto e = Make(ExprKind::kIf);
+  e->cond = std::move(cond);
+  e->then_e = std::move(then_e);
+  e->else_e = std::move(else_e);
+  return e;
+}
+
+ExprPtr Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = Make(ExprKind::kCall);
+  e->name = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Record(std::vector<std::string> names, std::vector<ExprPtr> values) {
+  CLEANM_CHECK(names.size() == values.size());
+  auto e = Make(ExprKind::kRecord);
+  e->field_names = std::move(names);
+  e->field_values = std::move(values);
+  return e;
+}
+
+ExprPtr Comprehension(std::string monoid, ExprPtr head, std::vector<Qualifier> quals) {
+  auto e = Make(ExprKind::kComprehension);
+  e->comp.monoid = std::move(monoid);
+  e->comp.head = std::move(head);
+  e->comp.qualifiers = std::move(quals);
+  return e;
+}
+
+Qualifier Generator(std::string var, ExprPtr source) {
+  return {Qualifier::Kind::kGenerator, std::move(var), std::move(source)};
+}
+Qualifier Predicate(ExprPtr pred) {
+  return {Qualifier::Kind::kPredicate, "", std::move(pred)};
+}
+Qualifier Binding(std::string var, ExprPtr expr) {
+  return {Qualifier::Kind::kBinding, std::move(var), std::move(expr)};
+}
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  if (!e) return nullptr;
+  auto c = std::make_shared<Expr>();
+  c->kind = e->kind;
+  c->literal = e->literal;
+  c->name = e->name;
+  c->child = CloneExpr(e->child);
+  c->bin_op = e->bin_op;
+  c->un_op = e->un_op;
+  c->lhs = CloneExpr(e->lhs);
+  c->rhs = CloneExpr(e->rhs);
+  c->cond = CloneExpr(e->cond);
+  c->then_e = CloneExpr(e->then_e);
+  c->else_e = CloneExpr(e->else_e);
+  for (const auto& a : e->args) c->args.push_back(CloneExpr(a));
+  c->field_names = e->field_names;
+  for (const auto& v : e->field_values) c->field_values.push_back(CloneExpr(v));
+  c->comp.monoid = e->comp.monoid;
+  c->comp.head = CloneExpr(e->comp.head);
+  for (const auto& q : e->comp.qualifiers) {
+    c->comp.qualifiers.push_back({q.kind, q.var, CloneExpr(q.expr)});
+  }
+  return c;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kConst: return a->literal.Equals(b->literal);
+    case ExprKind::kVar: return a->name == b->name;
+    case ExprKind::kField:
+      return a->name == b->name && ExprEquals(a->child, b->child);
+    case ExprKind::kBinary:
+      return a->bin_op == b->bin_op && ExprEquals(a->lhs, b->lhs) &&
+             ExprEquals(a->rhs, b->rhs);
+    case ExprKind::kUnary:
+      return a->un_op == b->un_op && ExprEquals(a->child, b->child);
+    case ExprKind::kIf:
+      return ExprEquals(a->cond, b->cond) && ExprEquals(a->then_e, b->then_e) &&
+             ExprEquals(a->else_e, b->else_e);
+    case ExprKind::kCall: {
+      if (a->name != b->name || a->args.size() != b->args.size()) return false;
+      for (size_t i = 0; i < a->args.size(); i++) {
+        if (!ExprEquals(a->args[i], b->args[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kRecord: {
+      if (a->field_names != b->field_names) return false;
+      for (size_t i = 0; i < a->field_values.size(); i++) {
+        if (!ExprEquals(a->field_values[i], b->field_values[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kComprehension: {
+      if (a->comp.monoid != b->comp.monoid) return false;
+      if (!ExprEquals(a->comp.head, b->comp.head)) return false;
+      if (a->comp.qualifiers.size() != b->comp.qualifiers.size()) return false;
+      for (size_t i = 0; i < a->comp.qualifiers.size(); i++) {
+        const auto& qa = a->comp.qualifiers[i];
+        const auto& qb = b->comp.qualifiers[i];
+        if (qa.kind != qb.kind || qa.var != qb.var || !ExprEquals(qa.expr, qb.expr)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+void CollectFreeVars(const ExprPtr& e, std::set<std::string>* bound,
+                     std::set<std::string>* free) {
+  if (!e) return;
+  switch (e->kind) {
+    case ExprKind::kConst: return;
+    case ExprKind::kVar:
+      if (!bound->count(e->name)) free->insert(e->name);
+      return;
+    case ExprKind::kField: return CollectFreeVars(e->child, bound, free);
+    case ExprKind::kBinary:
+      CollectFreeVars(e->lhs, bound, free);
+      CollectFreeVars(e->rhs, bound, free);
+      return;
+    case ExprKind::kUnary: return CollectFreeVars(e->child, bound, free);
+    case ExprKind::kIf:
+      CollectFreeVars(e->cond, bound, free);
+      CollectFreeVars(e->then_e, bound, free);
+      CollectFreeVars(e->else_e, bound, free);
+      return;
+    case ExprKind::kCall:
+      for (const auto& a : e->args) CollectFreeVars(a, bound, free);
+      return;
+    case ExprKind::kRecord:
+      for (const auto& v : e->field_values) CollectFreeVars(v, bound, free);
+      return;
+    case ExprKind::kComprehension: {
+      // Qualifiers bind variables for the rest of the body and the head.
+      std::set<std::string> inner_bound = *bound;
+      for (const auto& q : e->comp.qualifiers) {
+        CollectFreeVars(q.expr, &inner_bound, free);
+        if (q.kind != Qualifier::Kind::kPredicate) inner_bound.insert(q.var);
+      }
+      CollectFreeVars(e->comp.head, &inner_bound, free);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::set<std::string> FreeVars(const ExprPtr& e) {
+  std::set<std::string> bound, free;
+  CollectFreeVars(e, &bound, &free);
+  return free;
+}
+
+ExprPtr Substitute(const ExprPtr& e, const std::string& var, const ExprPtr& replacement) {
+  if (!e) return nullptr;
+  switch (e->kind) {
+    case ExprKind::kConst: return CloneExpr(e);
+    case ExprKind::kVar:
+      return e->name == var ? CloneExpr(replacement) : CloneExpr(e);
+    case ExprKind::kField:
+      return FieldAccess(Substitute(e->child, var, replacement), e->name);
+    case ExprKind::kBinary:
+      return Binary(e->bin_op, Substitute(e->lhs, var, replacement),
+                    Substitute(e->rhs, var, replacement));
+    case ExprKind::kUnary:
+      return Unary(e->un_op, Substitute(e->child, var, replacement));
+    case ExprKind::kIf:
+      return If(Substitute(e->cond, var, replacement),
+                Substitute(e->then_e, var, replacement),
+                Substitute(e->else_e, var, replacement));
+    case ExprKind::kCall: {
+      std::vector<ExprPtr> args;
+      for (const auto& a : e->args) args.push_back(Substitute(a, var, replacement));
+      return Call(e->name, std::move(args));
+    }
+    case ExprKind::kRecord: {
+      std::vector<ExprPtr> values;
+      for (const auto& v : e->field_values) values.push_back(Substitute(v, var, replacement));
+      return Record(e->field_names, std::move(values));
+    }
+    case ExprKind::kComprehension: {
+      std::vector<Qualifier> quals;
+      bool shadowed = false;
+      for (const auto& q : e->comp.qualifiers) {
+        // Substitute into the qualifier's expression unless an earlier
+        // qualifier already re-bound `var` (shadowing).
+        ExprPtr qe = shadowed ? CloneExpr(q.expr) : Substitute(q.expr, var, replacement);
+        quals.push_back({q.kind, q.var, std::move(qe)});
+        if (q.kind != Qualifier::Kind::kPredicate && q.var == var) shadowed = true;
+      }
+      ExprPtr head = shadowed ? CloneExpr(e->comp.head)
+                              : Substitute(e->comp.head, var, replacement);
+      return Comprehension(e->comp.monoid, std::move(head), std::move(quals));
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+void Print(const ExprPtr& e, std::ostringstream& os) {
+  if (!e) {
+    os << "<null>";
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::kConst:
+      if (e->literal.type() == ValueType::kString) {
+        os << '"' << e->literal.AsString() << '"';
+      } else {
+        os << e->literal.ToString();
+      }
+      return;
+    case ExprKind::kVar: os << e->name; return;
+    case ExprKind::kField:
+      Print(e->child, os);
+      os << '.' << e->name;
+      return;
+    case ExprKind::kBinary:
+      os << '(';
+      Print(e->lhs, os);
+      os << ' ' << BinaryOpName(e->bin_op) << ' ';
+      Print(e->rhs, os);
+      os << ')';
+      return;
+    case ExprKind::kUnary:
+      os << (e->un_op == UnaryOp::kNot ? "not " : "-");
+      Print(e->child, os);
+      return;
+    case ExprKind::kIf:
+      os << "if ";
+      Print(e->cond, os);
+      os << " then ";
+      Print(e->then_e, os);
+      os << " else ";
+      Print(e->else_e, os);
+      return;
+    case ExprKind::kCall: {
+      os << e->name << '(';
+      for (size_t i = 0; i < e->args.size(); i++) {
+        if (i) os << ", ";
+        Print(e->args[i], os);
+      }
+      os << ')';
+      return;
+    }
+    case ExprKind::kRecord: {
+      os << '{';
+      for (size_t i = 0; i < e->field_names.size(); i++) {
+        if (i) os << ", ";
+        os << e->field_names[i] << ": ";
+        Print(e->field_values[i], os);
+      }
+      os << '}';
+      return;
+    }
+    case ExprKind::kComprehension: {
+      os << "for(";
+      bool first = true;
+      for (const auto& q : e->comp.qualifiers) {
+        if (!first) os << ", ";
+        first = false;
+        switch (q.kind) {
+          case Qualifier::Kind::kGenerator:
+            os << q.var << " <- ";
+            break;
+          case Qualifier::Kind::kBinding:
+            os << q.var << " := ";
+            break;
+          case Qualifier::Kind::kPredicate:
+            break;
+        }
+        Print(q.expr, os);
+      }
+      os << ") yield " << e->comp.monoid << ' ';
+      Print(e->comp.head, os);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  // Wrap `this` in a non-owning shared_ptr for the recursive printer.
+  ExprPtr self(const_cast<Expr*>(this), [](Expr*) {});
+  Print(self, os);
+  return os.str();
+}
+
+}  // namespace cleanm

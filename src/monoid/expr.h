@@ -1,0 +1,120 @@
+// Expression IR shared by all three abstraction levels.
+//
+// CleanM queries desugar into monoid comprehensions (Section 4) whose heads,
+// predicates, and generator sources are expressions from this IR. The same
+// IR survives into the nested relational algebra (Section 5) and is finally
+// compiled to closures by the physical layer (Section 6).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cleanm {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kConst,          ///< literal Value
+  kVar,            ///< bound variable reference
+  kField,          ///< child.field (record projection)
+  kBinary,         ///< arithmetic / comparison / boolean
+  kUnary,          ///< not, neg
+  kIf,             ///< if-then-else
+  kCall,           ///< builtin function call
+  kRecord,         ///< record construction {name: expr, ...}
+  kComprehension,  ///< nested monoid comprehension
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+/// One qualifier in a comprehension body: a generator (var <- source),
+/// a filter predicate, or a let-binding (var := expr).
+struct Qualifier {
+  enum class Kind { kGenerator, kPredicate, kBinding };
+  Kind kind;
+  std::string var;  // generator / binding target (empty for predicates)
+  ExprPtr expr;     // generator source / predicate / bound expression
+};
+
+/// \brief A monoid comprehension ⊕{ head | qualifiers }.
+///
+/// `monoid` names an entry in the monoid registry (src/monoid/monoid.h):
+/// "sum", "max", "bag", "set", "list", "some", "all", ... The comprehension
+/// evaluates `head` for every binding combination produced by the
+/// qualifiers and merges the results with the monoid's ⊕.
+struct ComprehensionExpr {
+  std::string monoid;
+  ExprPtr head;
+  std::vector<Qualifier> qualifiers;
+};
+
+/// \brief One node of the expression tree. A tagged union in the Arrow
+/// style: `kind` selects which members are meaningful.
+struct Expr {
+  ExprKind kind;
+
+  Value literal;                    // kConst
+  std::string name;                 // kVar: variable; kField: field name;
+                                    // kCall: function name
+  ExprPtr child;                    // kField / kUnary operand
+  BinaryOp bin_op = BinaryOp::kAdd; // kBinary
+  UnaryOp un_op = UnaryOp::kNot;    // kUnary
+  ExprPtr lhs, rhs;                 // kBinary
+  ExprPtr cond, then_e, else_e;     // kIf
+  std::vector<ExprPtr> args;        // kCall
+  std::vector<std::string> field_names;  // kRecord
+  std::vector<ExprPtr> field_values;     // kRecord
+  ComprehensionExpr comp;           // kComprehension
+
+  /// Pretty-prints the expression (Scala-like comprehension syntax).
+  std::string ToString() const;
+};
+
+// ---- Constructors ----
+
+ExprPtr Const(Value v);
+ExprPtr ConstInt(int64_t v);
+ExprPtr ConstDouble(double v);
+ExprPtr ConstString(std::string v);
+ExprPtr ConstBool(bool v);
+ExprPtr Var(std::string name);
+ExprPtr FieldAccess(ExprPtr child, std::string field);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Unary(UnaryOp op, ExprPtr child);
+ExprPtr If(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+ExprPtr Record(std::vector<std::string> names, std::vector<ExprPtr> values);
+ExprPtr Comprehension(std::string monoid, ExprPtr head, std::vector<Qualifier> quals);
+
+Qualifier Generator(std::string var, ExprPtr source);
+Qualifier Predicate(ExprPtr pred);
+Qualifier Binding(std::string var, ExprPtr expr);
+
+/// Deep structural copy.
+ExprPtr CloneExpr(const ExprPtr& e);
+
+/// Deep structural equality (used by tests and the rewriter).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// Free variables of `e` (variables not bound by an enclosing qualifier
+/// within `e` itself).
+std::set<std::string> FreeVars(const ExprPtr& e);
+
+/// Substitutes `replacement` for every free occurrence of variable `var`.
+ExprPtr Substitute(const ExprPtr& e, const std::string& var, const ExprPtr& replacement);
+
+}  // namespace cleanm

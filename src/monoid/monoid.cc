@@ -1,0 +1,206 @@
+#include "monoid/monoid.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/filtering.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+
+namespace {
+
+Value Identity(const Value& v) { return v; }
+
+double Num(const Value& v) { return v.ToDouble(); }
+
+Value NumValue(const Value& like_a, const Value& like_b, double result) {
+  // Preserve int-ness when both operands are ints and the result is whole.
+  if (like_a.type() == ValueType::kInt && like_b.type() == ValueType::kInt) {
+    return Value(static_cast<int64_t>(result));
+  }
+  return Value(result);
+}
+
+const std::unordered_map<std::string, Monoid>& Registry() {
+  static const auto* registry = [] {
+    auto* m = new std::unordered_map<std::string, Monoid>();
+    m->emplace("sum", Monoid(
+        "sum", Value(int64_t{0}), Identity,
+        [](Value a, const Value& b) { return NumValue(a, b, Num(a) + Num(b)); },
+        /*commutative=*/true, /*idempotent=*/false));
+    m->emplace("prod", Monoid(
+        "prod", Value(int64_t{1}), Identity,
+        [](Value a, const Value& b) { return NumValue(a, b, Num(a) * Num(b)); },
+        true, false));
+    // max/min use null as the identity: merge(null, x) = x.
+    m->emplace("max", Monoid(
+        "max", Value::Null(), Identity,
+        [](Value a, const Value& b) {
+          if (a.is_null()) return b;
+          if (b.is_null()) return a;
+          return a.Compare(b) >= 0 ? a : b;
+        },
+        true, true));
+    m->emplace("min", Monoid(
+        "min", Value::Null(), Identity,
+        [](Value a, const Value& b) {
+          if (a.is_null()) return b;
+          if (b.is_null()) return a;
+          return a.Compare(b) <= 0 ? a : b;
+        },
+        true, true));
+    m->emplace("some", Monoid(
+        "some", Value(false), Identity,
+        [](Value a, const Value& b) { return Value(a.AsBool() || b.AsBool()); },
+        true, true));
+    m->emplace("all", Monoid(
+        "all", Value(true), Identity,
+        [](Value a, const Value& b) { return Value(a.AsBool() && b.AsBool()); },
+        true, true));
+    m->emplace("count", Monoid(
+        "count", Value(int64_t{0}),
+        [](const Value&) { return Value(int64_t{1}); },
+        [](Value a, const Value& b) { return Value(a.AsInt() + b.AsInt()); },
+        true, false));
+    m->emplace("bag", Monoid(
+        "bag", Value(ValueList{}),
+        [](const Value& v) { return Value(ValueList{v}); },
+        [](Value a, const Value& b) {
+          auto& list = a.MutableList();
+          const auto& other = b.AsList();
+          list.insert(list.end(), other.begin(), other.end());
+          return a;
+        },
+        true, false));
+    m->emplace("list", Monoid(
+        "list", Value(ValueList{}),
+        [](const Value& v) { return Value(ValueList{v}); },
+        [](Value a, const Value& b) {
+          auto& list = a.MutableList();
+          const auto& other = b.AsList();
+          list.insert(list.end(), other.begin(), other.end());
+          return a;
+        },
+        /*commutative=*/false, false));
+    m->emplace("set", Monoid(
+        "set", Value(ValueList{}),
+        [](const Value& v) { return Value(ValueList{v}); },
+        [](Value a, const Value& b) {
+          auto& list = a.MutableList();
+          for (const auto& v : b.AsList()) {
+            bool found = false;
+            for (const auto& existing : list) {
+              if (existing.Equals(v)) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) list.push_back(v);
+          }
+          return a;
+        },
+        true, true));
+    return m;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+Result<const Monoid*> LookupMonoid(const std::string& name) {
+  const auto& registry = Registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) {
+    return Status::KeyError("unknown monoid '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool IsCollectionMonoid(const std::string& name) {
+  return name == "bag" || name == "list" || name == "set";
+}
+
+namespace {
+
+/// Shared merge for grouping monoids: dictionary union with bag concat on
+/// collision. Dictionaries are Value structs sorted by key so that merge
+/// output is canonical (making associativity checkable by Equals).
+Value GroupDictMerge(Value a, const Value& b) {
+  ValueStruct merged = a.AsStruct();
+  for (const auto& [key, bag] : b.AsStruct()) {
+    bool found = false;
+    for (auto& [mkey, mbag] : merged) {
+      if (mkey == key) {
+        auto& list = mbag.MutableList();
+        const auto& other = bag.AsList();
+        list.insert(list.end(), other.begin(), other.end());
+        found = true;
+        break;
+      }
+    }
+    // Deep-copy on adoption: the merged dictionary's bags are mutated by
+    // later merges and must not alias the (caller-owned) right argument.
+    if (!found) merged.emplace_back(key, bag.DeepCopy());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return Value(std::move(merged));
+}
+
+Value MakeGroupDict(const std::vector<std::string>& keys, const Value& element) {
+  ValueStruct dict;
+  for (const auto& k : keys) {
+    dict.emplace_back(k, Value(ValueList{element}));
+  }
+  std::sort(dict.begin(), dict.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return Value(std::move(dict));
+}
+
+}  // namespace
+
+std::shared_ptr<Monoid> MakeTokenFilterMonoid(size_t q) {
+  return std::make_shared<Monoid>(
+      "tokenfilter", Value(ValueStruct{}),
+      [q](const Value& v) {
+        auto grams = QGrams(v.AsString(), q);
+        std::sort(grams.begin(), grams.end());
+        grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+        return MakeGroupDict(grams, v);
+      },
+      GroupDictMerge, /*commutative=*/true, /*idempotent=*/false);
+}
+
+std::shared_ptr<Monoid> MakeKMeansMonoid(std::vector<std::string> centers,
+                                         double delta) {
+  CLEANM_CHECK(!centers.empty());
+  return std::make_shared<Monoid>(
+      "kmeans", Value(ValueStruct{}),
+      [centers = std::move(centers), delta](const Value& v) {
+        const std::string& s = v.AsString();
+        size_t best = SIZE_MAX;
+        std::vector<size_t> dists(centers.size());
+        for (size_t c = 0; c < centers.size(); c++) {
+          dists[c] = LevenshteinDistance(s, centers[c]);
+          best = std::min(best, dists[c]);
+        }
+        std::vector<std::string> keys;
+        for (size_t c = 0; c < centers.size(); c++) {
+          if (static_cast<double>(dists[c]) <= static_cast<double>(best) + delta) {
+            keys.push_back("c" + std::to_string(c));
+          }
+        }
+        return MakeGroupDict(keys, v);
+      },
+      GroupDictMerge, true, false);
+}
+
+std::shared_ptr<Monoid> MakeExactGroupMonoid() {
+  return std::make_shared<Monoid>(
+      "exactgroup", Value(ValueStruct{}),
+      [](const Value& v) { return MakeGroupDict({v.ToString()}, v); },
+      GroupDictMerge, true, false);
+}
+
+}  // namespace cleanm

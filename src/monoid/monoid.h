@@ -1,0 +1,87 @@
+// The monoid registry: the algebraic structures CleanM comprehensions
+// aggregate with (Section 4.1), including the domain-specific grouping
+// monoids of Section 4.3 (token filtering, k-means center assignment).
+//
+// A monoid here is (zero, unit, merge) over runtime Values. merge must be
+// associative with zero as identity — the properties that make monoid
+// comprehensions inherently parallelizable (partial results from different
+// partitions merge in any order). The property tests in
+// tests/monoid_test.cc check these laws on every registered monoid.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cleanm {
+
+/// \brief Runtime monoid over Values.
+class Monoid {
+ public:
+  Monoid(std::string name, Value zero, std::function<Value(const Value&)> unit,
+         std::function<Value(Value, const Value&)> merge, bool commutative,
+         bool idempotent)
+      : name_(std::move(name)),
+        zero_(std::move(zero)),
+        unit_(std::move(unit)),
+        merge_(std::move(merge)),
+        commutative_(commutative),
+        idempotent_(idempotent) {}
+
+  const std::string& name() const { return name_; }
+  /// The identity element Z⊕, deep-copied: merge is allowed to mutate its
+  /// first argument in place, so callers always receive fresh storage.
+  Value zero() const { return zero_.DeepCopy(); }
+  /// Lifts one element into the monoid's carrier (U⊕).
+  Value Unit(const Value& v) const { return unit_(v); }
+  /// The associative ⊕. Consumes (and may mutate) its first argument.
+  Value Merge(Value a, const Value& b) const { return merge_(std::move(a), b); }
+  /// Convenience: merge an element into an accumulator via the unit.
+  Value Accumulate(Value acc, const Value& element) const {
+    return Merge(std::move(acc), Unit(element));
+  }
+  bool commutative() const { return commutative_; }
+  bool idempotent() const { return idempotent_; }
+
+ private:
+  std::string name_;
+  Value zero_;
+  std::function<Value(const Value&)> unit_;
+  std::function<Value(Value, const Value&)> merge_;
+  bool commutative_;
+  bool idempotent_;
+};
+
+/// Looks up a monoid by name. Registered: "sum", "prod", "max", "min",
+/// "some" (∨), "all" (∧), "count", "bag", "list", "set".
+/// Returns an error for unknown names.
+Result<const Monoid*> LookupMonoid(const std::string& name);
+
+/// True if `name` denotes a collection monoid (bag/list/set), whose
+/// comprehensions produce collections rather than scalars.
+bool IsCollectionMonoid(const std::string& name);
+
+// ---- Domain-specific grouping monoids (Section 4.3) ----
+//
+// A grouping monoid's carrier is a dictionary {key → bag of elements},
+// encoded as a Value struct. Its unit maps one string to the dictionary of
+// its group keys; its merge unions dictionaries, concatenating bags on key
+// collision. Associativity holds because bag concat and dictionary union
+// are associative — this is the paper's "tokenize(a, tokenize(b, c)) =
+// tokenize(tokenize(a, b), c)" law, checked by the property tests.
+
+/// Token-filtering monoid: unit(str) = {(g, {str}) | g ∈ distinct q-grams}.
+std::shared_ptr<Monoid> MakeTokenFilterMonoid(size_t q);
+
+/// K-means assignment monoid: unit(str) = {(center_i, {str})} for every
+/// sampled center within `delta` of the minimal edit distance.
+std::shared_ptr<Monoid> MakeKMeansMonoid(std::vector<std::string> centers, double delta);
+
+/// Exact-key grouping monoid: unit(v) = {(v, {v})}; used for equality
+/// blocking (e.g. FD groups).
+std::shared_ptr<Monoid> MakeExactGroupMonoid();
+
+}  // namespace cleanm

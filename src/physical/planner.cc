@@ -1,0 +1,278 @@
+#include "physical/planner.h"
+
+#include <algorithm>
+
+#include "monoid/monoid.h"
+
+namespace cleanm {
+
+namespace {
+
+using engine::Partition;
+using engine::Partitioned;
+
+/// Physical tuples are single-Value rows holding the tuple struct.
+Row MakeTupleRow(Value tuple) { return Row{std::move(tuple)}; }
+const Value& TupleOf(const Row& row) { return row[0]; }
+
+Value MergeTuples(const Value& a, const Value& b) {
+  ValueStruct merged = a.AsStruct();
+  const auto& bs = b.AsStruct();
+  merged.insert(merged.end(), bs.begin(), bs.end());
+  return Value(std::move(merged));
+}
+
+}  // namespace
+
+Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
+  if (!plan) return Status::Internal("null physical plan");
+  switch (plan->kind) {
+    case AlgKind::kScan: {
+      auto cached = scan_cache.find(plan->table);
+      Partitioned base;
+      if (cached != scan_cache.end()) {
+        base = cached->second;
+      } else {
+        CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(plan->table));
+        std::vector<Row> rows;
+        rows.reserve(table->num_rows());
+        for (const auto& row : table->rows()) {
+          rows.push_back(MakeTupleRow(RowToRecord(table->schema(), row)));
+        }
+        base = cluster->Parallelize(rows);
+        scan_cache.emplace(plan->table, base);
+      }
+      // Wrap each record into the {var: record} tuple.
+      const std::string var = plan->var;
+      return cluster->Map(base, [var](const Row& r) {
+        return MakeTupleRow(Value(ValueStruct{{var, TupleOf(r)}}));
+      });
+    }
+
+    case AlgKind::kSelect: {
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+      const TupleLayout layout = CollectVars(plan->input);
+      CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(plan->pred, layout));
+      return cluster->Filter(in, [pred](const Row& r) { return pred(TupleOf(r)); });
+    }
+
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin: {
+      CLEANM_ASSIGN_OR_RETURN(Partitioned left, Run(plan->input));
+      CLEANM_ASSIGN_OR_RETURN(Partitioned right, Run(plan->right));
+      const TupleLayout left_layout = CollectVars(plan->input);
+      const TupleLayout right_layout = CollectVars(plan->right);
+      TupleLayout both = left_layout;
+      both.insert(both.end(), right_layout.begin(), right_layout.end());
+
+      auto emit = [](const Row& l, const Row& r) {
+        return MakeTupleRow(MergeTuples(TupleOf(l), TupleOf(r)));
+      };
+
+      if (plan->left_key) {
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr lk, CompileExpr(plan->left_key, left_layout));
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr rk,
+                                CompileExpr(plan->right_key, right_layout));
+        auto lkey = [lk](const Row& r) { return lk(TupleOf(r)); };
+        auto rkey = [rk](const Row& r) { return rk(TupleOf(r)); };
+        std::function<bool(const Value&)> residual;
+        if (plan->pred) {
+          CLEANM_ASSIGN_OR_RETURN(residual, CompilePredicate(plan->pred, both));
+        }
+        Partitioned joined;
+        if (plan->kind == AlgKind::kOuterJoin) {
+          const TupleLayout right_vars = right_layout;
+          joined = engine::HashLeftOuterJoin(
+              *cluster, left, right, lkey, rkey, emit, [right_vars](const Row& l) {
+                ValueStruct padded = TupleOf(l).AsStruct();
+                for (const auto& v : right_vars) padded.emplace_back(v, Value::Null());
+                return MakeTupleRow(Value(std::move(padded)));
+              });
+        } else {
+          joined = engine::HashEquiJoin(*cluster, left, right, lkey, rkey, emit);
+        }
+        if (residual) {
+          joined = cluster->Filter(
+              joined, [residual](const Row& r) { return residual(TupleOf(r)); });
+        }
+        return joined;
+      }
+
+      // Theta join (or cross product when pred is null).
+      if (plan->kind == AlgKind::kOuterJoin) {
+        return Status::NotImplemented("outer theta joins are not supported");
+      }
+      std::function<bool(const Row&, const Row&)> pred;
+      if (plan->pred) {
+        CLEANM_ASSIGN_OR_RETURN(auto compiled, CompilePredicate(plan->pred, both));
+        pred = [compiled](const Row& l, const Row& r) {
+          return compiled(MergeTuples(TupleOf(l), TupleOf(r)));
+        };
+      } else {
+        pred = [](const Row&, const Row&) { return true; };
+      }
+      engine::ThetaJoinOptions theta;
+      theta.algo = options.theta_algo;
+      return engine::ThetaJoin(*cluster, left, right, pred, emit, theta);
+    }
+
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest: {
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+      const TupleLayout layout = CollectVars(plan->input);
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(plan->path, layout));
+      const std::string var = plan->path_var;
+      const bool outer = plan->kind == AlgKind::kOuterUnnest;
+      return cluster->FlatMap(in, [path, var, outer](const Row& r, Partition* out) {
+        const Value coll = path(TupleOf(r));
+        auto pad = [&](Value element) {
+          ValueStruct padded = TupleOf(r).AsStruct();
+          padded.emplace_back(var, std::move(element));
+          out->push_back(MakeTupleRow(Value(std::move(padded))));
+        };
+        if (coll.is_null() || (coll.type() == ValueType::kList && coll.AsList().empty())) {
+          if (outer) pad(Value::Null());
+          return;
+        }
+        if (coll.type() != ValueType::kList) {
+          pad(coll);  // scalar behaves as singleton (XML-style nesting)
+          return;
+        }
+        for (const auto& element : coll.AsList()) pad(element);
+      });
+    }
+
+    case AlgKind::kNest: {
+      auto cached = nest_cache.find(plan.get());
+      if (cached != nest_cache.end()) return cached->second;
+
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+      const TupleLayout layout = CollectVars(plan->input);
+
+      // Phase 1: expand each tuple into (key, tuple) pairs. Exact grouping
+      // emits one pair; grouping monoids may emit several.
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr term, CompileExpr(plan->group.term, layout));
+      const GroupSpec group = plan->group;
+      if (group.algo == FilteringAlgo::kKMeans && group.centers.empty()) {
+        return Status::InvalidArgument(
+            "k-means Nest executed without sampled centers");
+      }
+      Partitioned keyed = cluster->FlatMap(in, [term, group](const Row& r,
+                                                             Partition* out) {
+        const Value t = term(TupleOf(r));
+        switch (group.algo) {
+          case FilteringAlgo::kExactKey:
+            out->push_back(Row{t, TupleOf(r)});
+            return;
+          case FilteringAlgo::kTokenFiltering: {
+            if (t.type() != ValueType::kString) return;  // dirty value: skip
+            auto grams = QGrams(t.AsString(), group.q);
+            std::sort(grams.begin(), grams.end());
+            grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+            for (auto& g : grams) out->push_back(Row{Value(std::move(g)), TupleOf(r)});
+            return;
+          }
+          case FilteringAlgo::kKMeans: {
+            if (t.type() != ValueType::kString) return;
+            SinglePassKMeans km(group.centers.size(), group.delta, 0);
+            for (const auto& a : km.Assign({t.AsString()}, group.centers)) {
+              out->push_back(Row{Value(a.key), TupleOf(r)});
+            }
+            return;
+          }
+        }
+      });
+
+      // Phase 2: monoid aggregation under the configured shuffle strategy.
+      std::vector<const Monoid*> monoids;
+      std::vector<CompiledExpr> agg_exprs;
+      for (const auto& agg : plan->aggs) {
+        CLEANM_ASSIGN_OR_RETURN(const Monoid* m, LookupMonoid(agg.monoid));
+        monoids.push_back(m);
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(agg.expr, layout));
+        agg_exprs.push_back(std::move(c));
+      }
+      const std::string key_name = plan->key_name;
+      const std::vector<NestAgg> aggs = plan->aggs;
+
+      std::function<bool(const Value&)> having;
+      if (plan->having) {
+        TupleLayout out_layout{key_name};
+        for (const auto& agg : aggs) out_layout.push_back(agg.name);
+        CLEANM_ASSIGN_OR_RETURN(having, CompilePredicate(plan->having, out_layout));
+      }
+
+      engine::AggregateSpec spec;
+      spec.key = [](const Row& r) { return r[0]; };
+      spec.init = [monoids, agg_exprs](const Row& r) {
+        ValueList accs;
+        accs.reserve(monoids.size());
+        for (size_t a = 0; a < monoids.size(); a++) {
+          accs.push_back(monoids[a]->Unit(agg_exprs[a](r[1])));
+        }
+        return Value(std::move(accs));
+      };
+      spec.merge = [monoids](Value a, const Value& b) {
+        auto& accs = a.MutableList();
+        const auto& other = b.AsList();
+        for (size_t i = 0; i < accs.size(); i++) {
+          accs[i] = monoids[i]->Merge(std::move(accs[i]), other[i]);
+        }
+        return a;
+      };
+      spec.finalize = [key_name, aggs, having](const Value& key, const Value& acc,
+                                               Partition* out) {
+        ValueStruct tuple;
+        tuple.emplace_back(key_name, key);
+        const auto& accs = acc.AsList();
+        for (size_t a = 0; a < aggs.size(); a++) {
+          tuple.emplace_back(aggs[a].name, accs[a]);
+        }
+        Value result(std::move(tuple));
+        if (having && !having(result)) return;
+        out->push_back(MakeTupleRow(std::move(result)));
+      };
+
+      Partitioned result = engine::AggregateByKey(*cluster, keyed, spec,
+                                                  options.aggregate_strategy);
+      nest_cache.emplace(plan.get(), result);
+      return result;
+    }
+
+    case AlgKind::kReduce:
+      return Status::InvalidArgument("Reduce root must go through RunToValue");
+  }
+  return Status::Internal("unhandled physical plan kind");
+}
+
+Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
+  if (!plan) return Status::Internal("null physical plan");
+  if (plan->kind != AlgKind::kReduce) {
+    CLEANM_ASSIGN_OR_RETURN(Partitioned tuples, Run(plan));
+    ValueList out;
+    for (const auto& p : tuples) {
+      for (const auto& row : p) out.push_back(TupleOf(row));
+    }
+    return Value(std::move(out));
+  }
+  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid, LookupMonoid(plan->monoid));
+  CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+  const TupleLayout layout = CollectVars(plan->input);
+  CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout));
+  // Fold locally per node, then merge the partials on the driver — legal
+  // for any monoid by associativity (commutative monoids also tolerate the
+  // arbitrary node order; "list" keeps node order deterministic).
+  std::vector<Value> partials(cluster->num_nodes(), monoid->zero());
+  cluster->RunOnNodes([&](size_t n) {
+    Value acc = monoid->zero();
+    for (const auto& row : in[n]) {
+      acc = monoid->Accumulate(std::move(acc), head(TupleOf(row)));
+    }
+    partials[n] = std::move(acc);
+  });
+  Value acc = monoid->zero();
+  for (auto& p : partials) acc = monoid->Merge(std::move(acc), p);
+  return acc;
+}
+
+}  // namespace cleanm

@@ -1,0 +1,63 @@
+// Physical planner/executor: lowers algebra plans onto the virtual cluster
+// (paper Section 6, Table 2).
+//
+// Operator mapping (Table 2 of the paper, Spark column → engine column):
+//   Select      → Cluster::Filter
+//   Reduce      → map + driver-side monoid fold
+//   Unnest      → Cluster::FlatMap
+//   Nest        → aggregate-by-key under the configured strategy: CleanDB
+//                 uses local pre-aggregation (aggregateByKey →
+//                 mapPartitions); the baselines use sort-/hash-shuffles
+//   Equi join   → engine::HashEquiJoin
+//   Theta join  → engine::ThetaJoin under the configured algorithm
+//                 (CleanDB: statistics-aware matrix partitioning)
+//   Outer join  → engine::HashLeftOuterJoin
+//
+// The executor also implements the two sharing mechanisms enabled by the
+// algebra rewriter: a scan cache (each table parallelized once per query)
+// and a nest cache (a coalesced shared Nest node executes once and feeds
+// every consumer).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "algebra/algebra.h"
+#include "algebra/algebra_eval.h"  // Catalog, CollectVars
+#include "engine/aggregate.h"
+#include "engine/cluster.h"
+#include "engine/join.h"
+#include "physical/compile.h"
+
+namespace cleanm {
+
+/// Knobs distinguishing CleanDB from the baseline systems.
+struct PhysicalOptions {
+  engine::AggregateStrategy aggregate_strategy =
+      engine::AggregateStrategy::kLocalCombine;
+  engine::ThetaJoinAlgo theta_algo = engine::ThetaJoinAlgo::kMatrix;
+};
+
+/// \brief Per-query execution state: cluster, catalog, options, caches.
+struct Executor {
+  engine::Cluster* cluster;
+  const Catalog* catalog;
+  PhysicalOptions options;
+
+  /// Scan cache — the shared-scan DAG of Figure 1: each table is read and
+  /// parallelized once per query.
+  std::map<std::string, engine::Partitioned> scan_cache;
+  /// Nest cache keyed by node identity — coalesced Nests execute once.
+  std::map<const AlgOp*, engine::Partitioned> nest_cache;
+
+  /// Executes a plan (any root except Reduce), returning distributed
+  /// tuples. Tuple layout matches CollectVars(plan).
+  Result<engine::Partitioned> Run(const AlgOpPtr& plan);
+
+  /// Executes a full plan; Reduce roots fold to a single Value, other
+  /// roots collect their tuples into a list Value (same convention as the
+  /// reference evaluator).
+  Result<Value> RunToValue(const AlgOpPtr& plan);
+};
+
+}  // namespace cleanm

@@ -1,0 +1,173 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cleanm {
+
+namespace {
+
+/// Splits one CSV record, honouring double-quote escaping. `pos` advances
+/// past the record's trailing newline.
+std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); i++) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur += '"';
+          i++;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      i++;
+      break;
+    } else if (c == '\r') {
+      // swallow; \n handled next iteration
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  *pos = i;
+  return out;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); i++) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+Value ParseCell(const std::string& s, bool infer) {
+  if (s.empty()) return Value::Null();
+  if (!infer) return Value(s);
+  if (LooksLikeInt(s)) return Value(static_cast<int64_t>(std::strtoll(s.c_str(), nullptr, 10)));
+  if (LooksLikeDouble(s)) return Value(std::strtod(s.c_str(), nullptr));
+  return Value(s);
+}
+
+void WriteCell(const Value& v, char delim, std::ostream& os) {
+  const std::string s = v.is_null() ? "" : v.ToString();
+  const bool needs_quotes = s.find(delim) != std::string::npos ||
+                            s.find('"') != std::string::npos ||
+                            s.find('\n') != std::string::npos;
+  if (!needs_quotes) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (pos >= text.size()) return Status::ParseError("empty CSV input");
+    header = SplitRecord(text, &pos, options.delimiter);
+  }
+
+  std::vector<Row> rows;
+  size_t width = header.size();
+  while (pos < text.size()) {
+    auto cells = SplitRecord(text, &pos, options.delimiter);
+    if (cells.size() == 1 && cells[0].empty()) continue;  // blank line
+    if (width == 0) width = cells.size();
+    if (cells.size() != width) {
+      return Status::ParseError("CSV record has " + std::to_string(cells.size()) +
+                                " fields, expected " + std::to_string(width));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) row.push_back(ParseCell(c, options.infer_types));
+    rows.push_back(std::move(row));
+  }
+
+  // Build the schema: header names (or f0..fn), types from the first
+  // non-null value in each column.
+  std::vector<Field> fields;
+  for (size_t i = 0; i < width; i++) {
+    Field f;
+    f.name = options.has_header ? header[i] : ("f" + std::to_string(i));
+    f.type = ValueType::kString;
+    for (const auto& r : rows) {
+      if (!r[i].is_null()) {
+        f.type = r[i].type();
+        break;
+      }
+    }
+    fields.push_back(std::move(f));
+  }
+  return Dataset(Schema(std::move(fields)), std::move(rows));
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsvString(buf.str(), options);
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                const CsvOptions& options) {
+  for (const auto& f : dataset.schema().fields()) {
+    if (f.type == ValueType::kList || f.type == ValueType::kStruct) {
+      return Status::InvalidArgument("CSV cannot store nested column '" + f.name +
+                                     "'; flatten the dataset first");
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  if (options.has_header) {
+    for (size_t i = 0; i < dataset.schema().num_fields(); i++) {
+      if (i) out << options.delimiter;
+      out << dataset.schema().field(i).name;
+    }
+    out << '\n';
+  }
+  for (const auto& row : dataset.rows()) {
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i) out << options.delimiter;
+      WriteCell(row[i], options.delimiter, out);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace cleanm

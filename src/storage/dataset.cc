@@ -1,0 +1,74 @@
+#include "storage/dataset.h"
+
+#include <sstream>
+
+namespace cleanm {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::KeyError("schema has no field '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (i) os << ", ";
+    os << fields_[i].name << ':' << ValueTypeName(fields_[i].type);
+  }
+  os << ')';
+  return os.str();
+}
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < rows_.size(); i++) {
+    if (rows_[i].size() != schema_.num_fields()) {
+      return Status::Internal("row " + std::to_string(i) + " has " +
+                              std::to_string(rows_[i].size()) + " values, schema has " +
+                              std::to_string(schema_.num_fields()) + " fields");
+    }
+  }
+  return Status::OK();
+}
+
+size_t Dataset::ByteSize() const {
+  size_t s = 0;
+  for (const auto& r : rows_) s += RowByteSize(r);
+  return s;
+}
+
+Result<Dataset> FlattenListColumn(const Dataset& in, const std::string& column) {
+  CLEANM_ASSIGN_OR_RETURN(const size_t col, in.schema().IndexOf(column));
+  Schema out_schema = in.schema();
+  // The flattened column holds scalar elements; keep the name, relax the type.
+  out_schema = Schema([&] {
+    std::vector<Field> fields = in.schema().fields();
+    fields[col].type = ValueType::kString;
+    return fields;
+  }());
+  Dataset out(out_schema);
+  for (const auto& row : in.rows()) {
+    const Value& v = row[col];
+    if (v.type() != ValueType::kList) {
+      out.Append(row);  // already flat
+      continue;
+    }
+    for (const auto& elem : v.AsList()) {
+      Row copy = row;
+      copy[col] = elem;
+      out.Append(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace cleanm

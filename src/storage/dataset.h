@@ -1,0 +1,82 @@
+// Schema and Dataset: the in-memory table representation shared by the
+// storage readers and the execution engine.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cleanm {
+
+/// \brief A named, typed column. Nested columns carry kList/kStruct type;
+/// their element structure is dynamic (carried by the values themselves),
+/// matching the raw-data philosophy of the RAW/CleanDB substrate.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// \brief Ordered field list with name→index resolution.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  Field* mutable_field(size_t i) { return &fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or KeyError.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// \brief A schema plus a bag of rows. Row order is not semantically
+/// meaningful (bag semantics, as in the monoid calculus).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+  Dataset(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Validates that every row has one value per schema field.
+  Status Validate() const;
+
+  /// Approximate footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// \brief Flattens a dataset that has one list-typed column: each list
+/// element becomes its own output row (the relational-system practice the
+/// paper contrasts against in Figure 7; e.g. one row per (publication,
+/// author) pair instead of a nested author list).
+Result<Dataset> FlattenListColumn(const Dataset& in, const std::string& column);
+
+}  // namespace cleanm

@@ -1,0 +1,30 @@
+// JSON-lines reader/writer for nested data.
+//
+// The nested access path of Figure 7: one JSON object per line, arrays map
+// to kList values, objects to kStruct. The top-level objects of a file form
+// the dataset's rows; the union of their keys forms the schema.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace cleanm {
+
+/// Parses a single JSON value from `text` starting at `*pos`.
+Result<Value> ParseJsonValue(const std::string& text, size_t* pos);
+
+/// Parses a whole string holding one JSON value.
+Result<Value> ParseJson(const std::string& text);
+
+/// Reads a JSON-lines file (one object per line) into a Dataset.
+Result<Dataset> ReadJsonLines(const std::string& path);
+
+/// Parses JSON-lines text held in memory (used by tests).
+Result<Dataset> ParseJsonLinesString(const std::string& text);
+
+/// Writes a dataset as JSON lines; nested values serialize naturally.
+Status WriteJsonLines(const Dataset& dataset, const std::string& path);
+
+}  // namespace cleanm

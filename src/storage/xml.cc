@@ -1,0 +1,259 @@
+#include "storage/xml.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cleanm {
+
+namespace {
+
+std::string DecodeEntities(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); i++) {
+    if (s[i] == '&') {
+      if (s.compare(i, 5, "&amp;") == 0) {
+        out += '&';
+        i += 4;
+        continue;
+      }
+      if (s.compare(i, 4, "&lt;") == 0) {
+        out += '<';
+        i += 3;
+        continue;
+      }
+      if (s.compare(i, 4, "&gt;") == 0) {
+        out += '>';
+        i += 3;
+        continue;
+      }
+      if (s.compare(i, 6, "&quot;") == 0) {
+        out += '"';
+        i += 5;
+        continue;
+      }
+      if (s.compare(i, 6, "&apos;") == 0) {
+        out += '\'';
+        i += 5;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::string EncodeEntities(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+struct Tag {
+  std::string name;
+  bool closing = false;
+  bool self_closing = false;
+  bool declaration = false;  // <?xml ...?> or <!...>
+};
+
+/// Scans the next tag starting at `*pos` (which must point at '<').
+Result<Tag> ReadTag(const std::string& t, size_t* pos) {
+  CLEANM_CHECK(t[*pos] == '<');
+  const size_t end = t.find('>', *pos);
+  if (end == std::string::npos) return Status::ParseError("unterminated XML tag");
+  std::string inner = t.substr(*pos + 1, end - *pos - 1);
+  *pos = end + 1;
+  Tag tag;
+  if (!inner.empty() && (inner[0] == '?' || inner[0] == '!')) {
+    tag.declaration = true;
+    return tag;
+  }
+  if (!inner.empty() && inner[0] == '/') {
+    tag.closing = true;
+    inner = inner.substr(1);
+  }
+  if (!inner.empty() && inner.back() == '/') {
+    tag.self_closing = true;
+    inner.pop_back();
+  }
+  // Drop attributes: the name runs to the first whitespace.
+  const size_t sp = inner.find_first_of(" \t\r\n");
+  tag.name = (sp == std::string::npos) ? inner : inner.substr(0, sp);
+  if (tag.name.empty() && !tag.declaration) {
+    return Status::ParseError("empty XML tag name");
+  }
+  return tag;
+}
+
+/// Reads text content until the next '<'.
+std::string ReadText(const std::string& t, size_t* pos) {
+  const size_t start = *pos;
+  const size_t end = t.find('<', start);
+  *pos = (end == std::string::npos) ? t.size() : end;
+  return DecodeEntities(t.substr(start, *pos - start));
+}
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Result<Dataset> ParseXmlString(const std::string& text) {
+  size_t pos = 0;
+  // Find the root element.
+  std::string root;
+  while (pos < text.size()) {
+    const size_t lt = text.find('<', pos);
+    if (lt == std::string::npos) return Status::ParseError("no root element");
+    pos = lt;
+    CLEANM_ASSIGN_OR_RETURN(Tag tag, ReadTag(text, &pos));
+    if (tag.declaration) continue;
+    if (tag.closing) return Status::ParseError("unexpected closing tag before root");
+    root = tag.name;
+    break;
+  }
+
+  // Iterate over record elements under the root.
+  std::vector<ValueStruct> records;
+  std::vector<std::string> key_order;
+  auto note_key = [&key_order](const std::string& k) {
+    for (const auto& existing : key_order) {
+      if (existing == k) return;
+    }
+    key_order.push_back(k);
+  };
+
+  while (pos < text.size()) {
+    const size_t lt = text.find('<', pos);
+    if (lt == std::string::npos) break;
+    pos = lt;
+    CLEANM_ASSIGN_OR_RETURN(Tag rec, ReadTag(text, &pos));
+    if (rec.declaration) continue;
+    if (rec.closing) {
+      if (rec.name != root) {
+        return Status::ParseError("mismatched closing tag </" + rec.name + ">");
+      }
+      break;  // end of document
+    }
+    const std::string record_tag = rec.name;
+    // Collect child fields. Repeated tags accumulate into a list.
+    ValueStruct fields;
+    if (!rec.self_closing) {
+      while (true) {
+        (void)ReadText(text, &pos);  // skip whitespace between children
+        if (pos >= text.size()) return Status::ParseError("unterminated record");
+        CLEANM_ASSIGN_OR_RETURN(Tag child, ReadTag(text, &pos));
+        if (child.declaration) continue;
+        if (child.closing) {
+          if (child.name != record_tag) {
+            return Status::ParseError("mismatched closing tag </" + child.name + ">");
+          }
+          break;
+        }
+        std::string content;
+        if (!child.self_closing) {
+          content = Trim(ReadText(text, &pos));
+          CLEANM_ASSIGN_OR_RETURN(Tag close, ReadTag(text, &pos));
+          if (!close.closing || close.name != child.name) {
+            return Status::ParseError("expected </" + child.name + ">");
+          }
+        }
+        // Merge into `fields`: first occurrence is a scalar; a repeat
+        // upgrades the field to a list.
+        bool merged = false;
+        for (auto& [fname, fval] : fields) {
+          if (fname != child.name) continue;
+          if (fval.type() == ValueType::kList) {
+            fval.MutableList().push_back(Value(content));
+          } else {
+            fval = Value(ValueList{fval, Value(content)});
+          }
+          merged = true;
+          break;
+        }
+        if (!merged) fields.emplace_back(child.name, Value(content));
+        note_key(child.name);
+      }
+    }
+    records.push_back(std::move(fields));
+  }
+
+  // Assemble aligned rows.
+  std::vector<Field> schema_fields;
+  for (const auto& k : key_order) schema_fields.push_back({k, ValueType::kString});
+  Dataset out(Schema{std::move(schema_fields)});
+  for (auto& rec : records) {
+    Row row;
+    row.reserve(key_order.size());
+    for (const auto& k : key_order) {
+      Value found = Value::Null();
+      for (auto& [fname, fval] : rec) {
+        if (fname == k) {
+          found = fval;
+          break;
+        }
+      }
+      row.push_back(std::move(found));
+    }
+    out.Append(std::move(row));
+  }
+  for (size_t i = 0; i < out.schema().num_fields(); i++) {
+    for (const auto& r : out.rows()) {
+      if (!r[i].is_null()) {
+        out.mutable_schema()->mutable_field(i)->type = r[i].type();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Dataset> ReadXml(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseXmlString(buf.str());
+}
+
+Status WriteXml(const Dataset& dataset, const std::string& path,
+                const std::string& root_tag, const std::string& record_tag) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot create '" + path + "'");
+  out << '<' << root_tag << ">\n";
+  for (const auto& row : dataset.rows()) {
+    out << "  <" << record_tag << ">\n";
+    for (size_t i = 0; i < row.size(); i++) {
+      const std::string& name = dataset.schema().field(i).name;
+      const Value& v = row[i];
+      if (v.is_null()) continue;
+      if (v.type() == ValueType::kList) {
+        for (const auto& e : v.AsList()) {
+          out << "    <" << name << '>' << EncodeEntities(e.ToString()) << "</" << name
+              << ">\n";
+        }
+      } else {
+        out << "    <" << name << '>' << EncodeEntities(v.ToString()) << "</" << name
+            << ">\n";
+      }
+    }
+    out << "  </" << record_tag << ">\n";
+  }
+  out << "</" << root_tag << ">\n";
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace cleanm

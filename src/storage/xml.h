@@ -1,0 +1,37 @@
+// Minimal XML reader/writer for DBLP-style bibliographic records.
+//
+// The paper's duplicate-elimination and term-validation experiments run over
+// a DBLP XML subset (Section 8). We support the shape those records use:
+//
+//   <root>
+//     <record>
+//       <scalarfield>text</scalarfield>
+//       <repeatedfield>a</repeatedfield>   <!-- repeats become a list -->
+//       <repeatedfield>b</repeatedfield>
+//     </record>
+//   </root>
+//
+// Attributes are ignored; entity references for & < > are decoded. This is
+// not a general XML processor — it is the substrate the experiments need.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/dataset.h"
+
+namespace cleanm {
+
+/// Reads a DBLP-style XML file: children of the root element become rows;
+/// their child elements become columns (repeated elements → list columns).
+Result<Dataset> ReadXml(const std::string& path);
+
+/// Parses XML text held in memory (used by tests).
+Result<Dataset> ParseXmlString(const std::string& text);
+
+/// Writes a dataset in the same record shape, with `record_tag` per row.
+Status WriteXml(const Dataset& dataset, const std::string& path,
+                const std::string& root_tag = "dblp",
+                const std::string& record_tag = "article");
+
+}  // namespace cleanm

@@ -1,0 +1,107 @@
+// Tests for the multi-pass clustering extensions (paper Section 4.3:
+// iterative/multi-pass partitional algorithms and hierarchical clustering
+// as chained monoid comprehensions).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/iterative.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+namespace {
+
+std::vector<std::string> TwoFamilies() {
+  // Two tight edit-distance families.
+  return {"smith", "smyth", "smithe", "sm1th",
+          "johnson", "jonson", "johnsen", "johnsonn"};
+}
+
+TEST(IterativeKMeansTest, SeparatesTwoFamilies) {
+  const auto values = TwoFamilies();
+  auto result = IterativeKMeans(values, 2, 10, 7);
+  ASSERT_EQ(result.assignment.size(), values.size());
+  ASSERT_EQ(result.centers.size(), 2u);
+  // All smiths in one cluster, all johnsons in the other.
+  const size_t smith_cluster = result.assignment[0];
+  for (int i = 0; i < 4; i++) EXPECT_EQ(result.assignment[i], smith_cluster) << i;
+  const size_t johnson_cluster = result.assignment[4];
+  EXPECT_NE(johnson_cluster, smith_cluster);
+  for (int i = 4; i < 8; i++) EXPECT_EQ(result.assignment[i], johnson_cluster) << i;
+}
+
+TEST(IterativeKMeansTest, ConvergesAndCentersAreMedoids) {
+  const auto values = TwoFamilies();
+  auto result = IterativeKMeans(values, 2, 50, 3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 50u);
+  // Each center is an actual member of the input (medoid property).
+  const std::set<std::string> universe(values.begin(), values.end());
+  for (const auto& c : result.centers) EXPECT_TRUE(universe.count(c)) << c;
+}
+
+TEST(IterativeKMeansTest, EdgeCases) {
+  EXPECT_TRUE(IterativeKMeans({}, 3, 5, 1).centers.empty());
+  // k larger than input: clamped, everything still assigned.
+  auto r = IterativeKMeans({"a", "b"}, 10, 5, 1);
+  EXPECT_EQ(r.centers.size(), 2u);
+  EXPECT_EQ(r.assignment.size(), 2u);
+  // k = 1: one cluster holds everything.
+  auto one = IterativeKMeans(TwoFamilies(), 1, 5, 1);
+  for (size_t a : one.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(IterativeKMeansTest, DeterministicGivenSeed) {
+  const auto values = TwoFamilies();
+  auto a = IterativeKMeans(values, 2, 10, 9);
+  auto b = IterativeKMeans(values, 2, 10, 9);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centers, b.centers);
+}
+
+TEST(HierarchicalTest, SingleLinkageSeparatesFamilies) {
+  const auto values = TwoFamilies();
+  auto clusters = HierarchicalAgglomerative(values, 2);
+  ASSERT_EQ(clusters.size(), values.size());
+  for (int i = 1; i < 4; i++) EXPECT_EQ(clusters[i], clusters[0]) << i;
+  for (int i = 5; i < 8; i++) EXPECT_EQ(clusters[i], clusters[4]) << i;
+  EXPECT_NE(clusters[0], clusters[4]);
+}
+
+TEST(HierarchicalTest, KOneMergesEverythingAndIdsAreDense) {
+  const auto values = TwoFamilies();
+  auto one = HierarchicalAgglomerative(values, 1);
+  for (size_t c : one) EXPECT_EQ(c, 0u);
+  auto three = HierarchicalAgglomerative(values, 3);
+  std::set<size_t> ids(three.begin(), three.end());
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(ids.count(0));
+  EXPECT_TRUE(ids.count(2));
+}
+
+TEST(HierarchicalTest, EmptyAndSingleton) {
+  EXPECT_TRUE(HierarchicalAgglomerative({}, 2).empty());
+  auto single = HierarchicalAgglomerative({"x"}, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 0u);
+}
+
+// Property: every iterative k-means cluster is internally tighter than the
+// dataset diameter (clusters group similar strings).
+TEST(IterativeKMeansTest, IntraClusterDistancesBelowDiameter) {
+  const auto values = TwoFamilies();
+  auto result = IterativeKMeans(values, 2, 10, 11);
+  size_t diameter = 0;
+  for (const auto& a : values) {
+    for (const auto& b : values) diameter = std::max(diameter, LevenshteinDistance(a, b));
+  }
+  for (size_t i = 0; i < values.size(); i++) {
+    for (size_t j = 0; j < values.size(); j++) {
+      if (result.assignment[i] != result.assignment[j]) continue;
+      EXPECT_LT(LevenshteinDistance(values[i], values[j]), diameter);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cleanm

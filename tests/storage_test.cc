@@ -1,0 +1,294 @@
+// Unit tests for the storage layer: Value semantics, Schema/Dataset,
+// and all four on-disk formats round-tripping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/colpack.h"
+#include "storage/csv.h"
+#include "storage/dataset.h"
+#include "storage/json.h"
+#include "storage/value.h"
+#include "storage/xml.h"
+
+namespace cleanm {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, EqualsIsTypeStrict) {
+  EXPECT_TRUE(Value(int64_t{1}).Equals(Value(int64_t{1})));
+  EXPECT_FALSE(Value(int64_t{1}).Equals(Value(1.0)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value("a").Equals(Value("b")));
+}
+
+TEST(ValueTest, CompareIsNumericAcrossIntDouble) {
+  EXPECT_EQ(Value(int64_t{1}).Compare(Value(1.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(2.0)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(int64_t{3})), 0);
+}
+
+TEST(ValueTest, CompareOrdersByTypeRank) {
+  EXPECT_LT(Value::Null().Compare(Value(false)), 0);
+  EXPECT_LT(Value(true).Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{5}).Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, NestedEqualityAndHash) {
+  Value l1(ValueList{Value(int64_t{1}), Value("x")});
+  Value l2(ValueList{Value(int64_t{1}), Value("x")});
+  Value l3(ValueList{Value(int64_t{1}), Value("y")});
+  EXPECT_TRUE(l1.Equals(l2));
+  EXPECT_FALSE(l1.Equals(l3));
+  EXPECT_EQ(l1.Hash(), l2.Hash());
+  EXPECT_NE(l1.Hash(), l3.Hash());
+
+  Value s1(ValueStruct{{"a", Value(int64_t{1})}});
+  Value s2(ValueStruct{{"a", Value(int64_t{1})}});
+  Value s3(ValueStruct{{"b", Value(int64_t{1})}});
+  EXPECT_TRUE(s1.Equals(s2));
+  EXPECT_FALSE(s1.Equals(s3));
+}
+
+TEST(ValueTest, StructFieldLookup) {
+  Value s(ValueStruct{{"name", Value("alice")}, {"age", Value(int64_t{30})}});
+  auto name = s.GetField("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value().AsString(), "alice");
+  EXPECT_FALSE(s.GetField("missing").ok());
+  EXPECT_FALSE(Value(int64_t{1}).GetField("x").ok());
+}
+
+TEST(ValueTest, ToStringRendersNestedJson) {
+  Value v(ValueStruct{{"xs", Value(ValueList{Value(int64_t{1}), Value("a")})}});
+  EXPECT_EQ(v.ToString(), "{\"xs\":[1,\"a\"]}");
+}
+
+TEST(ValueTest, ListCompareIsLexicographic) {
+  Value a(ValueList{Value(int64_t{1}), Value(int64_t{2})});
+  Value b(ValueList{Value(int64_t{1}), Value(int64_t{3})});
+  Value c(ValueList{Value(int64_t{1})});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(c.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(SchemaTest, IndexOfAndHasField) {
+  Schema s{{"a", ValueType::kInt}, {"b", ValueType::kString}};
+  EXPECT_EQ(s.IndexOf("a").ValueOrDie(), 0u);
+  EXPECT_EQ(s.IndexOf("b").ValueOrDie(), 1u);
+  EXPECT_FALSE(s.IndexOf("c").ok());
+  EXPECT_TRUE(s.HasField("b"));
+  EXPECT_FALSE(s.HasField("z"));
+}
+
+TEST(DatasetTest, ValidateCatchesRaggedRows) {
+  Dataset d(Schema{{"a", ValueType::kInt}});
+  d.Append({Value(int64_t{1})});
+  EXPECT_TRUE(d.Validate().ok());
+  d.Append({Value(int64_t{1}), Value(int64_t{2})});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, FlattenListColumn) {
+  Dataset d(Schema{{"title", ValueType::kString}, {"authors", ValueType::kList}});
+  d.Append({Value("p1"), Value(ValueList{Value("a"), Value("b")})});
+  d.Append({Value("p2"), Value(ValueList{Value("c")})});
+  auto flat = FlattenListColumn(d, "authors").ValueOrDie();
+  ASSERT_EQ(flat.num_rows(), 3u);
+  EXPECT_EQ(flat.row(0)[1].AsString(), "a");
+  EXPECT_EQ(flat.row(1)[1].AsString(), "b");
+  EXPECT_EQ(flat.row(2)[1].AsString(), "c");
+  EXPECT_EQ(flat.row(1)[0].AsString(), "p1");
+}
+
+class FormatRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "cleanm_storage_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+Dataset MakeFlatDataset() {
+  Dataset d(Schema{{"id", ValueType::kInt},
+                   {"name", ValueType::kString},
+                   {"score", ValueType::kDouble}});
+  d.Append({Value(int64_t{1}), Value("alice"), Value(0.5)});
+  d.Append({Value(int64_t{2}), Value("bob,jr"), Value(1.25)});
+  d.Append({Value(int64_t{3}), Value("carol \"cc\""), Value(-3.0)});
+  d.Append({Value(int64_t{4}), Value::Null(), Value(0.0)});
+  return d;
+}
+
+TEST_F(FormatRoundTripTest, CsvRoundTrip) {
+  const auto d = MakeFlatDataset();
+  ASSERT_TRUE(WriteCsv(d, Path("t.csv")).ok());
+  auto back = ReadCsv(Path("t.csv")).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), d.num_rows());
+  EXPECT_EQ(back.row(1)[1].AsString(), "bob,jr");
+  EXPECT_EQ(back.row(2)[1].AsString(), "carol \"cc\"");
+  EXPECT_EQ(back.row(0)[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(back.row(1)[2].AsDouble(), 1.25);
+  EXPECT_TRUE(back.row(3)[1].is_null());
+}
+
+TEST_F(FormatRoundTripTest, CsvRejectsNestedColumns) {
+  Dataset d(Schema{{"xs", ValueType::kList}});
+  d.Append({Value(ValueList{Value(int64_t{1})})});
+  EXPECT_FALSE(WriteCsv(d, Path("bad.csv")).ok());
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto d = ParseCsvString("1,foo\n2,bar\n", opts).ValueOrDie();
+  ASSERT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.schema().field(0).name, "f0");
+  EXPECT_EQ(d.row(1)[1].AsString(), "bar");
+}
+
+TEST(CsvTest, RejectsRaggedRecords) {
+  EXPECT_FALSE(ParseCsvString("a,b\n1,2\n3\n").ok());
+}
+
+TEST(JsonTest, ParsesScalarsAndNesting) {
+  auto v = ParseJson(R"({"a":1,"b":[1.5,"x",null],"c":{"d":true}})").ValueOrDie();
+  ASSERT_EQ(v.type(), ValueType::kStruct);
+  EXPECT_EQ(v.GetField("a").ValueOrDie().AsInt(), 1);
+  const auto& list = v.GetField("b").ValueOrDie().AsList();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[0].AsDouble(), 1.5);
+  EXPECT_TRUE(list[2].is_null());
+  EXPECT_TRUE(v.GetField("c").ValueOrDie().GetField("d").ValueOrDie().AsBool());
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  auto v = ParseJson(R"("a\"b\n\t\\")").ValueOrDie();
+  EXPECT_EQ(v.AsString(), "a\"b\n\t\\");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST_F(FormatRoundTripTest, JsonLinesRoundTripWithNesting) {
+  Dataset d(Schema{{"title", ValueType::kString}, {"authors", ValueType::kList}});
+  d.Append({Value("p1"), Value(ValueList{Value("a"), Value("b")})});
+  d.Append({Value("p2"), Value(ValueList{Value("c")})});
+  ASSERT_TRUE(WriteJsonLines(d, Path("t.jsonl")).ok());
+  auto back = ReadJsonLines(Path("t.jsonl")).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.row(0)[1].AsList().size(), 2u);
+  EXPECT_EQ(back.row(0)[1].AsList()[1].AsString(), "b");
+}
+
+TEST(JsonLinesTest, AlignsHeterogeneousKeys) {
+  auto d = ParseJsonLinesString("{\"a\":1}\n{\"b\":\"x\"}\n").ValueOrDie();
+  ASSERT_EQ(d.schema().num_fields(), 2u);
+  EXPECT_TRUE(d.row(0)[1].is_null());
+  EXPECT_TRUE(d.row(1)[0].is_null());
+}
+
+TEST(XmlTest, ParsesRepeatedFieldsAsLists) {
+  const std::string xml = R"(<dblp>
+    <article>
+      <title>Paper one</title>
+      <author>A B</author>
+      <author>C D</author>
+      <year>2001</year>
+    </article>
+    <article>
+      <title>Paper two &amp; more</title>
+      <author>E F</author>
+    </article>
+  </dblp>)";
+  auto d = ParseXmlString(xml).ValueOrDie();
+  ASSERT_EQ(d.num_rows(), 2u);
+  const size_t author = d.schema().IndexOf("author").ValueOrDie();
+  ASSERT_EQ(d.row(0)[author].type(), ValueType::kList);
+  EXPECT_EQ(d.row(0)[author].AsList()[1].AsString(), "C D");
+  EXPECT_EQ(d.row(1)[author].AsString(), "E F");
+  const size_t title = d.schema().IndexOf("title").ValueOrDie();
+  EXPECT_EQ(d.row(1)[title].AsString(), "Paper two & more");
+}
+
+TEST_F(FormatRoundTripTest, XmlRoundTrip) {
+  Dataset d(Schema{{"title", ValueType::kString}, {"author", ValueType::kList}});
+  d.Append({Value("p <1>"), Value(ValueList{Value("a"), Value("b")})});
+  ASSERT_TRUE(WriteXml(d, Path("t.xml")).ok());
+  auto back = ReadXml(Path("t.xml")).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.row(0)[0].AsString(), "p <1>");
+  EXPECT_EQ(back.row(0)[1].AsList().size(), 2u);
+}
+
+TEST(XmlTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(ParseXmlString("<a><b><c>x</d></b></a>").ok());
+}
+
+TEST_F(FormatRoundTripTest, ColpackRoundTripFlat) {
+  const auto d = MakeFlatDataset();
+  ASSERT_TRUE(WriteColpack(d, Path("t.cpk")).ok());
+  auto back = ReadColpack(Path("t.cpk")).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), d.num_rows());
+  for (size_t i = 0; i < d.num_rows(); i++) {
+    for (size_t c = 0; c < d.schema().num_fields(); c++) {
+      EXPECT_TRUE(back.row(i)[c].Equals(d.row(i)[c]))
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST_F(FormatRoundTripTest, ColpackRoundTripNested) {
+  Dataset d(Schema{{"title", ValueType::kString}, {"authors", ValueType::kList}});
+  d.Append({Value("p1"), Value(ValueList{Value("a"), Value("b")})});
+  d.Append({Value("p2"), Value::Null()});
+  ASSERT_TRUE(WriteColpack(d, Path("n.cpk")).ok());
+  auto back = ReadColpack(Path("n.cpk")).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.row(0)[1].AsList()[0].AsString(), "a");
+  EXPECT_TRUE(back.row(1)[1].is_null());
+}
+
+TEST_F(FormatRoundTripTest, ColpackDictionaryCompressesRepeatedStrings) {
+  // 1000 rows over 3 distinct strings: the dictionary-coded file must be
+  // much smaller than the CSV.
+  Dataset d(Schema{{"city", ValueType::kString}});
+  const char* cities[] = {"Lausanne", "Geneva", "Zurich"};
+  for (int i = 0; i < 1000; i++) d.Append({Value(cities[i % 3])});
+  ASSERT_TRUE(WriteColpack(d, Path("dict.cpk")).ok());
+  ASSERT_TRUE(WriteCsv(d, Path("dict.csv")).ok());
+  const auto cpk_size = std::filesystem::file_size(Path("dict.cpk"));
+  const auto csv_size = std::filesystem::file_size(Path("dict.csv"));
+  EXPECT_LT(cpk_size, csv_size);
+}
+
+TEST_F(FormatRoundTripTest, ColpackRejectsGarbage) {
+  {
+    std::ofstream f(Path("junk.cpk"), std::ios::binary);
+    f << "not a colpack file";
+  }
+  EXPECT_FALSE(ReadColpack(Path("junk.cpk")).ok());
+  EXPECT_FALSE(ReadColpack(Path("missing.cpk")).ok());
+}
+
+}  // namespace
+}  // namespace cleanm

@@ -1,0 +1,278 @@
+// Unit + property tests for similarity metrics and the filtering/clustering
+// building blocks (token filtering, single-pass k-means, reservoir sampling).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/filtering.h"
+#include "common/random.h"
+#include "text/similarity.h"
+
+namespace cleanm {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(LevenshteinTest, BoundedEarlyExit) {
+  // Bound below the true distance: must report bound+1.
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting", 1), 2u);
+  // Bound at/above the true distance: exact.
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting", 10), 3u);
+  // Length-difference shortcut.
+  EXPECT_EQ(LevenshteinDistance("ab", "abcdefgh", 2), 3u);
+}
+
+TEST(LevenshteinTest, SimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abcx"), 0.75, 1e-9);
+}
+
+TEST(LevenshteinTest, ThresholdedAgreesWithExact) {
+  const char* words[] = {"smith", "smyth", "smithe", "jones", "jonse", "x"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      for (double theta : {0.5, 0.8, 0.9}) {
+        EXPECT_EQ(LevenshteinSimilarAtLeast(a, b, theta),
+                  LevenshteinSimilarity(a, b) >= theta)
+            << a << " vs " << b << " @ " << theta;
+      }
+    }
+  }
+}
+
+// Property: Levenshtein distance is a metric (symmetry + triangle
+// inequality) on random short strings.
+TEST(LevenshteinTest, MetricPropertiesOnRandomStrings) {
+  Rng rng(7);
+  auto random_word = [&rng]() {
+    std::string s;
+    const size_t len = rng.Uniform(8);
+    for (size_t i = 0; i < len; i++) s += static_cast<char>('a' + rng.Uniform(4));
+    return s;
+  };
+  for (int trial = 0; trial < 200; trial++) {
+    const std::string a = random_word(), b = random_word(), c = random_word();
+    const size_t ab = LevenshteinDistance(a, b);
+    const size_t ba = LevenshteinDistance(b, a);
+    const size_t bc = LevenshteinDistance(b, c);
+    const size_t ac = LevenshteinDistance(a, c);
+    EXPECT_EQ(ab, ba);
+    EXPECT_LE(ac, ab + bc) << a << ' ' << b << ' ' << c;
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+  }
+}
+
+TEST(QGramTest, WindowsAndShortStrings) {
+  const auto grams = QGrams("abcd", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_EQ(grams[2], "cd");
+  const auto shorty = QGrams("a", 3);
+  ASSERT_EQ(shorty.size(), 1u);
+  EXPECT_EQ(shorty[0], "a");
+}
+
+TEST(JaccardTest, QGramSimilarity) {
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardQGramSimilarity("abc", "xyz"), 0.0);
+  EXPECT_GT(JaccardQGramSimilarity("jonathan", "jonathon"), 0.5);
+}
+
+TEST(JaccardTest, TokenSimilarity) {
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("a b c", "c b a"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("a b", "a c"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("", ""), 1.0);
+}
+
+TEST(EuclideanTest, Distance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1}, {1}), 0.0);
+}
+
+TEST(MetricParseTest, NamesAndAliases) {
+  SimilarityMetric m;
+  EXPECT_TRUE(ParseSimilarityMetric("LD", &m));
+  EXPECT_EQ(m, SimilarityMetric::kLevenshtein);
+  EXPECT_TRUE(ParseSimilarityMetric("Jaccard", &m));
+  EXPECT_EQ(m, SimilarityMetric::kJaccard);
+  EXPECT_TRUE(ParseSimilarityMetric("euclidean", &m));
+  EXPECT_FALSE(ParseSimilarityMetric("cosine", &m));
+}
+
+TEST(FilteringAlgoParseTest, NamesAndAliases) {
+  FilteringAlgo a;
+  EXPECT_TRUE(ParseFilteringAlgo("token_filtering", &a));
+  EXPECT_EQ(a, FilteringAlgo::kTokenFiltering);
+  EXPECT_TRUE(ParseFilteringAlgo("tf", &a));
+  EXPECT_TRUE(ParseFilteringAlgo("KMEANS", &a));
+  EXPECT_EQ(a, FilteringAlgo::kKMeans);
+  EXPECT_TRUE(ParseFilteringAlgo("exact", &a));
+  EXPECT_FALSE(ParseFilteringAlgo("dbscan", &a));
+}
+
+TEST(TokenFilteringTest, SharedTokenGuarantee) {
+  // Two strings at edit distance 1 always share a q-gram when long enough;
+  // token filtering must put them in at least one common group.
+  const std::vector<std::string> values = {"jonathan smith", "jonathan smyth",
+                                           "completely different"};
+  auto groups = BuildGroups(values, {.algo = FilteringAlgo::kTokenFiltering, .q = 2});
+  bool share = false;
+  for (const auto& [key, members] : groups) {
+    bool has0 = false, has1 = false;
+    for (uint32_t m : members) {
+      if (m == 0) has0 = true;
+      if (m == 1) has1 = true;
+    }
+    if (has0 && has1) share = true;
+  }
+  EXPECT_TRUE(share);
+}
+
+TEST(TokenFilteringTest, DistinctTokensOnlyOncePerString) {
+  // "aaaa" has one distinct 2-gram ("aa"); it must appear once in that group.
+  auto assignments = TokenFilterAssign({"aaaa"}, 2);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].key, "aa");
+}
+
+TEST(ReservoirSampleTest, SizeAndMembership) {
+  std::vector<std::string> input;
+  for (int i = 0; i < 100; i++) input.push_back("w" + std::to_string(i));
+  const auto sample = ReservoirSample(input, 10, 1);
+  EXPECT_EQ(sample.size(), 10u);
+  const std::set<std::string> universe(input.begin(), input.end());
+  for (const auto& s : sample) EXPECT_TRUE(universe.count(s));
+  // Fewer inputs than k: returns all of them.
+  const auto small = ReservoirSample({"a", "b"}, 10, 1);
+  EXPECT_EQ(small.size(), 2u);
+}
+
+TEST(ReservoirSampleTest, DeterministicGivenSeed) {
+  std::vector<std::string> input;
+  for (int i = 0; i < 50; i++) input.push_back(std::to_string(i));
+  EXPECT_EQ(ReservoirSample(input, 5, 9), ReservoirSample(input, 5, 9));
+}
+
+// Property: reservoir sampling is (approximately) uniform — every element
+// should be selected with probability k/n across many seeds.
+TEST(ReservoirSampleTest, ApproximateUniformity) {
+  std::vector<std::string> input;
+  for (int i = 0; i < 20; i++) input.push_back(std::to_string(i));
+  std::map<std::string, int> counts;
+  const int trials = 2000;
+  for (int seed = 0; seed < trials; seed++) {
+    for (const auto& s : ReservoirSample(input, 5, seed)) counts[s]++;
+  }
+  // Expected count per element = trials * k/n = 500. Allow wide tolerance.
+  for (const auto& [elem, count] : counts) {
+    EXPECT_GT(count, 350) << elem;
+    EXPECT_LT(count, 650) << elem;
+  }
+}
+
+TEST(KMeansTest, AssignsEveryValueToAtLeastOneCluster) {
+  std::vector<std::string> values = {"smith", "smyth", "jones", "jonse", "brown"};
+  SinglePassKMeans km(2, 1.0, 3);
+  const auto centers = km.SampleCenters(values);
+  ASSERT_EQ(centers.size(), 2u);
+  const auto assignments = km.Assign(values, centers);
+  std::set<uint32_t> covered;
+  for (const auto& a : assignments) covered.insert(a.index);
+  EXPECT_EQ(covered.size(), values.size());
+}
+
+TEST(KMeansTest, DeltaZeroAssignsOnlyNearestCenters) {
+  // Centers "aaaa" and "zzzz"; "aaab" is strictly closer to "aaaa".
+  SinglePassKMeans km(2, 0.0, 1);
+  const std::vector<std::string> centers = {"aaaa", "zzzz"};
+  const auto assignments = km.Assign({"aaab"}, centers);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].key, "c0");
+}
+
+TEST(KMeansTest, LargerDeltaProducesMoreAssignments) {
+  std::vector<std::string> values;
+  Rng rng(5);
+  for (int i = 0; i < 50; i++) {
+    std::string s;
+    for (int j = 0; j < 6; j++) s += static_cast<char>('a' + rng.Uniform(6));
+    values.push_back(s);
+  }
+  SinglePassKMeans tight(5, 0.0, 7), loose(5, 2.0, 7);
+  const auto centers = tight.SampleCenters(values);
+  EXPECT_LE(tight.Assign(values, centers).size(), loose.Assign(values, centers).size());
+}
+
+TEST(BuildGroupsTest, ExactKeyGroupsEqualValues) {
+  auto groups = BuildGroups({"x", "y", "x"}, {.algo = FilteringAlgo::kExactKey});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups["x"].size(), 2u);
+  EXPECT_EQ(groups["y"].size(), 1u);
+}
+
+// Property sweep: across q values, token filtering never separates two
+// strings that share a q-gram prefix of their common part.
+class TokenFilterParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TokenFilterParamTest, SimilarPairsShareGroup) {
+  const size_t q = GetParam();
+  // Pairs at one substitution apart, length >= 2q so a clean window exists.
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"jonathan", "jonathon"},
+      {"margaret", "margaret"},
+      {"stephens", "stephans"},
+  };
+  for (const auto& [a, b] : pairs) {
+    auto groups = BuildGroups({a, b}, {.algo = FilteringAlgo::kTokenFiltering, .q = q});
+    bool share = false;
+    for (const auto& [key, members] : groups) {
+      if (members.size() == 2) share = true;
+    }
+    EXPECT_TRUE(share) << a << " vs " << b << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QSweep, TokenFilterParamTest, ::testing::Values(2, 3, 4));
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  ZipfGenerator zipf(100, 1.0, 11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; i++) counts[zipf.Next()]++;
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(5);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace cleanm

@@ -8,7 +8,10 @@
 // multiplies the rows); Spark SQL is competitive at the small size but
 // scales worse than CleanDB at the large one (skew sensitivity).
 #include <cstdio>
+#include <unistd.h>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "datagen/generators.h"
@@ -47,17 +50,23 @@ double TimeDedup(System& system, const Dataset& data) {
 }  // namespace
 }  // namespace cleanm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
   namespace fs = std::filesystem;
-  const auto tmp = fs::temp_directory_path() / "cleanm_fmt_bench";
+  // --smoke: tiny sizes so CTest can verify the bench end to end.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::vector<size_t> row_sweep =
+      smoke ? std::vector<size_t>{300} : std::vector<size_t>{4000, 8000};
+  // Per-process dir: concurrent ctest runs must not share bench files.
+  const auto tmp = fs::temp_directory_path() /
+                   ("cleanm_fmt_bench_" + std::to_string(::getpid()));
   fs::create_directories(tmp);
 
   std::printf("=== E8 — Figure 7: dedup over DBLP representations ===\n");
   std::printf("paper: nested (JSON/Parquet) faster than flat (CSV/Parquet_flat); "
               "SparkSQL competitive at 5GB-scale, slower at 10GB-scale\n\n");
 
-  for (size_t rows : {4000, 8000}) {
+  for (size_t rows : row_sweep) {
     datagen::DblpOptions dopts;
     dopts.rows = rows;
     dopts.duplicate_fraction = 0.10;

@@ -9,6 +9,8 @@
 // the full set; CleanDB vs Spark SQL. Paper: Spark SQL needs >10h on the
 // full set; CleanDB's skew-resilient primitives finish.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "datagen/generators.h"
@@ -58,8 +60,13 @@ double Run(System& system, const Dataset& data, const DedupClause& dedup,
 }  // namespace
 }  // namespace cleanm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
+  // --smoke: tiny sizes so CTest can verify the bench end to end.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const size_t base_rows = smoke ? 200 : 4000;
+  const std::vector<size_t> dup_sweep =
+      smoke ? std::vector<size_t>{5} : std::vector<size_t>{50, 100};
   std::printf("=== E9 — Figure 8a: customer dedup, Zipf duplicates ===\n");
   std::printf("paper: CleanDB fastest; BigDansing and SparkSQL shuffle the whole "
               "dataset to build blocks\n\n");
@@ -67,14 +74,14 @@ int main() {
               "SparkSQL(s)");
   {  // Warm-up pass so measurement order is fair.
     datagen::CustomerOptions w;
-    w.base_rows = 4000;
+    w.base_rows = base_rows;
     w.max_duplicates = 20;
     CleanDB warm(BenchOptions());
     (void)Run(warm, datagen::MakeCustomer(w), CustomerDedup());
   }
-  for (size_t max_dups : {50, 100}) {
+  for (size_t max_dups : dup_sweep) {
     datagen::CustomerOptions copts;
-    copts.base_rows = 4000;
+    copts.base_rows = base_rows;
     copts.duplicate_fraction = 0.05;
     copts.max_duplicates = max_dups;
     auto data = datagen::MakeCustomer(copts);
@@ -98,7 +105,7 @@ int main() {
   std::printf("paper: CleanDB 52 min on the full 33GB set; SparkSQL > 10h; on the "
               "2014 subset both finish but CleanDB is faster\n\n");
   datagen::MagOptions mopts;
-  mopts.rows = 15000;
+  mopts.rows = smoke ? 500 : 15000;
   auto mag = datagen::MakeMag(mopts);
   // Year-2014 subset.
   Dataset mag2014(mag.schema());

@@ -13,7 +13,10 @@
 // Also prints the aggregation-strategy ablation: shuffle volume and
 // post-shuffle imbalance per strategy on the skewed key column.
 #include <cstdio>
+#include <unistd.h>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "baselines/baselines.h"
 #include "datagen/generators.h"
@@ -61,10 +64,17 @@ double TimeFdOn(System& system, const Dataset& data) {
 }  // namespace
 }  // namespace cleanm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
   namespace fs = std::filesystem;
-  const auto tmp = fs::temp_directory_path() / "cleanm_dc_bench";
+  // --smoke: tiny scale factors so CTest can verify the bench end to end.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::vector<int> sf_sweep =
+      smoke ? std::vector<int>{1} : std::vector<int>{15, 30, 45, 60, 70};
+  const int ablation_sf = smoke ? 1 : 45;
+  // Per-process dir: concurrent ctest runs must not share bench files.
+  const auto tmp = fs::temp_directory_path() /
+                   ("cleanm_dc_bench_" + std::to_string(::getpid()));
   fs::create_directories(tmp);
 
   std::printf("=== E6 — Figure 6a/6b: FD rule phi across scale factors ===\n");
@@ -72,7 +82,7 @@ int main() {
               "than CSV; all scale roughly linearly\n\n");
   std::printf("%4s %8s | %33s | %22s\n", "SF", "rows", "CSV: CleanDB SparkSQL BigDansing",
               "colpack: CleanDB SparkSQL");
-  for (int sf : {15, 30, 45, 60, 70}) {
+  for (int sf : sf_sweep) {
     auto data = MakeSf(sf);
     // Write + read each format so I/O cost participates, as in the paper.
     const std::string csv_path = (tmp / ("sf" + std::to_string(sf) + ".csv")).string();
@@ -104,7 +114,7 @@ int main() {
 
   std::printf("\n=== ablation — aggregation strategy under skew (rule phi shuffle) ===\n");
   {
-    auto data = MakeSf(45);
+    auto data = MakeSf(ablation_sf);
     std::printf("%-14s %14s %14s %10s\n", "strategy", "rows-shuffled", "bytes-shuffled",
                 "imbalance");
     for (auto strategy : {engine::AggregateStrategy::kLocalCombine,
@@ -147,7 +157,7 @@ int main() {
   std::printf("paper: only CleanDB terminates (1.7 - 5.65 min); SparkSQL cannot "
               "compute the cross product; BigDansing becomes non-responsive\n\n");
   std::printf("%4s | %12s | %14s | %14s\n", "SF", "CleanDB(s)", "SparkSQL", "BigDansing");
-  for (int sf : {15, 30, 45, 60, 70}) {
+  for (int sf : sf_sweep) {
     auto data = MakeSf(sf);
     // Pre-filter t1.price < X with ~0.5% selectivity.
     auto prefilter = ParseCleanMExpr("t1.price < 905").ValueOrDie();
@@ -174,7 +184,7 @@ int main() {
     // that the paper marks it non-responsive, and the full pairwise pass
     // here is quadratic).
     std::string bd_cell = "non-responsive";
-    if (sf == 15) {
+    if (sf == sf_sweep.front()) {
       BigDansingSim bigdansing(BenchOptions());
       bigdansing.RegisterTable("lineitem", data);
       auto bd = bigdansing.CheckDenialConstraint("lineitem", pred, prefilter);

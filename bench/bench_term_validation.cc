@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <map>
 #include <set>
+#include <string>
 
 #include "cleaning/cleandb.h"
 #include "cluster/filtering.h"
@@ -86,21 +87,25 @@ Accuracy RunValidation(const std::vector<std::string>& dirty,
   return acc;
 }
 
+// Set by --smoke: tiny corpus so CTest can verify the bench end to end.
+size_t g_corpus_rows = 4000;
+size_t g_author_pool = 800;
+
 /// Builds the dirty-term corpus: flattened author occurrences with noise,
 /// keeping only terms absent from the dictionary (the CleanDB pre-filter).
 void BuildCorpus(double noise_factor, std::vector<std::string>* dirty,
                  std::vector<std::string>* dict,
                  std::map<std::string, std::string>* truth) {
   datagen::DblpOptions dopts;
-  dopts.rows = 4000;
-  dopts.author_pool = 800;
+  dopts.rows = g_corpus_rows;
+  dopts.author_pool = g_author_pool;
   dopts.noise_fraction = 0.10;
   dopts.noise_factor = noise_factor;
   dopts.duplicate_fraction = 0;
   std::vector<std::pair<std::string, std::string>> noisy;
   auto dblp = datagen::MakeDblp(dopts, &noisy);
 
-  Dataset dictionary = datagen::MakeAuthorDictionary(800, dopts.seed);
+  Dataset dictionary = datagen::MakeAuthorDictionary(g_author_pool, dopts.seed);
   std::set<std::string> dict_set;
   for (const auto& row : dictionary.rows()) dict_set.insert(row[0].AsString());
   // The clean pool inside MakeDblp uses a "name i%97" suffix scheme; use
@@ -121,8 +126,12 @@ void BuildCorpus(double noise_factor, std::vector<std::string>* dirty,
 }  // namespace
 }  // namespace cleanm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    g_corpus_rows = 300;
+    g_author_pool = 100;
+  }
   std::printf("=== E1/E2 — Table 3 + Figure 3: term validation (DBLP-like) ===\n");
   std::printf("paper: tf q=2 P=100%% R=97%% F=98.5 | tf q=3 P=100%% R=96.8%% | "
               "tf q=4 P=99.9%% R=95.9%% | kmeans k=5 R=95.7%% k=10 R=94.8%% "

@@ -8,15 +8,19 @@
 // Paper: split 1.15×, fill 1.15×, two-step 2.3×, one-step 1.19× — the
 // optimizer's one-pass plan costs about the same as a single operation.
 #include <cstdio>
+#include <unistd.h>
 #include <filesystem>
+#include <string>
 
 #include "cleaning/cleandb.h"
 #include "common/timer.h"
 #include "datagen/generators.h"
 #include "storage/colpack.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
+  // --smoke: tiny size so CTest can verify the bench end to end.
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   std::printf("=== E5 — Table 4: transformation slowdowns (lineitem 'SF70'-scaled) ===\n");
   std::printf("paper: split 1.15x | fill 1.15x | both two-step 2.30x | both one-step 1.19x\n\n");
 
@@ -25,7 +29,7 @@ int main() {
   opts.shuffle_ns_per_byte = 0;
   CleanDB db(opts);
   datagen::LineitemOptions lopts;
-  lopts.rows = 420000 / 2;  // SF70-equivalent at 1/2000 scale
+  lopts.rows = smoke ? 2000 : 420000 / 2;  // SF70-equivalent at 1/2000 scale
   lopts.missing_fraction = 0.05;
   lopts.noise_fraction = 0;
   auto dataset = datagen::MakeLineitem(lopts);
@@ -34,7 +38,10 @@ int main() {
   // As in the paper, every measurement includes reading the (Parquet-like)
   // input from disk — the plain query is read + full projection.
   namespace fs = std::filesystem;
-  const std::string path = (fs::temp_directory_path() / "cleanm_sf70.cpk").string();
+  // Per-process name: concurrent ctest runs must not share bench files.
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("cleanm_sf70_" + std::to_string(::getpid()) + ".cpk")).string();
   CLEANM_CHECK(WriteColpack(dataset, path).ok());
 
   // Warm-up read (page cache + allocator), then the plain-query baseline.

@@ -10,12 +10,16 @@
 // combination pass); BigDansing runs one rule at a time and rejects FD1
 // (prefix() is a computed attribute).
 #include <cstdio>
+#include <string>
 
 #include "baselines/baselines.h"
 #include "datagen/generators.h"
 
 namespace cleanm {
 namespace {
+
+// Set by --smoke: tiny sizes so CTest can verify the bench end to end.
+size_t g_base_rows = 12000;
 
 CleanDBOptions BenchOptions() {
   CleanDBOptions opts;
@@ -28,7 +32,7 @@ CleanDBOptions BenchOptions() {
 
 Dataset MakeData() {
   datagen::CustomerOptions copts;
-  copts.base_rows = 12000;
+  copts.base_rows = g_base_rows;
   copts.duplicate_fraction = 0.10;
   copts.max_duplicates = 40;
   copts.fd_violation_fraction = 0.05;
@@ -114,8 +118,9 @@ void PrintRow(const char* name, const SystemTimes& t, double separate_total) {
 }  // namespace
 }  // namespace cleanm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cleanm;
+  if (argc > 1 && std::string(argv[1]) == "--smoke") g_base_rows = 400;
   std::printf("=== E4 — Figure 5: unified cleaning (FD1 + FD2 + DEDUP on customer) ===\n");
   std::printf("paper: CleanDB merges the three ops into one aggregation "
               "(unified < separate); Spark SQL's unified run costs more than "

@@ -37,7 +37,9 @@ int main() {
 
   // 3. Find duplicate publications: same journal + title, records >= 80%
   //    similar.
-  CleanDB db({.num_nodes = 4});
+  CleanDBOptions options;
+  options.num_nodes = 4;
+  CleanDB db(options);
   db.RegisterTable("dblp", loaded);
   DedupClause dedup;
   dedup.op = FilteringAlgo::kExactKey;

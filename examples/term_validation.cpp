@@ -30,7 +30,9 @@ int main() {
   std::printf("%zu author occurrences, %zu ground-truth misspellings, dictionary of %zu\n",
               flat.num_rows(), ground_truth.size(), dict.num_rows());
 
-  CleanDB db({.num_nodes = 4});
+  CleanDBOptions options;
+  options.num_nodes = 4;
+  CleanDB db(options);
   db.RegisterTable("authors", flat);
   db.RegisterTable("dict", dict);
 

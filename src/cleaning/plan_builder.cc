@@ -137,7 +137,7 @@ ExprPtr FdComprehension(const std::string& table, const std::string& var,
   // Rendered as a single nested comprehension over the exact-group monoid's
   // entries — the printable Section 4.4 form.
   auto inner = Comprehension(
-      "set", CombineAttrs(fd.rhs),
+      "set", Substitute(CombineAttrs(fd.rhs), var, Var(var + "2")),
       {Generator(var + "2", Var(table)),
        Predicate(Binary(BinaryOp::kEq,
                         Substitute(CombineAttrs(fd.lhs), var, Var(var + "2")),

@@ -9,29 +9,14 @@
 #include "algebra/translate.h"
 #include "monoid/eval.h"
 #include "monoid/normalize.h"
+#include "support/fixtures.h"
 
 namespace cleanm {
 namespace {
 
-Dataset MakeCustomers() {
-  Dataset d(Schema{{"name", ValueType::kString},
-                   {"address", ValueType::kString},
-                   {"phone", ValueType::kString},
-                   {"nationkey", ValueType::kInt}});
-  d.Append({Value("alice"), Value("rue de lausanne 1"), Value("021-555-0001"), Value(int64_t{1})});
-  d.Append({Value("bob"), Value("rue de lausanne 1"), Value("022-555-0002"), Value(int64_t{1})});
-  d.Append({Value("carol"), Value("bahnhofstrasse 3"), Value("044-555-0003"), Value(int64_t{2})});
-  d.Append({Value("alicia"), Value("rue de lausanne 1"), Value("021-555-0004"), Value(int64_t{3})});
-  return d;
-}
-
-Dataset MakePublications() {
-  Dataset d(Schema{{"title", ValueType::kString}, {"authors", ValueType::kList}});
-  d.Append({Value("p1"), Value(ValueList{Value("ann"), Value("bob")})});
-  d.Append({Value("p2"), Value(ValueList{Value("ann")})});
-  d.Append({Value("p3"), Value(ValueList{})});
-  return d;
-}
+using testsupport::DatasetToRecords;
+using testsupport::MakeCustomers;
+using testsupport::MakePublications;
 
 TEST(AlgebraEvalTest, ScanSelectReduce) {
   auto customers = MakeCustomers();
@@ -181,12 +166,8 @@ TEST(TranslateTest, SelectJoinReduceAgreesWithInterpreter) {
        Predicate(Binary(BinaryOp::kLt, FieldAccess(Var("c"), "nationkey"), ConstInt(2)))});
 
   // Interpreter result: bind table contents as env collections.
-  auto to_records = [](const Dataset& d) {
-    ValueList list;
-    for (const auto& row : d.rows()) list.push_back(RowToRecord(d.schema(), row));
-    return Value(std::move(list));
-  };
-  Env env{{"customer", to_records(customers)}, {"nation", to_records(nations)}};
+  Env env{{"customer", DatasetToRecords(customers)},
+          {"nation", DatasetToRecords(nations)}};
   auto expected = EvalExpr(comp, env).ValueOrDie();
 
   auto plan = TranslateComprehension(Normalize(comp)).ValueOrDie();

@@ -1,0 +1,382 @@
+// End-to-end pipeline tests: drive the full stack — CleanM text → parser →
+// monoid comprehensions (normalization) → nested algebra (translation +
+// rewriting) → physical plans → virtual-cluster execution — and cross-check
+// the engine's answers against the single-threaded reference algebra
+// evaluator on every scenario (dedup, term validation, denial constraints,
+// FD checks). Shuffle-traffic metrics must be nonzero (the plans really
+// repartition) and stable run to run (execution is deterministic).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra_eval.h"
+#include "algebra/rewriter.h"
+#include "algebra/translate.h"
+#include "cleaning/cleandb.h"
+#include "cleaning/plan_builder.h"
+#include "common/random.h"
+#include "datagen/generators.h"
+#include "monoid/eval.h"
+#include "monoid/normalize.h"
+#include "support/fixtures.h"
+
+namespace cleanm {
+namespace {
+
+using testsupport::DatasetToRecords;
+using testsupport::FastCleanDBOptions;
+using testsupport::FastClusterOptions;
+using testsupport::MetricsSnapshot;
+using testsupport::ShuffledNonzero;
+using testsupport::Snapshot;
+using testsupport::SnapshotsEqual;
+
+// ---- Cross-evaluator comparison helpers ----
+
+/// Renders a Value with struct fields sorted by name and list elements
+/// sorted lexicographically, so that two evaluators' tuples compare equal
+/// regardless of field ordering or of the merge-tree shape that built an
+/// aggregated collection.
+std::string CanonicalString(const Value& v) {
+  if (v.type() == ValueType::kStruct) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const auto& [name, field] : v.AsStruct()) {
+      fields.emplace_back(name, CanonicalString(field));
+    }
+    std::sort(fields.begin(), fields.end());
+    std::string out = "{";
+    for (const auto& [name, repr] : fields) out += name + ":" + repr + ",";
+    return out + "}";
+  }
+  if (v.type() == ValueType::kList) {
+    std::vector<std::string> elems;
+    for (const auto& e : v.AsList()) elems.push_back(CanonicalString(e));
+    std::sort(elems.begin(), elems.end());
+    std::string out = "[";
+    for (const auto& e : elems) out += e + ",";
+    return out + "]";
+  }
+  return v.ToString();
+}
+
+std::multiset<std::string> CanonicalTuples(const Value& list_value) {
+  std::multiset<std::string> tuples;
+  for (const auto& t : list_value.AsList()) tuples.insert(CanonicalString(t));
+  return tuples;
+}
+
+/// Runs `plan` on a fresh virtual cluster and checks the collected tuples
+/// equal the reference evaluator's, as canonical multisets. Returns the
+/// engine result and, via `metrics`, the run's traffic snapshot.
+Value RunEngineAgainstReference(const AlgOpPtr& plan, const Catalog& catalog,
+                                MetricsSnapshot* metrics = nullptr,
+                                size_t nodes = 4) {
+  auto reference = EvalPlan(plan, catalog).ValueOrDie();
+  engine::Cluster cluster(FastClusterOptions(nodes));
+  Executor exec{&cluster, &catalog, {}, {}, {}};
+  auto engine_result = exec.RunToValue(plan).ValueOrDie();
+  EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference));
+  if (metrics) *metrics = Snapshot(cluster.metrics());
+  return engine_result;
+}
+
+// ---- Scenario 1: deduplication ----
+
+Dataset DedupCustomers() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 250;
+  copts.duplicate_fraction = 0.1;
+  copts.max_duplicates = 4;
+  copts.fd_violation_fraction = 0;
+  return datagen::MakeCustomer(copts);
+}
+
+TEST(E2EDedupTest, ParsedQueryMatchesReferenceEvaluator) {
+  const char* query_text =
+      "SELECT * FROM customer c DEDUP(exact, LD, 0.8, c.address)";
+  auto query = ParseCleanM(query_text).ValueOrDie();
+  ASSERT_EQ(query.dedups.size(), 1u);
+
+  auto customers = DedupCustomers();
+  Catalog catalog{{{"customer", &customers}}};
+  auto cp = BuildDedupPlan("customer", "c", query.dedups[0], FilteringOptions{})
+                .ValueOrDie();
+
+  // The rewriter must leave the violation set unchanged.
+  RewriteStats stats;
+  auto rewritten = RewritePlan(cp.plan, &stats);
+
+  MetricsSnapshot first, second;
+  auto violations = RunEngineAgainstReference(rewritten, catalog, &first);
+  EXPECT_GT(violations.AsList().size(), 0u);  // datagen injected duplicates
+  EXPECT_EQ(CanonicalTuples(violations),
+            CanonicalTuples(EvalPlan(cp.plan, catalog).ValueOrDie()));
+
+  // Every reported pair is two distinct records sharing the blocking key.
+  for (const auto& pair : violations.AsList()) {
+    const Value p1 = pair.GetField("p1").ValueOrDie();
+    const Value p2 = pair.GetField("p2").ValueOrDie();
+    EXPECT_FALSE(p1.Equals(p2));
+    EXPECT_TRUE(p1.GetField("address").ValueOrDie().Equals(
+        p2.GetField("address").ValueOrDie()));
+  }
+
+  // Traffic: grouping by address repartitions rows, and a second identical
+  // run moves exactly the same traffic.
+  EXPECT_TRUE(ShuffledNonzero(first));
+  (void)RunEngineAgainstReference(rewritten, catalog, &second);
+  EXPECT_TRUE(SnapshotsEqual(first, second));
+
+  // Full-stack cross-check: CleanDB::Execute on the same query text reports
+  // the same number of duplicate pairs.
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("customer", customers);
+  auto result = db.Execute(query_text).ValueOrDie();
+  ASSERT_EQ(result.ops.size(), 1u);
+  EXPECT_EQ(result.ops[0].violations.size(), violations.AsList().size());
+  EXPECT_GT(result.rows_shuffled, 0u);
+}
+
+// ---- Scenario 2: term validation ----
+
+/// Author corpus: every clean dictionary name occurs verbatim, and every
+/// third name also occurs with character noise (the dirty occurrences).
+void MakeAuthorCorpus(Dataset* data, Dataset* dict, size_t* dirty_count) {
+  *dict = datagen::MakeAuthorDictionary(60);
+  Dataset corpus(Schema{{"author", ValueType::kString}});
+  Rng rng(7);
+  size_t dirty = 0;
+  for (size_t i = 0; i < dict->num_rows(); i++) {
+    const std::string clean = dict->row(i)[0].AsString();
+    corpus.Append({Value(clean)});
+    if (i % 3 == 0) {
+      corpus.Append({Value(datagen::AddNoise(clean, 0.15, &rng))});
+      dirty++;
+    }
+  }
+  *data = std::move(corpus);
+  *dirty_count = dirty;
+}
+
+TEST(E2ETermValidationTest, ParsedQueryMatchesReferenceEvaluator) {
+  const char* query_text = R"(
+    SELECT * FROM authors a, dictionary d
+    CLUSTER BY(tf, LD, 0.8, a.author)
+  )";
+  auto query = ParseCleanM(query_text).ValueOrDie();
+  ASSERT_EQ(query.cluster_bys.size(), 1u);
+  ASSERT_EQ(query.from[1].table, "dictionary");
+
+  Dataset data, dict;
+  size_t dirty_count = 0;
+  MakeAuthorCorpus(&data, &dict, &dirty_count);
+  Catalog catalog{{{"authors", &data}, {"dictionary", &dict}}};
+
+  auto cp = BuildTermValidationPlan("authors", "a", "dictionary", "d", "name",
+                                    query.cluster_bys[0], FilteringOptions{})
+                .ValueOrDie();
+
+  MetricsSnapshot first, second;
+  auto violations = RunEngineAgainstReference(cp.plan, catalog, &first);
+  EXPECT_TRUE(ShuffledNonzero(first));
+  (void)RunEngineAgainstReference(cp.plan, catalog, &second);
+  EXPECT_TRUE(SnapshotsEqual(first, second));
+
+  // The plan flags similar-but-not-identical (term, dictionary) couples;
+  // noised variants must be among the flagged terms.
+  EXPECT_GT(violations.AsList().size(), 0u);
+  for (const auto& v : violations.AsList()) {
+    const Value term = v.GetField("term").ValueOrDie();
+    const Value suggestion = v.GetField("suggestion").ValueOrDie();
+    EXPECT_FALSE(term.Equals(suggestion));
+  }
+}
+
+TEST(E2ETermValidationTest, CleanDBSuggestsExactlyTheInjectedRepairs) {
+  // Deterministic three-name corpus: CleanDB's ValidateTerms pre-filters
+  // verbatim dictionary hits, so exactly the misspelling is flagged.
+  CleanDB db(FastCleanDBOptions());
+  Dataset data(Schema{{"name", ValueType::kString}});
+  data.Append({Value("jonathan smith")});
+  data.Append({Value("jonathan smyth")});
+  data.Append({Value("mary jones")});
+  Dataset dict(Schema{{"name", ValueType::kString}});
+  dict.Append({Value("jonathan smith")});
+  dict.Append({Value("mary jones")});
+  db.RegisterTable("data", data);
+  db.RegisterTable("dict", dict);
+
+  auto cb_query = ParseCleanM(
+                      "SELECT * FROM data c, dict d CLUSTER BY(tf, LD, 0.8, c.name)")
+                      .ValueOrDie();
+  auto result =
+      db.ValidateTerms("data", "c", "dict", "name", cb_query.cluster_bys[0])
+          .ValueOrDie();
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].GetField("term").ValueOrDie().AsString(),
+            "jonathan smyth");
+  EXPECT_EQ(result.violations[0].GetField("suggestion").ValueOrDie().AsString(),
+            "jonathan smith");
+}
+
+// ---- Scenario 3: denial constraints ----
+
+TEST(E2EDenialConstraintTest, ThetaSelfJoinMatchesReferenceAcrossAlgorithms) {
+  datagen::LineitemOptions lopts;
+  lopts.rows = 300;
+  lopts.noise_fraction = 0.1;
+  auto lineitem = datagen::MakeLineitem(lopts);
+  Catalog catalog{{{"lineitem", &lineitem}}};
+
+  // Rule ψ parsed from CleanM expression text.
+  auto pred = ParseCleanMExpr(
+                  "t1.price < t2.price AND t1.discount > t2.discount")
+                  .ValueOrDie();
+  auto plan = SelectOp(
+      JoinOp(Scan("lineitem", "t1"), Scan("lineitem", "t2"), CloneExpr(pred)),
+      ParseCleanMExpr("t1.price < 905").ValueOrDie());
+
+  // The rewriter pushes the one-sided prefilter below the theta join.
+  RewriteStats stats;
+  auto rewritten = RewritePlan(plan, &stats);
+  EXPECT_GE(stats.selects_pushed, 1);
+
+  auto reference = EvalPlan(rewritten, catalog).ValueOrDie();
+  ASSERT_GT(reference.AsList().size(), 0u);
+
+  for (auto algo : {engine::ThetaJoinAlgo::kCartesian, engine::ThetaJoinAlgo::kMinMax,
+                    engine::ThetaJoinAlgo::kMatrix}) {
+    engine::Cluster cluster(FastClusterOptions());
+    PhysicalOptions popts;
+    popts.theta_algo = algo;
+    Executor exec{&cluster, &catalog, popts, {}, {}};
+    auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
+    EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference))
+        << engine::ThetaJoinAlgoName(algo);
+    EXPECT_GT(cluster.metrics().comparisons.load(), 0u)
+        << engine::ThetaJoinAlgoName(algo);
+  }
+
+  // Full-stack: CleanDB's programmatic DC API agrees on the violation count.
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("lineitem", lineitem);
+  auto result = db.CheckDenialConstraint(
+                      "lineitem", CloneExpr(pred),
+                      ParseCleanMExpr("t1.price < 905").ValueOrDie())
+                    .ValueOrDie();
+  EXPECT_EQ(result.violations.size(), reference.AsList().size());
+}
+
+// ---- Scenario 4: FD check through the monoid layer ----
+
+TEST(E2EFdTest, ComprehensionNormalizationAndPlanAgree) {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 300;
+  copts.duplicate_fraction = 0;
+  copts.fd_violation_fraction = 0.05;
+  auto customers = datagen::MakeCustomer(copts);
+  Catalog catalog{{{"customer", &customers}}};
+
+  auto query = ParseCleanM(
+                   "SELECT * FROM customer c FD(c.address, prefix(c.phone))")
+                   .ValueOrDie();
+  ASSERT_EQ(query.fds.size(), 1u);
+
+  // Monoid layer: the Section-4.4 comprehension yields one element per
+  // violating *record*; normalization must preserve that bag.
+  auto comp = FdComprehension("customer", "c", query.fds[0]);
+  Env env{{"customer", DatasetToRecords(customers)}};
+  auto interpreted = EvalExpr(comp, env).ValueOrDie();
+  auto normalized_result = EvalExpr(Normalize(comp), env).ValueOrDie();
+  ASSERT_GT(interpreted.AsList().size(), 0u);
+  EXPECT_EQ(CanonicalString(interpreted), CanonicalString(normalized_result));
+
+  // Algebra + engine: the Nest plan yields one tuple per violating *group*;
+  // its partitions cover exactly the comprehension's violating records.
+  auto cp = BuildFdPlan("customer", "c", query.fds[0]).ValueOrDie();
+  MetricsSnapshot metrics;
+  auto groups = RunEngineAgainstReference(cp.plan, catalog, &metrics);
+  EXPECT_TRUE(ShuffledNonzero(metrics));
+  size_t records_in_groups = 0;
+  for (const auto& g : groups.AsList()) {
+    records_in_groups += g.GetField("partition").ValueOrDie().AsList().size();
+  }
+  EXPECT_EQ(records_in_groups, interpreted.AsList().size());
+}
+
+// ---- Scenario 5: plain SELECT through parse → monoid → algebra → engine ----
+
+TEST(E2ESelectTest, ParsedSelectAgreesAcrossInterpreterReferenceAndEngine) {
+  auto customers = testsupport::MakeCustomers();
+  Catalog catalog{{{"customer", &customers}}};
+
+  auto query =
+      ParseCleanM("SELECT c.name FROM customer c WHERE c.nationkey = 1")
+          .ValueOrDie();
+  ASSERT_NE(query.where, nullptr);
+
+  // Assemble the query's monoid comprehension from the parsed pieces.
+  auto comp = Comprehension(
+      "bag", CloneExpr(query.select_list[0].expr),
+      {Generator(query.from[0].alias, Var(query.from[0].table)),
+       Predicate(CloneExpr(query.where))});
+
+  Env env{{"customer", DatasetToRecords(customers)}};
+  auto interpreted = EvalExpr(comp, env).ValueOrDie();
+  ASSERT_EQ(interpreted.AsList().size(), 2u);  // alice and bob
+
+  auto plan = TranslateComprehension(Normalize(comp)).ValueOrDie();
+  auto rewritten = RewritePlan(plan);
+  auto reference = EvalPlan(rewritten, catalog).ValueOrDie();
+  EXPECT_EQ(CanonicalString(reference), CanonicalString(interpreted));
+
+  engine::Cluster cluster(FastClusterOptions());
+  Executor exec{&cluster, &catalog, {}, {}, {}};
+  auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
+  EXPECT_EQ(CanonicalString(engine_result), CanonicalString(interpreted));
+}
+
+// ---- Scenario 6: the unified multi-clause query, metrics stability ----
+
+TEST(E2EUnifiedQueryTest, CoalescedExecutionIsStableAndShuffles) {
+  const char* query_text = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, c.address)
+  )";
+  datagen::CustomerOptions copts;
+  copts.base_rows = 400;
+  copts.duplicate_fraction = 0.05;
+  copts.max_duplicates = 4;
+  auto customers = datagen::MakeCustomer(copts);
+
+  auto run_once = [&]() {
+    CleanDB db(FastCleanDBOptions());
+    db.RegisterTable("customer", customers);
+    return db.Execute(query_text).ValueOrDie();
+  };
+  auto first = run_once();
+  auto second = run_once();
+
+  // All three clauses share the grouping on address.
+  EXPECT_EQ(first.nests_coalesced, 2);
+  ASSERT_EQ(first.ops.size(), 3u);
+  EXPECT_GT(first.dirty_entities.size(), 0u);
+
+  // Nonzero, run-to-run stable shuffle traffic and identical violations.
+  EXPECT_GT(first.rows_shuffled, 0u);
+  EXPECT_GT(first.bytes_shuffled, 0u);
+  EXPECT_EQ(first.rows_shuffled, second.rows_shuffled);
+  EXPECT_EQ(first.bytes_shuffled, second.bytes_shuffled);
+  for (size_t i = 0; i < first.ops.size(); i++) {
+    EXPECT_EQ(first.ops[i].violations.size(), second.ops[i].violations.size());
+  }
+  EXPECT_EQ(first.dirty_entities.size(), second.dirty_entities.size());
+}
+
+}  // namespace
+}  // namespace cleanm

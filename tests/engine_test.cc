@@ -10,21 +10,15 @@
 #include "engine/aggregate.h"
 #include "engine/cluster.h"
 #include "engine/join.h"
+#include "support/fixtures.h"
 
 namespace cleanm::engine {
 namespace {
 
-ClusterOptions FastOptions(size_t nodes = 4) {
-  ClusterOptions opts;
-  opts.num_nodes = nodes;
-  opts.shuffle_ns_per_byte = 0;  // pure-compute tests
-  return opts;
-}
+using testsupport::IntRows;
 
-std::vector<Row> IntRows(int n) {
-  std::vector<Row> rows;
-  for (int i = 0; i < n; i++) rows.push_back({Value(int64_t{i})});
-  return rows;
+ClusterOptions FastOptions(size_t nodes = 4) {
+  return testsupport::FastClusterOptions(nodes);
 }
 
 TEST(ClusterTest, ParallelizeRoundRobinAndCollect) {

@@ -6,16 +6,12 @@
 #include "baselines/baselines.h"
 #include "cleaning/cleandb.h"
 #include "datagen/generators.h"
+#include "support/fixtures.h"
 
 namespace cleanm {
 namespace {
 
-CleanDBOptions FastOptions() {
-  CleanDBOptions opts;
-  opts.num_nodes = 4;
-  opts.shuffle_ns_per_byte = 0;
-  return opts;
-}
+CleanDBOptions FastOptions() { return testsupport::FastCleanDBOptions(4); }
 
 // ---- Parser ----
 

@@ -129,7 +129,7 @@ TEST(GroupingMonoidTest, ExactGroupCollectsEqualKeys) {
 
 Value IntList(std::initializer_list<int64_t> xs) {
   ValueList list;
-  for (int64_t x : xs) list.push_back(Value(x));
+  for (int64_t x : xs) list.emplace_back(x);
   return Value(std::move(list));
 }
 

@@ -8,15 +8,15 @@
 #include "algebra/algebra_eval.h"
 #include "datagen/generators.h"
 #include "physical/planner.h"
+#include "support/fixtures.h"
 
 namespace cleanm {
 namespace {
 
+using testsupport::CustomerFdPlan;
+
 engine::ClusterOptions FastCluster() {
-  engine::ClusterOptions opts;
-  opts.num_nodes = 4;
-  opts.shuffle_ns_per_byte = 0;
-  return opts;
+  return testsupport::FastClusterOptions(4);
 }
 
 TEST(CompileTest, VariableAndFieldAccess) {
@@ -60,17 +60,6 @@ TEST(CompileTest, ArithmeticAndCalls) {
   auto div = CompileExpr(Binary(BinaryOp::kDiv, Var("x"), ConstInt(0)), layout)
                  .ValueOrDie();
   EXPECT_TRUE(div(nums).is_null());
-}
-
-/// Builds the FD-shaped Nest plan used throughout the cleaning layer.
-AlgOpPtr CustomerFdPlan() {
-  GroupSpec group;
-  group.algo = FilteringAlgo::kExactKey;
-  group.term = FieldAccess(Var("c"), "address");
-  return NestOp(Scan("customer", "c"), group,
-                {{"vals", "set", Call("prefix", {FieldAccess(Var("c"), "phone")})},
-                 {"partition", "bag", Var("c")}},
-                Binary(BinaryOp::kGt, Call("count", {Var("vals")}), ConstInt(1)));
 }
 
 class PhysicalAgreementTest

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI driver: configure → build → test for the release and asan presets.
+# Any configure, build, or test failure fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+for preset in release asan; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "CI OK: release + asan presets built and tested clean."

@@ -1,0 +1,149 @@
+// Microbenchmark for the virtual-cluster primitives underneath every
+// operator: RunOnNodes dispatch latency (persistent worker pool vs. the
+// legacy spawn-per-call thread model) and shuffle throughput as a function
+// of the batch size. Emits a machine-readable BENCH_cluster.json so the
+// perf trajectory of the substrate is tracked across PRs.
+//
+// Flags:
+//   --smoke        tiny sizes (CTest smoke run)
+//   --check        exit non-zero if pool dispatch latency regresses to
+//                  within 0.9× of spawn-per-call (the CI regression gate)
+//   --out <path>   JSON output path (default: BENCH_cluster.json in CWD)
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/cluster.h"
+
+namespace cleanm::engine {
+namespace {
+
+constexpr size_t kNodes = 8;
+
+ClusterOptions PureComputeOptions(bool use_pool, size_t batch_rows = 1024) {
+  ClusterOptions opts;
+  opts.num_nodes = kNodes;
+  opts.shuffle_ns_per_byte = 0;  // pure dispatch/compute cost
+  opts.use_worker_pool = use_pool;
+  opts.shuffle_batch_rows = batch_rows;
+  return opts;
+}
+
+/// Average ns per RunOnNodes dispatch of a near-empty task.
+double MeasureDispatchNs(bool use_pool, int iterations) {
+  Cluster cluster(PureComputeOptions(use_pool));
+  std::atomic<uint64_t> sink{0};
+  // Warm-up (pool thread startup, first-touch of scheduler state).
+  for (int i = 0; i < 10; i++) cluster.RunOnNodes([&](size_t n) { sink += n; });
+  Timer timer;
+  for (int i = 0; i < iterations; i++) {
+    cluster.RunOnNodes([&](size_t n) { sink += n; });
+  }
+  const double total_ns = timer.ElapsedSeconds() * 1e9;
+  if (sink.load() == ~uint64_t{0}) std::printf("unreachable\n");
+  return total_ns / iterations;
+}
+
+std::vector<Row> MakeShuffleRows(size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    rows.push_back({Value(static_cast<int64_t>(i)),
+                    Value("payload-" + std::to_string(i % 1000))});
+  }
+  return rows;
+}
+
+/// Shuffle throughput in rows/sec for one batch size (all-remote routing:
+/// every row shifts one node over, the worst case for batching to help).
+double MeasureShuffleRowsPerSec(size_t batch_rows, size_t n_rows, int repeats) {
+  Cluster cluster(PureComputeOptions(/*use_pool=*/true, batch_rows));
+  auto data = cluster.Parallelize(MakeShuffleRows(n_rows));
+  auto route = [](const Row& r) {
+    return static_cast<uint64_t>(r[0].AsInt()) % kNodes + 1;
+  };
+  (void)cluster.Shuffle(data, route);  // warm-up
+  Timer timer;
+  for (int i = 0; i < repeats; i++) (void)cluster.Shuffle(data, route);
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(n_rows) * repeats / seconds;
+}
+
+}  // namespace
+}  // namespace cleanm::engine
+
+int main(int argc, char** argv) {
+  using namespace cleanm;
+  using namespace cleanm::engine;
+
+  bool smoke = false, check = false;
+  std::string out_path = "BENCH_cluster.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const int dispatch_iters = smoke ? 300 : 3000;
+  const size_t shuffle_rows = smoke ? 4000 : 100000;
+  const int shuffle_repeats = smoke ? 2 : 5;
+  const std::vector<size_t> batch_sizes = {1, 64, 256, 1024, 8192};
+
+  std::printf("=== cluster primitives microbenchmark (%zu nodes) ===\n", kNodes);
+
+  const double spawn_ns = MeasureDispatchNs(/*use_pool=*/false, dispatch_iters);
+  const double pool_ns = MeasureDispatchNs(/*use_pool=*/true, dispatch_iters);
+  const double dispatch_speedup = spawn_ns / pool_ns;
+  std::printf("RunOnNodes dispatch: spawn-per-call %10.0f ns   worker-pool %10.0f ns"
+              "   speedup %.2fx\n",
+              spawn_ns, pool_ns, dispatch_speedup);
+
+  std::printf("shuffle throughput (%zu rows, all-remote routing):\n", shuffle_rows);
+  std::vector<std::pair<size_t, double>> shuffle_results;
+  for (size_t batch : batch_sizes) {
+    const double rps = MeasureShuffleRowsPerSec(batch, shuffle_rows, shuffle_repeats);
+    shuffle_results.emplace_back(batch, rps);
+    std::printf("  batch %5zu rows: %12.0f rows/sec\n", batch, rps);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"cluster_primitives\",\n");
+  std::fprintf(out, "  \"config\": {\"nodes\": %zu, \"smoke\": %s, "
+                    "\"dispatch_iterations\": %d, \"shuffle_rows\": %zu},\n",
+               kNodes, smoke ? "true" : "false", dispatch_iters, shuffle_rows);
+  std::fprintf(out, "  \"dispatch\": {\"spawn_per_call_ns\": %.1f, "
+                    "\"worker_pool_ns\": %.1f, \"speedup\": %.3f},\n",
+               spawn_ns, pool_ns, dispatch_speedup);
+  std::fprintf(out, "  \"shuffle\": [\n");
+  for (size_t i = 0; i < shuffle_results.size(); i++) {
+    std::fprintf(out, "    {\"batch_rows\": %zu, \"rows_per_sec\": %.0f}%s\n",
+                 shuffle_results[i].first, shuffle_results[i].second,
+                 i + 1 < shuffle_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[written] %s\n", out_path.c_str());
+
+  if (check) {
+    // Generous gate: the pool must beat spawn-per-call by a clear margin.
+    // If someone regresses RunOnNodes back to spawning threads, pool and
+    // spawn latency converge and this trips.
+    if (pool_ns > 0.9 * spawn_ns) {
+      std::fprintf(stderr,
+                   "REGRESSION: worker-pool dispatch (%.0f ns) is not clearly "
+                   "faster than spawn-per-call (%.0f ns)\n",
+                   pool_ns, spawn_ns);
+      return 1;
+    }
+    std::printf("[check] dispatch latency gate passed (%.2fx)\n", dispatch_speedup);
+  }
+  return 0;
+}

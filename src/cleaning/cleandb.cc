@@ -12,6 +12,9 @@ CleanDB::CleanDB(CleanDBOptions options) : options_(std::move(options)) {
   engine::ClusterOptions copts;
   copts.num_nodes = options_.num_nodes;
   copts.shuffle_ns_per_byte = options_.shuffle_ns_per_byte;
+  copts.shuffle_batch_rows = options_.shuffle_batch_rows;
+  copts.shuffle_ns_per_batch = options_.shuffle_ns_per_batch;
+  copts.use_worker_pool = options_.use_worker_pool;
   cluster_ = std::make_unique<engine::Cluster>(copts);
 }
 
@@ -154,9 +157,9 @@ Result<QueryResult> CleanDB::ExecuteQuery(const CleanMQuery& query) {
   // (shared scan + nest caches); a fresh one per operation otherwise.
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor shared_exec{cluster_.get(), &catalog, options_.physical, {}, {}};
+  Executor shared_exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
   for (const auto& cp : cleaning_plans) {
-    Executor standalone{cluster_.get(), &catalog, options_.physical, {}, {}};
+    Executor standalone{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
     Executor& exec = options_.unify_operations ? shared_exec : standalone;
     CLEANM_ASSIGN_OR_RETURN(OpResult op, RunCleaningPlan(exec, cp));
     result.ops.push_back(std::move(op));
@@ -201,7 +204,7 @@ Result<OpResult> CleanDB::CheckFd(const std::string& table, const std::string& v
   CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(table, var, fd));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}};
+  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -216,7 +219,7 @@ Result<OpResult> CleanDB::CheckDenialConstraint(const std::string& table, ExprPt
   cp.entity_vars = {"t1", "t2"};
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}};
+  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -233,7 +236,7 @@ Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::strin
       CleaningPlan cp, BuildDedupPlan(table, var, dedup, fopts, std::move(centers)));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}};
+  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -282,7 +285,7 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
                               std::move(centers)));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}};
+  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
   auto result = RunCleaningPlan(exec, cp);
   tables_.erase(tmp_name);
   return result;

@@ -24,6 +24,10 @@ struct CleanDBOptions {
   size_t num_nodes = 4;
   /// Simulated interconnect cost (see engine::ClusterOptions).
   double shuffle_ns_per_byte = 1.0;
+  /// Shuffle batching + thread-model knobs (see engine::ClusterOptions).
+  size_t shuffle_batch_rows = 1024;
+  double shuffle_ns_per_batch = 0.0;
+  bool use_worker_pool = true;
   PhysicalOptions physical;
   /// Defaults for token filtering / k-means parameters (q, k, delta, seed).
   FilteringOptions filtering;

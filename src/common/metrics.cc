@@ -8,6 +8,7 @@ std::string QueryMetrics::ToString() const {
   std::ostringstream os;
   os << "rows_shuffled=" << rows_shuffled.load()
      << " bytes_shuffled=" << bytes_shuffled.load()
+     << " shuffle_batches=" << shuffle_batches.load()
      << " comparisons=" << comparisons.load()
      << " rows_scanned=" << rows_scanned.load()
      << " groups_built=" << groups_built.load();

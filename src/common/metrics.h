@@ -17,6 +17,8 @@ namespace cleanm {
 struct QueryMetrics {
   std::atomic<uint64_t> rows_shuffled{0};
   std::atomic<uint64_t> bytes_shuffled{0};
+  /// Network messages: one per flushed remote (source, destination) batch.
+  std::atomic<uint64_t> shuffle_batches{0};
   std::atomic<uint64_t> comparisons{0};       ///< pairwise similarity checks
   std::atomic<uint64_t> rows_scanned{0};
   std::atomic<uint64_t> groups_built{0};
@@ -24,6 +26,7 @@ struct QueryMetrics {
   void Reset() {
     rows_shuffled = 0;
     bytes_shuffled = 0;
+    shuffle_batches = 0;
     comparisons = 0;
     rows_scanned = 0;
     groups_built = 0;

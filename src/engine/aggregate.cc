@@ -81,6 +81,7 @@ Partitioned FinalizePerNode(Cluster& cluster, std::vector<AccMap>& per_node,
                             const AggregateSpec& spec) {
   Partitioned out(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
+    out[n].reserve(per_node[n].size());
     for (const auto& [key, acc] : per_node[n]) {
       spec.finalize(key, acc, &out[n]);
     }
@@ -97,15 +98,13 @@ Row EncodePartial(const Value& key, Value acc) {
 /// CleanDB strategy: local combine → shuffle partials → merge → finalize.
 Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
                             const AggregateSpec& spec, LoadReport* load) {
-  // Phase 1: node-local aggregation (no data movement).
-  std::vector<AccMap> local(cluster.num_nodes());
-  cluster.RunOnNodes([&](size_t n) { local[n] = LocalAggregate(in[n], spec); });
-
-  // Phase 2: shuffle only the combined partials, one row per (node, key).
+  // Phases 1+2 in one dispatch: node-local aggregation (no data movement)
+  // immediately encoded as shuffle-ready partials, one row per (node, key).
   Partitioned partials(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
-    partials[n].reserve(local[n].size());
-    for (auto& [key, acc] : local[n]) {
+    AccMap local = LocalAggregate(in[n], spec);
+    partials[n].reserve(local.size());
+    for (auto& [key, acc] : local) {
       partials[n].push_back(EncodePartial(key, std::move(acc)));
     }
   });

@@ -1,21 +1,44 @@
 #include "engine/cluster.h"
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 namespace cleanm::engine {
 
 Cluster::Cluster(ClusterOptions options) : options_(options) {
   CLEANM_CHECK(options_.num_nodes > 0);
+  CLEANM_CHECK(options_.shuffle_batch_rows > 0);
+  if (options_.use_worker_pool) {
+    pool_ = std::make_unique<WorkerPool>(options_.num_nodes);
+  }
 }
 
 void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
+  if (pool_) {
+    pool_->Run(fn);
+    return;
+  }
+  // Legacy spawn-per-call model (use_worker_pool = false): one fresh thread
+  // per node per operator call. Kept as the A/B baseline for the
+  // dispatch-latency microbenchmark and the CI regression gate. Exceptions
+  // propagate to the caller, matching the pool's contract.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   std::vector<std::thread> workers;
   workers.reserve(options_.num_nodes);
   for (size_t n = 0; n < options_.num_nodes; n++) {
-    workers.emplace_back(fn, n);
+    workers.emplace_back([&fn, &error_mu, &first_error, n] {
+      try {
+        fn(n);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
@@ -90,61 +113,109 @@ Partitioned Cluster::MapPartitions(
   return out;
 }
 
-void Cluster::ChargeShuffle(uint64_t bytes) const {
-  metrics_.bytes_shuffled += bytes;
-  if (options_.shuffle_ns_per_byte <= 0) return;
-  const auto delay = std::chrono::nanoseconds(
-      static_cast<int64_t>(static_cast<double>(bytes) * options_.shuffle_ns_per_byte));
+void Cluster::ChargeNetwork(uint64_t bytes, uint64_t batches) const {
+  const double ns = static_cast<double>(bytes) * options_.shuffle_ns_per_byte +
+                    static_cast<double>(batches) * options_.shuffle_ns_per_batch;
+  if (ns <= 0) return;
+  const auto delay = std::chrono::nanoseconds(static_cast<int64_t>(ns));
   if (delay.count() > 0) std::this_thread::sleep_for(delay);
 }
+
+namespace {
+/// One source node's outgoing rows for one destination, pending flush.
+struct ShuffleBuffer {
+  Partition rows;
+  uint64_t bytes = 0;  ///< remote bytes staged (0 when dst == src)
+};
+}  // namespace
 
 Partitioned Cluster::Shuffle(const Partitioned& in,
                              const std::function<uint64_t(const Row&)>& route) {
   const size_t n_nodes = options_.num_nodes;
-  // outgoing[src][dst] staged per sending node, then concatenated per
-  // destination. Each source node routes and charges its own traffic.
-  std::vector<std::vector<Partition>> outgoing(in.size(),
-                                               std::vector<Partition>(n_nodes));
+  const size_t batch_rows = options_.shuffle_batch_rows;
+  // staged[src][dst] holds the flushed batches in routing order, so the
+  // destination splice below reproduces the exact row order of an
+  // unbatched, source-major shuffle (determinism the e2e cross-checks
+  // rely on).
+  std::vector<std::vector<std::vector<Partition>>> staged(
+      in.size(), std::vector<std::vector<Partition>>(n_nodes));
   RunOnNodes([&](size_t src) {
     if (src >= in.size()) return;
-    uint64_t bytes_sent = 0, rows_sent = 0;
+    std::vector<ShuffleBuffer> buffers(n_nodes);
+    uint64_t rows_sent = 0;
+    auto flush = [&](size_t dst) {
+      ShuffleBuffer& b = buffers[dst];
+      if (b.rows.empty()) return;
+      if (dst != src) {
+        metrics_.bytes_shuffled += b.bytes;
+        metrics_.shuffle_batches += 1;
+        ChargeNetwork(b.bytes, 1);
+      }
+      staged[src][dst].push_back(std::move(b.rows));
+      b.rows = Partition();
+      b.bytes = 0;
+    };
     for (const auto& row : in[src]) {
       const size_t dst = route(row) % n_nodes;
+      ShuffleBuffer& b = buffers[dst];
       if (dst != src) {
-        bytes_sent += RowByteSize(row);
+        b.bytes += RowByteSize(row);
         rows_sent++;
       }
-      outgoing[src][dst].push_back(row);
+      b.rows.push_back(row);
+      if (b.rows.size() >= batch_rows) flush(dst);
     }
+    for (size_t dst = 0; dst < n_nodes; dst++) flush(dst);
     metrics_.rows_shuffled += rows_sent;
-    ChargeShuffle(bytes_sent);
   });
 
   Partitioned result(n_nodes);
   RunOnNodes([&](size_t dst) {
     size_t total = 0;
-    for (const auto& src : outgoing) total += src[dst].size();
+    for (const auto& src : staged) {
+      for (const auto& batch : src[dst]) total += batch.size();
+    }
     result[dst].reserve(total);
-    for (auto& src : outgoing) {
-      for (auto& row : src[dst]) result[dst].push_back(std::move(row));
+    for (auto& src : staged) {
+      for (auto& batch : src[dst]) {
+        for (auto& row : batch) result[dst].push_back(std::move(row));
+      }
     }
   });
   return result;
 }
 
 Partition Cluster::BroadcastAll(const Partitioned& in) {
-  Partition all;
-  uint64_t bytes = 0;
-  for (const auto& p : in) {
-    for (const auto& row : p) {
-      bytes += RowByteSize(row);
-      all.push_back(row);
+  const size_t n_nodes = options_.num_nodes;
+  const size_t receivers = n_nodes - 1;
+  // Offsets let every source copy its slice into the shared result
+  // concurrently (the "receive work" of the broadcast).
+  std::vector<size_t> offset(in.size() + 1, 0);
+  for (size_t i = 0; i < in.size(); i++) offset[i + 1] = offset[i] + in[i].size();
+  Partition all(offset.back());
+  // Strided over workers so every partition is covered even when the input
+  // holds more partitions than this cluster has nodes.
+  RunOnNodes([&](size_t worker) {
+    for (size_t src = worker; src < in.size(); src += n_nodes) {
+      if (in[src].empty()) continue;
+      uint64_t bytes = 0;
+      size_t pos = offset[src];
+      for (const auto& row : in[src]) {
+        bytes += RowByteSize(row);
+        all[pos++] = row;
+      }
+      if (receivers == 0) continue;
+      // Every other node receives a full copy of this source's slice; each
+      // (source, receiver) transfer moves ceil(rows / batch) batches.
+      const uint64_t batches_per_receiver =
+          (in[src].size() + options_.shuffle_batch_rows - 1) /
+          options_.shuffle_batch_rows;
+      metrics_.rows_shuffled += in[src].size() * receivers;
+      metrics_.bytes_shuffled += bytes * receivers;
+      metrics_.shuffle_batches += batches_per_receiver * receivers;
+      ChargeNetwork(bytes * receivers, batches_per_receiver * receivers);
     }
-  }
-  // Every node receives a full copy: N-1 network transfers per row.
-  const uint64_t transfers = bytes * (options_.num_nodes - 1);
-  metrics_.rows_shuffled += TotalRows(in) * (options_.num_nodes - 1);
-  ChargeShuffle(transfers);
+  });
   return all;
 }
 

@@ -3,17 +3,20 @@
 // The paper executes CleanM plans on Spark over 10 worker nodes. This module
 // substitutes a *virtual cluster*: N nodes, each a worker thread owning one
 // partition set. Data moves between nodes only through explicit shuffle
-// calls, which (a) meter rows/bytes moved into QueryMetrics and (b) charge a
-// configurable simulated network cost, so that the shuffle-volume and
-// load-balance differences the evaluation studies are visible in both the
-// counters and the wall clock. See DESIGN.md, "Substitutions".
+// calls, which (a) meter rows/bytes/batches moved into QueryMetrics and
+// (b) charge a configurable simulated network cost, so that the
+// shuffle-volume and load-balance differences the evaluation studies are
+// visible in both the counters and the wall clock. See DESIGN.md,
+// "Substitutions" and "Thread model & shuffle batching".
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "engine/worker_pool.h"
 #include "storage/dataset.h"
 
 namespace cleanm::engine {
@@ -30,14 +33,26 @@ struct ClusterOptions {
   /// The default models a ~1 GB/s effective interconnect. Set to 0 to
   /// benchmark pure compute.
   double shuffle_ns_per_byte = 1.0;
+  /// Rows accumulated per (source, destination) buffer before a shuffle
+  /// batch is flushed to its destination. The simulated network cost is
+  /// charged once per flushed batch. 1 degenerates to row-at-a-time.
+  size_t shuffle_batch_rows = 1024;
+  /// Fixed simulated latency charged per flushed remote batch (on top of
+  /// the per-byte cost) — the "per-message" term of a real interconnect.
+  double shuffle_ns_per_batch = 0.0;
+  /// When true (default), operator calls dispatch onto a persistent worker
+  /// pool owned by the Cluster. When false, every call spawns and joins
+  /// fresh threads — the pre-pool behavior, kept for A/B benchmarking.
+  bool use_worker_pool = true;
 };
 
 /// \brief N-node virtual cluster. All engine operators run through it.
 ///
-/// Thread model: every operator call fans one thread out per node, runs the
-/// node-local work, and joins. Shuffles stage outgoing rows per (source,
-/// destination) pair, charge the simulated network cost, then hand each node
-/// its incoming rows.
+/// Thread model: the cluster owns one persistent worker thread per node
+/// (see WorkerPool); every operator call dispatches one task epoch and
+/// blocks on its completion latch. Shuffles accumulate outgoing rows into
+/// per-destination batches, charge the simulated network cost per flushed
+/// batch, and destinations splice whole batches via std::move.
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
@@ -47,6 +62,7 @@ class Cluster {
   QueryMetrics& metrics() { return metrics_; }
 
   /// Runs fn(node_id) on every node concurrently and waits for all.
+  /// Worker exceptions propagate to the caller (first one wins).
   void RunOnNodes(const std::function<void(size_t)>& fn) const;
 
   /// Distributes rows round-robin across nodes ("parallelize").
@@ -79,19 +95,25 @@ class Cluster {
   // ---- Wide dependencies (shuffle; metered + charged) ----
 
   /// Routes every row to the node chosen by `route(row) % num_nodes`.
+  /// Each source accumulates per-destination batches of
+  /// `shuffle_batch_rows` rows; the network charge lands once per flushed
+  /// remote batch. Row-level metrics are identical to an unbatched shuffle.
   Partitioned Shuffle(const Partitioned& in,
                       const std::function<uint64_t(const Row&)>& route);
 
   /// Replicates every row of `in` to all nodes (broadcast); traffic is
-  /// charged once per (row, receiving node).
+  /// charged once per (row, receiving node), concurrently per sending node.
   Partition BroadcastAll(const Partitioned& in);
 
  private:
   ClusterOptions options_;
   mutable QueryMetrics metrics_;
+  /// Lives for the Cluster's lifetime; null when use_worker_pool is false.
+  mutable std::unique_ptr<WorkerPool> pool_;
 
-  /// Applies the simulated per-byte network charge for one node's sends.
-  void ChargeShuffle(uint64_t bytes) const;
+  /// Sleeps for the simulated transfer time of `bytes` across `batches`
+  /// network messages. Pure wall-clock charge; metering is the caller's job.
+  void ChargeNetwork(uint64_t bytes, uint64_t batches) const;
 };
 
 }  // namespace cleanm::engine

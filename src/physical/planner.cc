@@ -28,6 +28,10 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
   if (!plan) return Status::Internal("null physical plan");
   switch (plan->kind) {
     case AlgKind::kScan: {
+      const auto wrap_key = std::make_pair(plan->table, plan->var);
+      auto wrapped = wrap_cache.find(wrap_key);
+      if (wrapped != wrap_cache.end()) return wrapped->second;
+
       auto cached = scan_cache.find(plan->table);
       Partitioned base;
       if (cached != scan_cache.end()) {
@@ -44,9 +48,11 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
       }
       // Wrap each record into the {var: record} tuple.
       const std::string var = plan->var;
-      return cluster->Map(base, [var](const Row& r) {
+      Partitioned result = cluster->Map(base, [var](const Row& r) {
         return MakeTupleRow(Value(ValueStruct{{var, TupleOf(r)}}));
       });
+      wrap_cache.emplace(wrap_key, result);
+      return result;
     }
 
     case AlgKind::kSelect: {

@@ -47,6 +47,10 @@ struct Executor {
   /// Scan cache — the shared-scan DAG of Figure 1: each table is read and
   /// parallelized once per query.
   std::map<std::string, engine::Partitioned> scan_cache;
+  /// Wrapped-scan cache keyed by (table, var): the {var: record} tuple wrap
+  /// of a scan is pure, so repeated scans of the same alias reuse it
+  /// instead of paying a Map dispatch + copy per consumer.
+  std::map<std::pair<std::string, std::string>, engine::Partitioned> wrap_cache;
   /// Nest cache keyed by node identity — coalesced Nests execute once.
   std::map<const AlgOp*, engine::Partitioned> nest_cache;
 

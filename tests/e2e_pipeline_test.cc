@@ -76,7 +76,7 @@ Value RunEngineAgainstReference(const AlgOpPtr& plan, const Catalog& catalog,
                                 size_t nodes = 4) {
   auto reference = EvalPlan(plan, catalog).ValueOrDie();
   engine::Cluster cluster(FastClusterOptions(nodes));
-  Executor exec{&cluster, &catalog, {}, {}, {}};
+  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
   auto engine_result = exec.RunToValue(plan).ValueOrDie();
   EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference));
   if (metrics) *metrics = Snapshot(cluster.metrics());
@@ -252,7 +252,7 @@ TEST(E2EDenialConstraintTest, ThetaSelfJoinMatchesReferenceAcrossAlgorithms) {
     engine::Cluster cluster(FastClusterOptions());
     PhysicalOptions popts;
     popts.theta_algo = algo;
-    Executor exec{&cluster, &catalog, popts, {}, {}};
+    Executor exec{&cluster, &catalog, popts, {}, {}, {}};
     auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
     EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference))
         << engine::ThetaJoinAlgoName(algo);
@@ -334,7 +334,7 @@ TEST(E2ESelectTest, ParsedSelectAgreesAcrossInterpreterReferenceAndEngine) {
   EXPECT_EQ(CanonicalString(reference), CanonicalString(interpreted));
 
   engine::Cluster cluster(FastClusterOptions());
-  Executor exec{&cluster, &catalog, {}, {}, {}};
+  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
   auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
   EXPECT_EQ(CanonicalString(engine_result), CanonicalString(interpreted));
 }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/random.h"
@@ -82,6 +83,83 @@ TEST(ClusterTest, ShuffleLocalRowsAreFree) {
   EXPECT_EQ(Cluster::TotalRows(routed), 2u);
   EXPECT_EQ(cluster.metrics().rows_shuffled.load(), 0u);
   EXPECT_EQ(cluster.metrics().bytes_shuffled.load(), 0u);
+  // Node-local rows never form a network batch.
+  EXPECT_EQ(cluster.metrics().shuffle_batches.load(), 0u);
+}
+
+// ---- Shuffle batching ----
+
+/// Runs the canonical mod-2 routing shuffle over `n_rows` on 4 nodes with
+/// the given batch size; returns the cluster for metric inspection and the
+/// collected result rows via `out`.
+std::unique_ptr<Cluster> RunBatchedShuffle(size_t batch_rows, int n_rows,
+                                           std::vector<Row>* out) {
+  ClusterOptions opts = FastOptions(4);
+  opts.shuffle_batch_rows = batch_rows;
+  auto cluster = std::make_unique<Cluster>(opts);
+  auto data = cluster->Parallelize(IntRows(n_rows));
+  auto routed = cluster->Shuffle(data, [](const Row& r) {
+    return static_cast<uint64_t>(r[0].AsInt() % 2);
+  });
+  if (out) *out = cluster->Collect(routed);
+  return cluster;
+}
+
+TEST(ShuffleBatchingTest, RowAndByteMetricsMatchUnbatchedPath) {
+  // Batch size 1 degenerates to the row-at-a-time path; larger batch sizes
+  // must leave the row-level accounting bit-identical.
+  std::vector<Row> reference_rows;
+  auto reference = RunBatchedShuffle(1, 500, &reference_rows);
+  const uint64_t ref_rows = reference->metrics().rows_shuffled.load();
+  const uint64_t ref_bytes = reference->metrics().bytes_shuffled.load();
+  ASSERT_GT(ref_rows, 0u);
+  for (size_t batch : {7u, 64u, 1024u}) {
+    std::vector<Row> rows;
+    auto cluster = RunBatchedShuffle(batch, 500, &rows);
+    EXPECT_EQ(cluster->metrics().rows_shuffled.load(), ref_rows) << "batch " << batch;
+    EXPECT_EQ(cluster->metrics().bytes_shuffled.load(), ref_bytes) << "batch " << batch;
+    // The destination splice preserves source-major row order exactly.
+    ASSERT_EQ(rows.size(), reference_rows.size()) << "batch " << batch;
+    for (size_t i = 0; i < rows.size(); i++) {
+      EXPECT_EQ(rows[i][0].AsInt(), reference_rows[i][0].AsInt())
+          << "batch " << batch << " row " << i;
+    }
+  }
+}
+
+TEST(ShuffleBatchingTest, BatchSizeOneCountsOneBatchPerRemoteRow) {
+  auto cluster = RunBatchedShuffle(1, 200, nullptr);
+  EXPECT_EQ(cluster->metrics().shuffle_batches.load(),
+            cluster->metrics().rows_shuffled.load());
+}
+
+TEST(ShuffleBatchingTest, BatchLargerThanPartitionFlushesOncePerRemotePair) {
+  // Round-robin placement puts values ≡ 0 (mod 4) on node 0 (all even →
+  // dst 0, local) and ≡ 1 on node 1 (all odd → dst 1, local); only nodes 2
+  // and 3 ship remotely (2 → 0 and 3 → 1). A batch far larger than any
+  // partition flushes each remote pair exactly once.
+  auto cluster = RunBatchedShuffle(1 << 20, 200, nullptr);
+  EXPECT_EQ(cluster->metrics().shuffle_batches.load(), 2u);
+}
+
+TEST(ShuffleBatchingTest, IntermediateBatchSizeCountsCeilPerPair) {
+  // 200 rows over 4 nodes = 50 per source. The two remote pairs (2 → 0,
+  // 3 → 1) each ship all 50 rows; with batch 10 that is ceil(50/10) = 5
+  // flushes per pair → 10 batches total.
+  auto cluster = RunBatchedShuffle(10, 200, nullptr);
+  EXPECT_EQ(cluster->metrics().shuffle_batches.load(), 10u);
+}
+
+TEST(ShuffleBatchingTest, BroadcastCountsBatchesPerReceiver) {
+  ClusterOptions opts = FastOptions(4);
+  opts.shuffle_batch_rows = 3;
+  Cluster cluster(opts);
+  auto data = cluster.Parallelize(IntRows(8));  // 2 rows per node
+  auto all = cluster.BroadcastAll(data);
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(cluster.metrics().rows_shuffled.load(), 24u);
+  // Each source ships ceil(2/3) = 1 batch to each of the 3 receivers.
+  EXPECT_EQ(cluster.metrics().shuffle_batches.load(), 12u);
 }
 
 TEST(ClusterTest, BroadcastReplicatesToAllNodes) {
@@ -91,6 +169,24 @@ TEST(ClusterTest, BroadcastReplicatesToAllNodes) {
   EXPECT_EQ(all.size(), 8u);
   // 8 rows × (4-1) receivers.
   EXPECT_EQ(cluster.metrics().rows_shuffled.load(), 24u);
+}
+
+TEST(ClusterTest, BroadcastHandlesMorePartitionsThanNodes) {
+  // Input partitioned wider than this cluster: every partition must still
+  // reach the broadcast result (regression: the first pooled version only
+  // visited sources < num_nodes, leaving empty rows in the output).
+  Cluster cluster(FastOptions(2));
+  Partitioned wide(5);
+  for (int i = 0; i < 5; i++) wide[i].push_back({Value(int64_t{i})});
+  auto all = cluster.BroadcastAll(wide);
+  ASSERT_EQ(all.size(), 5u);
+  std::set<int64_t> values;
+  for (const auto& row : all) {
+    ASSERT_EQ(row.size(), 1u);
+    values.insert(row[0].AsInt());
+  }
+  EXPECT_EQ(values.size(), 5u);
+  EXPECT_EQ(cluster.metrics().rows_shuffled.load(), 5u);  // 5 rows × (2-1)
 }
 
 TEST(ClusterTest, LoadReportImbalance) {

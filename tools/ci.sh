@@ -16,4 +16,11 @@ for preset in release asan; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
-echo "CI OK: release + asan presets built and tested clean."
+# Perf regression gate: the worker-pool dispatch path must stay clearly
+# faster than spawn-per-call (--check exits non-zero past a generous
+# threshold), so the pool can't silently regress back to thread-per-operator.
+echo "=== [release] cluster-primitives dispatch gate ==="
+./build-release/bench_cluster_primitives --smoke --check \
+  --out build-release/BENCH_cluster.json
+
+echo "CI OK: release + asan presets built and tested clean; dispatch gate passed."

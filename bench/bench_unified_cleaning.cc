@@ -9,10 +9,14 @@
 // the operations (unified costs *more* than separate due to the outer-join
 // combination pass); BigDansing runs one rule at a time and rejects FD1
 // (prefix() is a computed attribute).
+#include <cctype>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "baselines/baselines.h"
+#include "cleaning/prepared_query.h"
 #include "common/timer.h"
 #include "datagen/generators.h"
 
@@ -127,7 +131,18 @@ const char* kManyOpQuery = R"(
   FD(c.custkey, c.nationkey)
 )";
 
-double RunManyOpPlan(bool legacy) {
+Dataset ManyOpData() {
+  // Fixed small table regardless of --smoke: per-operator dispatch must
+  // stay the dominant cost for these A/Bs to isolate the substrate.
+  datagen::CustomerOptions copts;
+  copts.base_rows = 400;
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 40;
+  copts.fd_violation_fraction = 0.05;
+  return datagen::MakeCustomer(copts);
+}
+
+CleanDBOptions ManyOpOptions(bool legacy) {
   CleanDBOptions opts;
   opts.num_nodes = 8;
   opts.shuffle_ns_per_byte = 0;
@@ -135,15 +150,12 @@ double RunManyOpPlan(bool legacy) {
     opts.use_worker_pool = false;
     opts.shuffle_batch_rows = 1;
   }
-  CleanDB db(opts);
-  // Fixed small table regardless of --smoke: per-operator dispatch must
-  // stay the dominant cost for this A/B to isolate the substrate.
-  datagen::CustomerOptions copts;
-  copts.base_rows = 400;
-  copts.duplicate_fraction = 0.10;
-  copts.max_duplicates = 40;
-  copts.fd_violation_fraction = 0.05;
-  db.RegisterTable("customer", datagen::MakeCustomer(copts));
+  return opts;
+}
+
+double RunManyOpPlan(bool legacy) {
+  CleanDB db(ManyOpOptions(legacy));
+  db.RegisterTable("customer", ManyOpData());
   double best = -1;
   for (int rep = 0; rep < 3; rep++) {
     Timer timer;
@@ -153,6 +165,101 @@ double RunManyOpPlan(bool legacy) {
     if (best < 0 || s < best) best = s;
   }
   return best;
+}
+
+// ---- Prepared-query A/B: cold one-shot Execute (fresh session: construct,
+// register, parse, plan, partition — the only way to run a query before the
+// Prepare/Execute split) vs. re-executing one PreparedQuery on a live
+// session (plans + partition cache warm). 8-FD unified plan, pure compute.
+
+struct PreparedAb {
+  double cold_s = 0;
+  double reexec_s = 0;
+  double speedup = 0;
+  uint64_t reexec_repartitions = 0;  ///< scan+nest misses across timed reps
+};
+
+PreparedAb RunPreparedAb() {
+  const Dataset data = ManyOpData();
+  const int reps = 5;
+  PreparedAb ab;
+
+  double cold_best = -1;
+  for (int rep = 0; rep < reps; rep++) {
+    Timer timer;
+    CleanDB db(ManyOpOptions(/*legacy=*/false));
+    db.RegisterTable("customer", data);
+    auto result = db.Execute(kManyOpQuery).ValueOrDie();
+    CLEANM_CHECK(result.ops.size() == 8);
+    const double s = timer.ElapsedSeconds();
+    if (cold_best < 0 || s < cold_best) cold_best = s;
+  }
+
+  CleanDB db(ManyOpOptions(/*legacy=*/false));
+  db.RegisterTable("customer", data);
+  auto prepared = db.Prepare(kManyOpQuery);
+  CLEANM_CHECK(prepared.ok());
+  (void)prepared.value().Execute().ValueOrDie();  // populate the cache
+  double reexec_best = -1;
+  for (int rep = 0; rep < reps; rep++) {
+    Timer timer;
+    auto result = prepared.value().Execute().ValueOrDie();
+    CLEANM_CHECK(result.ops.size() == 8);
+    const double s = timer.ElapsedSeconds();
+    if (reexec_best < 0 || s < reexec_best) reexec_best = s;
+    ab.reexec_repartitions += result.cache.scan_misses + result.cache.nest_misses;
+  }
+
+  ab.cold_s = cold_best;
+  ab.reexec_s = reexec_best;
+  ab.speedup = reexec_best > 0 ? cold_best / reexec_best : 0;
+  return ab;
+}
+
+/// Inserts/replaces `"key": object` in the flat JSON file at `path`
+/// (written by bench_cluster_primitives), preserving the other sections.
+/// Sections written this way live on a single line, so replacement is a
+/// line drop. A missing or empty file yields {"key": object}.
+void MergeJsonSection(const std::string& path, const std::string& key,
+                      const std::string& object) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+  // Drop any previous line carrying this key.
+  std::string kept;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find("\"" + key + "\"") == std::string::npos) kept += line + "\n";
+  }
+  auto rstrip = [](std::string* s) {
+    while (!s->empty() && std::isspace(static_cast<unsigned char>(s->back()))) {
+      s->pop_back();
+    }
+  };
+  rstrip(&kept);
+  if (!kept.empty() && kept.back() == '}') kept.pop_back();
+  rstrip(&kept);
+  if (!kept.empty() && kept.back() == ',') kept.pop_back();
+  rstrip(&kept);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  if (kept.empty() || kept == "{") {
+    out << "{\n";
+  } else {
+    out << kept << ",\n";
+  }
+  out << "  \"" << key << "\": " << object << "\n}\n";
+  std::printf("[written] %s (section \"%s\")\n", path.c_str(), key.c_str());
 }
 
 void PrintRow(const char* name, const SystemTimes& t, double separate_total) {
@@ -175,11 +282,15 @@ void PrintRow(const char* name, const SystemTimes& t, double separate_total) {
 
 int main(int argc, char** argv) {
   using namespace cleanm;
+  bool check = false;
+  std::string out_path;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg == "--smoke") g_base_rows = 400;
     if (arg == "--nonet") g_nonet = true;
     if (arg == "--legacy") g_legacy = true;
+    if (arg == "--check") check = true;
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
   }
   std::printf("=== E4 — Figure 5: unified cleaning (FD1 + FD2 + DEDUP on customer) ===\n");
   std::printf("paper: CleanDB merges the three ops into one aggregation "
@@ -215,5 +326,47 @@ int main(int argc, char** argv) {
   std::printf("worker pool + batched shuffle      %8.3f s\n", many_op_pool);
   std::printf("[measured] substrate speedup %.2fx on the many-operator plan\n",
               many_op_legacy / many_op_pool);
+
+  std::printf("\n=== prepared-query A/B: cold Execute vs prepared re-execute "
+              "(8 FDs, pure compute) ===\n");
+  const PreparedAb ab = RunPreparedAb();
+  std::printf("cold one-shot Execute (fresh session)   %8.4f s\n", ab.cold_s);
+  std::printf("prepared re-execute (plans+cache warm)  %8.4f s\n", ab.reexec_s);
+  std::printf("[measured] prepared re-execution speedup %.2fx; re-partitions "
+              "during timed re-executions: %llu\n",
+              ab.speedup, static_cast<unsigned long long>(ab.reexec_repartitions));
+
+  if (!out_path.empty()) {
+    char object[256];
+    std::snprintf(object, sizeof(object),
+                  "{\"cold_execute_s\": %.6f, \"prepared_reexec_s\": %.6f, "
+                  "\"speedup\": %.3f, \"reexec_repartitions\": %llu}",
+                  ab.cold_s, ab.reexec_s, ab.speedup,
+                  static_cast<unsigned long long>(ab.reexec_repartitions));
+    MergeJsonSection(out_path, "prepared_reexec", object);
+  }
+
+  if (check) {
+    // CI gate: prepared re-execution must stay clearly ahead of a cold
+    // one-shot Execute (target ≥2×), and it must really skip
+    // re-partitioning — otherwise the plan/partition reuse has regressed.
+    const double kMinSpeedup = 2.0;
+    if (ab.speedup < kMinSpeedup) {
+      std::fprintf(stderr,
+                   "[check] FAILED: prepared re-execution speedup %.2fx is below "
+                   "the %.1fx gate\n",
+                   ab.speedup, kMinSpeedup);
+      return 1;
+    }
+    if (ab.reexec_repartitions != 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: %llu re-partitions during prepared "
+                   "re-executions (expected 0: cache misses have crept in)\n",
+                   static_cast<unsigned long long>(ab.reexec_repartitions));
+      return 1;
+    }
+    std::printf("[check] prepared re-execution gate passed (%.2fx, 0 re-partitions)\n",
+                ab.speedup);
+  }
   return 0;
 }

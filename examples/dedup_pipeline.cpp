@@ -8,12 +8,37 @@
 #include <filesystem>
 #include <set>
 
-#include "cleaning/cleandb.h"
+#include "cleaning/prepared_query.h"
 #include "datagen/generators.h"
 #include "storage/json.h"
 #include "storage/xml.h"
 
 using namespace cleanm;
+
+namespace {
+
+/// Streaming repair sink: collects only the hashes of the records to drop
+/// (the second member of every duplicate pair) instead of materializing the
+/// violation pairs themselves.
+class DropSecondMemberSink : public ViolationSink {
+ public:
+  Status OnViolation(const std::string&, const Value& pair) override {
+    pairs_++;
+    drop_.insert(pair.GetField("p2").ValueOrDie().Hash());
+    return Status::OK();
+  }
+  Status OnDirtyEntity(const Value&, const std::vector<std::string>&) override {
+    return Status::OK();
+  }
+  const std::set<uint64_t>& drop() const { return drop_; }
+  size_t pairs() const { return pairs_; }
+
+ private:
+  std::set<uint64_t> drop_;
+  size_t pairs_ = 0;
+};
+
+}  // namespace
 
 int main() {
   namespace fs = std::filesystem;
@@ -36,29 +61,28 @@ int main() {
   auto loaded = ReadXml(xml_path).ValueOrDie();
 
   // 3. Find duplicate publications: same journal + title, records >= 80%
-  //    similar.
+  //    similar. The DEDUP clause is prepared once; the repair below streams
+  //    the pairs through a sink instead of materializing them.
   CleanDBOptions options;
   options.num_nodes = 4;
   CleanDB db(options);
   db.RegisterTable("dblp", loaded);
-  DedupClause dedup;
-  dedup.op = FilteringAlgo::kExactKey;
-  dedup.metric = SimilarityMetric::kLevenshtein;
-  dedup.theta = 0.8;
-  dedup.attributes = {ParseCleanMExpr("p.journal").ValueOrDie(),
-                      ParseCleanMExpr("p.title").ValueOrDie()};
-  auto result = db.Deduplicate("dblp", "p", dedup).ValueOrDie();
-  std::printf("found %zu duplicate pair(s) in %.3f s\n", result.violations.size(),
-              result.seconds);
+  auto prepared = db.Prepare(
+      "SELECT * FROM dblp p DEDUP(exact, LD, 0.8, p.journal, p.title)");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  DropSecondMemberSink sink;
+  CLEANM_CHECK(prepared.value().ExecuteInto(sink).ok());
+  std::printf("found %zu duplicate pair(s)\n", sink.pairs());
 
   // 4. Repair: keep the first member of every duplicate pair, drop the rest.
-  std::set<uint64_t> drop;
-  for (const auto& pair : result.violations) {
-    drop.insert(pair.GetField("p2").ValueOrDie().Hash());
-  }
   Dataset cleaned(loaded.schema());
   for (const auto& row : loaded.rows()) {
-    if (!drop.count(RowToRecord(loaded.schema(), row).Hash())) cleaned.Append(row);
+    if (!sink.drop().count(RowToRecord(loaded.schema(), row).Hash())) {
+      cleaned.Append(row);
+    }
   }
   CLEANM_CHECK(WriteJsonLines(cleaned, clean_path).ok());
   std::printf("kept %zu of %zu records; cleaned dataset written to %s\n",

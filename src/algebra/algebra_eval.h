@@ -18,11 +18,26 @@ namespace cleanm {
 /// Name → table binding used to resolve Scan operators.
 struct Catalog {
   std::map<std::string, const Dataset*> tables;
+  /// Monotonic per-table versions, bumped by the owning session on every
+  /// (re-)registration. The physical layer keys its partition cache on
+  /// them; 0 means the owner does not track generations.
+  std::map<std::string, uint64_t> generations;
+
+  Catalog() = default;
+  /// Tables-only form (the common shape in tests and baselines): all
+  /// generations default to 0.
+  Catalog(std::map<std::string, const Dataset*> t)  // NOLINT: implicit by design
+      : tables(std::move(t)) {}
 
   Result<const Dataset*> Find(const std::string& name) const {
     auto it = tables.find(name);
     if (it == tables.end()) return Status::KeyError("unknown table '" + name + "'");
     return it->second;
+  }
+
+  uint64_t GenerationOf(const std::string& name) const {
+    auto it = generations.find(name);
+    return it == generations.end() ? 0 : it->second;
   }
 };
 

@@ -77,8 +77,7 @@ Result<QueryResult> SparkSqlSim::ExecuteQuery(const CleanMQuery& query) {
     (void)cluster.Shuffle(data, [](const Row& r) { return r[0].Hash(); });
   }
   result.total_seconds = timer.ElapsedSeconds();
-  result.rows_shuffled = cluster.metrics().rows_shuffled.load();
-  result.bytes_shuffled = cluster.metrics().bytes_shuffled.load();
+  result.metrics = cluster.metrics().Snapshot();
   return result;
 }
 

@@ -1,14 +1,15 @@
 #include "cleaning/cleandb.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
+#include "cleaning/prepared_query.h"
 #include "cluster/filtering.h"
 #include "monoid/eval.h"
 
 namespace cleanm {
 
-CleanDB::CleanDB(CleanDBOptions options) : options_(std::move(options)) {
+CleanDB::CleanDB(CleanDBOptions options)
+    : options_(std::move(options)), cache_(options_.partition_cache_bytes) {
   engine::ClusterOptions copts;
   copts.num_nodes = options_.num_nodes;
   copts.shuffle_ns_per_byte = options_.shuffle_ns_per_byte;
@@ -20,6 +21,19 @@ CleanDB::CleanDB(CleanDBOptions options) : options_(std::move(options)) {
 
 void CleanDB::RegisterTable(const std::string& name, Dataset dataset) {
   tables_[name] = std::move(dataset);
+  generations_[name]++;
+  cache_.InvalidateTable(name);
+}
+
+void CleanDB::UnregisterTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return;
+  generations_[name]++;
+  cache_.InvalidateTable(name);
+}
+
+uint64_t CleanDB::TableGeneration(const std::string& name) const {
+  auto it = generations_.find(name);
+  return it == generations_.end() ? 0 : it->second;
 }
 
 Result<const Dataset*> CleanDB::GetTable(const std::string& name) const {
@@ -31,6 +45,7 @@ Result<const Dataset*> CleanDB::GetTable(const std::string& name) const {
 Catalog CleanDB::MakeCatalog() const {
   Catalog catalog;
   for (const auto& [name, dataset] : tables_) catalog.tables[name] = &dataset;
+  catalog.generations = generations_;
   return catalog;
 }
 
@@ -55,148 +70,24 @@ Result<OpResult> CleanDB::RunCleaningPlan(Executor& exec, const CleaningPlan& cp
   OpResult result;
   result.op_name = cp.op_name;
   CLEANM_ASSIGN_OR_RETURN(Value out, exec.RunToValue(cp.plan));
-  // Deduplicate violations on their entity projection: filtering monoids
-  // assign one record to several groups (one per shared token / center), so
-  // the same violating pair can surface once per shared group.
-  std::unordered_set<uint64_t> seen;
-  for (const auto& v : out.AsList()) {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    bool projected = false;
-    for (const auto& var : cp.entity_vars) {
-      auto field = v.GetField(var);
-      if (field.ok()) {
-        h = HashCombine(h, field.value().Hash());
-        projected = true;
-      }
-    }
-    if (!projected || seen.insert(h).second) result.violations.push_back(v);
-  }
+  CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&result](const Value& v) {
+    result.violations.push_back(v);
+    return Status::OK();
+  }));
   result.seconds = timer.ElapsedSeconds();
   return result;
 }
 
 Result<QueryResult> CleanDB::Execute(const std::string& query_text) {
-  CLEANM_ASSIGN_OR_RETURN(CleanMQuery query, ParseCleanM(query_text));
-  return ExecuteQuery(query);
+  CLEANM_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(query_text));
+  pq.persist_cache_ = false;  // one-shot: the plans die with this call
+  return pq.Execute();
 }
 
 Result<QueryResult> CleanDB::ExecuteQuery(const CleanMQuery& query) {
-  if (query.from.empty()) return Status::InvalidArgument("query has no FROM table");
-  const TableRef& base = query.from[0];
-  CLEANM_ASSIGN_OR_RETURN(const Dataset* base_table, GetTable(base.table));
-  (void)base_table;
-
-  Timer total;
-  QueryResult result;
-
-  // Desugar every cleaning clause to its algebra plan.
-  std::vector<CleaningPlan> cleaning_plans;
-  for (const auto& fd : query.fds) {
-    CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(base.table, base.alias, fd));
-    cleaning_plans.push_back(std::move(cp));
-  }
-  for (const auto& dedup : query.dedups) {
-    FilteringOptions fopts = options_.filtering;
-    fopts.algo = dedup.op;
-    std::vector<std::string> centers;
-    if (dedup.op == FilteringAlgo::kKMeans && !dedup.attributes.empty() &&
-        dedup.attributes[0]->kind == ExprKind::kField) {
-      centers = SampleCenters(base.table, dedup.attributes[0]->name, fopts.k);
-    }
-    CLEANM_ASSIGN_OR_RETURN(
-        CleaningPlan cp,
-        BuildDedupPlan(base.table, base.alias, dedup, fopts, std::move(centers)));
-    cleaning_plans.push_back(std::move(cp));
-  }
-  for (const auto& cb : query.cluster_bys) {
-    if (query.from.size() < 2) {
-      return Status::InvalidArgument(
-          "CLUSTER BY requires a dictionary table as the second FROM entry");
-    }
-    const TableRef& dict = query.from[1];
-    if (!cb.term || cb.term->kind != ExprKind::kField) {
-      return Status::InvalidArgument("CLUSTER BY term must be a column reference");
-    }
-    const std::string attr = cb.term->name;
-    FilteringOptions fopts = options_.filtering;
-    fopts.algo = cb.op;
-    std::vector<std::string> centers;
-    if (cb.op == FilteringAlgo::kKMeans) {
-      centers = SampleCenters(dict.table, attr, fopts.k);
-    }
-    CLEANM_ASSIGN_OR_RETURN(
-        CleaningPlan cp,
-        BuildTermValidationPlan(base.table, base.alias, dict.table, dict.alias, attr,
-                                cb, fopts, std::move(centers)));
-    cleaning_plans.push_back(std::move(cp));
-  }
-  // Disambiguate repeated operator names (FD, FD_2, ...).
-  {
-    std::map<std::string, int> seen;
-    for (auto& cp : cleaning_plans) {
-      const int n = ++seen[cp.op_name];
-      if (n > 1) cp.op_name += "_" + std::to_string(n);
-    }
-  }
-
-  // Algebra-level optimization: coalesce shared Nest stages (Figure 1) and
-  // apply the intra-plan rules.
-  RewriteStats stats;
-  if (options_.unify_operations) {
-    std::vector<AlgOpPtr> roots;
-    roots.reserve(cleaning_plans.size());
-    for (const auto& cp : cleaning_plans) roots.push_back(cp.plan);
-    CoalescedPlans coalesced = CoalesceNests(roots, &stats);
-    for (size_t i = 0; i < cleaning_plans.size(); i++) {
-      cleaning_plans[i].plan = coalesced.roots[i];
-    }
-    result.nests_coalesced = coalesced.groups_merged;
-  }
-
-  // Physical execution. One Executor for the whole query when unified
-  // (shared scan + nest caches); a fresh one per operation otherwise.
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
-  Executor shared_exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
-  for (const auto& cp : cleaning_plans) {
-    Executor standalone{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
-    Executor& exec = options_.unify_operations ? shared_exec : standalone;
-    CLEANM_ASSIGN_OR_RETURN(OpResult op, RunCleaningPlan(exec, cp));
-    result.ops.push_back(std::move(op));
-  }
-
-  // Unified violation report: the outer join over all operations' entities.
-  struct ValueHash {
-    size_t operator()(const Value& v) const { return v.Hash(); }
-  };
-  struct ValueEq {
-    bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
-  };
-  std::unordered_map<Value, std::vector<std::string>, ValueHash, ValueEq> entities;
-  for (size_t i = 0; i < cleaning_plans.size(); i++) {
-    const auto& cp = cleaning_plans[i];
-    for (const auto& violation : result.ops[i].violations) {
-      for (const auto& var : cp.entity_vars) {
-        auto field = violation.GetField(var);
-        if (!field.ok()) continue;
-        const Value& v = field.value();
-        if (v.type() == ValueType::kList) {
-          for (const auto& e : v.AsList()) {
-            auto& ops = entities[e];
-            if (ops.empty() || ops.back() != cp.op_name) ops.push_back(cp.op_name);
-          }
-        } else {
-          auto& ops = entities[v];
-          if (ops.empty() || ops.back() != cp.op_name) ops.push_back(cp.op_name);
-        }
-      }
-    }
-  }
-  result.dirty_entities.assign(entities.begin(), entities.end());
-  result.total_seconds = total.ElapsedSeconds();
-  result.rows_shuffled = cluster_->metrics().rows_shuffled.load();
-  result.bytes_shuffled = cluster_->metrics().bytes_shuffled.load();
-  return result;
+  CLEANM_ASSIGN_OR_RETURN(PreparedQuery pq, PrepareQuery(query));
+  pq.persist_cache_ = false;  // one-shot: the plans die with this call
+  return pq.Execute();
 }
 
 Result<OpResult> CleanDB::CheckFd(const std::string& table, const std::string& var,
@@ -204,7 +95,9 @@ Result<OpResult> CleanDB::CheckFd(const std::string& table, const std::string& v
   CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(table, var, fd));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
+  // Transient plan: its nodes are never seen again, so nests stay local.
+  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+                /*persist_nests_in=*/false};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -219,7 +112,9 @@ Result<OpResult> CleanDB::CheckDenialConstraint(const std::string& table, ExprPt
   cp.entity_vars = {"t1", "t2"};
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
+  // Transient plan: its nodes are never seen again, so nests stay local.
+  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+                /*persist_nests_in=*/false};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -236,7 +131,9 @@ Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::strin
       CleaningPlan cp, BuildDedupPlan(table, var, dedup, fopts, std::move(centers)));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
+  // Transient plan: its nodes are never seen again, so nests stay local.
+  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+                /*persist_nests_in=*/false};
   return RunCleaningPlan(exec, cp);
 }
 
@@ -285,9 +182,11 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
                               std::move(centers)));
   Catalog catalog = MakeCatalog();
   cluster_->metrics().Reset();
-  Executor exec{cluster_.get(), &catalog, options_.physical, {}, {}, {}};
+  // Transient plan: its nodes are never seen again, so nests stay local.
+  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+                /*persist_nests_in=*/false};
   auto result = RunCleaningPlan(exec, cp);
-  tables_.erase(tmp_name);
+  UnregisterTable(tmp_name);
   return result;
 }
 

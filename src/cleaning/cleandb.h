@@ -5,6 +5,13 @@
 // canonical plans → Monoid/algebra optimizer (normalization + CoalesceNests
 // + RewritePlan) → physical executor on the virtual cluster → unified
 // violation report (the top-level outer join of Section 4.4).
+//
+// Query lifecycle: Prepare(text) performs the parse/normalize/rewrite work
+// once and returns a PreparedQuery whose Execute(ExecOptions) runs the
+// optimized plans against the current table registrations, reusing the
+// session-owned PartitionCache (scans, wrapped scans, coalesced Nest
+// outputs, keyed by table generation). Execute(text) remains as the
+// one-shot convenience — it is exactly Prepare + a single Execute.
 #pragma once
 
 #include <map>
@@ -16,9 +23,14 @@
 #include "cleaning/plan_builder.h"
 #include "common/timer.h"
 #include "language/parser.h"
+#include "physical/partition_cache.h"
 #include "physical/planner.h"
 
 namespace cleanm {
+
+class PreparedQuery;
+class ViolationSink;
+struct ExecOptions;
 
 struct CleanDBOptions {
   size_t num_nodes = 4;
@@ -32,8 +44,12 @@ struct CleanDBOptions {
   /// Defaults for token filtering / k-means parameters (q, k, delta, seed).
   FilteringOptions filtering;
   /// When false, cleaning clauses run as standalone plans with no Nest
-  /// coalescing and no scan sharing — the ablation knob for Figure 5.
+  /// coalescing — the ablation knob for Figure 5. Overridable per
+  /// execution via ExecOptions::unify_operations.
   bool unify_operations = true;
+  /// Byte budget of the session partition cache (cached scans / wrapped
+  /// scans / Nest outputs, LRU-evicted). 0 = unbounded.
+  size_t partition_cache_bytes = size_t{256} << 20;
 };
 
 /// Output of one cleaning operation.
@@ -52,24 +68,56 @@ struct QueryResult {
   std::vector<std::pair<Value, std::vector<std::string>>> dirty_entities;
   double total_seconds = 0;
   int nests_coalesced = 0;
-  uint64_t rows_shuffled = 0;
-  uint64_t bytes_shuffled = 0;
+  /// Engine counters for this execution — the full QueryMetrics snapshot
+  /// (rows/bytes/batches shuffled, comparisons, ...), replacing the old
+  /// hand-copied rows_shuffled/bytes_shuffled pair.
+  MetricsCounters metrics;
+  /// Partition-cache activity during this execution: hit/miss/eviction
+  /// counters are per-execution deltas; resident_* are end-of-execution
+  /// gauges.
+  PartitionCache::Stats cache;
 };
 
-/// \brief The CleanDB engine. Register tables, then execute CleanM queries
-/// or call the programmatic cleaning APIs (used by the benchmarks).
+/// \brief The CleanDB engine. Register tables, then Prepare/Execute CleanM
+/// queries or call the programmatic cleaning APIs (used by the benchmarks).
 class CleanDB {
  public:
   explicit CleanDB(CleanDBOptions options = {});
 
-  /// Registers (or replaces) a named table.
+  /// Registers (or replaces) a named table. Replacing bumps the table's
+  /// generation and invalidates every cached partitioning derived from it,
+  /// so no later execution can be served stale data.
   void RegisterTable(const std::string& name, Dataset dataset);
+  /// Drops a table (and its cached partitionings). No-op when absent.
+  void UnregisterTable(const std::string& name);
   Result<const Dataset*> GetTable(const std::string& name) const;
+  /// Current generation of `name` (bumped by every RegisterTable /
+  /// UnregisterTable); 0 = never registered.
+  uint64_t TableGeneration(const std::string& name) const;
 
-  /// Parses and executes a CleanM query end to end.
+  // ---- Query lifecycle ----
+
+  /// Parses, normalizes, and optimizes a CleanM query once. The error case
+  /// carries the specific StatusCode: kParseError (with line/column) for
+  /// malformed CleanM, kKeyError for a clause referencing an unknown
+  /// column, kTypeError for a grouping-monoid term of the wrong type.
+  /// Tables bind lazily at Execute time.
+  Result<PreparedQuery> Prepare(const std::string& query_text);
+
+  /// Prepares an already-parsed query.
+  Result<PreparedQuery> PrepareQuery(const CleanMQuery& query);
+
+  /// Prepares a denial constraint (a theta self-join over t1/t2 with
+  /// `pred`; `prefilter` over one side is pushed below the join) as a
+  /// single-operation PreparedQuery, so DC checks participate in the same
+  /// prepare-once / execute-many lifecycle as CleanM text.
+  Result<PreparedQuery> PrepareDenialConstraint(const std::string& table, ExprPtr pred,
+                                                ExprPtr prefilter = nullptr);
+
+  /// One-shot convenience: Prepare + a single Execute.
   Result<QueryResult> Execute(const std::string& query_text);
 
-  /// Executes an already-parsed query.
+  /// One-shot convenience for an already-parsed query.
   Result<QueryResult> ExecuteQuery(const CleanMQuery& query);
 
   // ---- Programmatic cleaning operations ----
@@ -111,6 +159,9 @@ class CleanDB {
 
   engine::Cluster& cluster() { return *cluster_; }
   const CleanDBOptions& options() const { return options_; }
+  /// The session partition cache (stats for tests/monitoring; Clear() to
+  /// drop all cached partitionings).
+  PartitionCache& partition_cache() { return cache_; }
 
   /// Samples k-means centers for a grouping clause: from the dictionary
   /// when given, else from the data column.
@@ -118,12 +169,23 @@ class CleanDB {
                                          const std::string& attr, size_t k) const;
 
  private:
+  friend class PreparedQuery;
+
   Result<OpResult> RunCleaningPlan(Executor& exec, const CleaningPlan& cp);
+  /// Executes a prepared query's plans under `opts`, streaming into `sink`;
+  /// fills the summary fields (timings, metrics, cache deltas) of
+  /// `*summary` when non-null. Defined in prepared_query.cc.
+  Status ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts,
+                         ViolationSink& sink, QueryResult* summary);
   Catalog MakeCatalog() const;
 
   CleanDBOptions options_;
   std::unique_ptr<engine::Cluster> cluster_;
   std::map<std::string, Dataset> tables_;
+  /// Per-table registration counters backing the cache's staleness keys.
+  std::map<std::string, uint64_t> generations_;
+  /// Session-owned partition cache shared by every execution.
+  PartitionCache cache_;
 };
 
 }  // namespace cleanm

@@ -1,0 +1,33 @@
+// Per-execution overrides for PreparedQuery::Execute.
+//
+// A CleanDB session freezes its defaults at construction (CleanDBOptions);
+// before this existed, changing any knob — the Figure-5 unification
+// ablation, the simulated interconnect, the node count — meant building a
+// whole new CleanDB and re-partitioning every table. ExecOptions carries
+// the per-call deltas instead: every field defaults to "inherit the
+// session value", and the cluster is restored to the session configuration
+// when the execution returns.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace cleanm {
+
+struct ExecOptions {
+  /// Run the Nest-coalesced (unified) plan forms vs. the standalone
+  /// per-operation plans — the Figure-5 ablation, now per call.
+  std::optional<bool> unify_operations;
+
+  /// Caps execution to the first N virtual nodes (clamped to the cluster
+  /// width). Partitionings are cached per active width, so alternating caps
+  /// never mixes layouts.
+  std::optional<size_t> max_nodes;
+
+  // Simulated interconnect model (see engine::ClusterOptions).
+  std::optional<double> shuffle_ns_per_byte;
+  std::optional<double> shuffle_ns_per_batch;
+  std::optional<size_t> shuffle_batch_rows;
+};
+
+}  // namespace cleanm

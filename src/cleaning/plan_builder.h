@@ -27,6 +27,7 @@
 // clauses.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -77,5 +78,16 @@ Result<CleaningPlan> BuildTermValidationPlan(
 /// output and the semantics tests.
 ExprPtr FdComprehension(const std::string& table, const std::string& var,
                         const FdClause& fd);
+
+/// Walks a cleaning plan's output (a list Value of tuples), deduplicated
+/// on the operation's entity projection: filtering monoids assign one
+/// record to several groups (one per shared token / center), so the same
+/// violating pair can surface once per shared group. Calls `emit` for each
+/// kept violation; a non-OK status from `emit` stops the walk and is
+/// returned. Shared by the materializing (RunCleaningPlan) and streaming
+/// (ExecutePrepared) consumption paths so the dedup semantics cannot
+/// diverge.
+Status ForEachDedupedViolation(const Value& plan_output, const CleaningPlan& cp,
+                               const std::function<Status(const Value&)>& emit);
 
 }  // namespace cleanm

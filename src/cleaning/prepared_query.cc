@@ -1,0 +1,317 @@
+#include "cleaning/prepared_query.h"
+
+#include <unordered_map>
+
+namespace cleanm {
+
+namespace {
+
+/// Applies ExecOptions' cluster overrides on construction and restores the
+/// session configuration on destruction, so per-call knobs can never leak
+/// into later executions (or into another PreparedQuery on the same
+/// session).
+class ScopedClusterConfig {
+ public:
+  ScopedClusterConfig(engine::Cluster* cluster, const ExecOptions& opts)
+      : cluster_(cluster),
+        saved_(cluster->options()),
+        saved_active_(cluster->num_nodes()) {
+    if (opts.max_nodes) cluster_->SetActiveNodes(*opts.max_nodes);
+    if (opts.shuffle_ns_per_byte || opts.shuffle_ns_per_batch) {
+      cluster_->SetShuffleCost(
+          opts.shuffle_ns_per_byte.value_or(saved_.shuffle_ns_per_byte),
+          opts.shuffle_ns_per_batch.value_or(saved_.shuffle_ns_per_batch));
+    }
+    if (opts.shuffle_batch_rows) cluster_->SetShuffleBatchRows(*opts.shuffle_batch_rows);
+  }
+
+  ~ScopedClusterConfig() {
+    cluster_->SetActiveNodes(saved_active_);
+    cluster_->SetShuffleCost(saved_.shuffle_ns_per_byte, saved_.shuffle_ns_per_batch);
+    cluster_->SetShuffleBatchRows(saved_.shuffle_batch_rows);
+  }
+
+ private:
+  engine::Cluster* cluster_;
+  engine::ClusterOptions saved_;
+  size_t saved_active_;
+};
+
+/// True for a plain `alias.column` reference bound to `alias`; sets *column.
+bool IsColumnOf(const ExprPtr& e, const std::string& alias, std::string* column) {
+  if (!e || e->kind != ExprKind::kField) return false;
+  if (!e->child || e->child->kind != ExprKind::kVar || e->child->name != alias) {
+    return false;
+  }
+  *column = e->name;
+  return true;
+}
+
+/// Prepare-time validation of cleaning-clause column references against the
+/// schemas registered *right now*. Unregistered tables are skipped — binding
+/// is lazy, and executing then yields kKeyError from the catalog — but when
+/// a schema is visible, an unknown column is kKeyError and a
+/// similarity-grouped term of non-string type is kTypeError at Prepare
+/// time, not a silent empty result at Execute time.
+Status ValidateClauses(const CleanDB& db, const CleanMQuery& query) {
+  if (query.from.empty()) return Status::InvalidArgument("query has no FROM table");
+  const TableRef& base = query.from[0];
+  auto base_table = db.GetTable(base.table);
+
+  auto check_column = [](const Dataset* table, const std::string& table_name,
+                         const std::string& column, bool needs_string) -> Status {
+    auto idx = table->schema().IndexOf(column);
+    if (!idx.ok()) {
+      return Status::KeyError("unknown column '" + column + "' in table '" +
+                              table_name + "'");
+    }
+    if (needs_string &&
+        table->schema().fields()[idx.value()].type != ValueType::kString) {
+      return Status::TypeError("grouping monoids (token filtering / k-means) "
+                               "require a string term, but column '" +
+                               column + "' of table '" + table_name + "' is not");
+    }
+    return Status::OK();
+  };
+
+  std::string column;
+  if (base_table.ok()) {
+    for (const auto& fd : query.fds) {
+      for (const auto& side : {&fd.lhs, &fd.rhs}) {
+        for (const auto& e : *side) {
+          if (IsColumnOf(e, base.alias, &column)) {
+            CLEANM_RETURN_NOT_OK(
+                check_column(base_table.value(), base.table, column, false));
+          }
+        }
+      }
+    }
+    for (const auto& dedup : query.dedups) {
+      const bool grouping_monoid = dedup.op != FilteringAlgo::kExactKey;
+      for (size_t i = 0; i < dedup.attributes.size(); i++) {
+        if (IsColumnOf(dedup.attributes[i], base.alias, &column)) {
+          // Only the combined grouping term must be a string under a
+          // grouping monoid; with several attributes the term is a concat
+          // (already a string), so the type requirement applies to the
+          // single-attribute form.
+          const bool needs_string = grouping_monoid && dedup.attributes.size() == 1;
+          CLEANM_RETURN_NOT_OK(
+              check_column(base_table.value(), base.table, column, needs_string));
+        }
+      }
+    }
+    for (const auto& cb : query.cluster_bys) {
+      if (IsColumnOf(cb.term, base.alias, &column)) {
+        CLEANM_RETURN_NOT_OK(check_column(base_table.value(), base.table, column,
+                                          /*needs_string=*/true));
+      }
+    }
+  }
+  if (!query.cluster_bys.empty() && query.from.size() >= 2) {
+    const TableRef& dict = query.from[1];
+    auto dict_table = db.GetTable(dict.table);
+    if (dict_table.ok()) {
+      for (const auto& cb : query.cluster_bys) {
+        if (cb.term && cb.term->kind == ExprKind::kField) {
+          CLEANM_RETURN_NOT_OK(check_column(dict_table.value(), dict.table,
+                                            cb.term->name, /*needs_string=*/true));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- Preparation ----
+
+Result<PreparedQuery> CleanDB::Prepare(const std::string& query_text) {
+  CLEANM_ASSIGN_OR_RETURN(CleanMQuery query, ParseCleanM(query_text));
+  return PrepareQuery(query);
+}
+
+Result<PreparedQuery> CleanDB::PrepareQuery(const CleanMQuery& query) {
+  CLEANM_RETURN_NOT_OK(ValidateClauses(*this, query));
+  const TableRef& base = query.from[0];
+
+  // Desugar every cleaning clause to its algebra plan.
+  std::vector<CleaningPlan> cleaning_plans;
+  for (const auto& fd : query.fds) {
+    CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(base.table, base.alias, fd));
+    cleaning_plans.push_back(std::move(cp));
+  }
+  for (const auto& dedup : query.dedups) {
+    FilteringOptions fopts = options_.filtering;
+    fopts.algo = dedup.op;
+    std::vector<std::string> centers;
+    if (dedup.op == FilteringAlgo::kKMeans && !dedup.attributes.empty() &&
+        dedup.attributes[0]->kind == ExprKind::kField) {
+      centers = SampleCenters(base.table, dedup.attributes[0]->name, fopts.k);
+    }
+    CLEANM_ASSIGN_OR_RETURN(
+        CleaningPlan cp,
+        BuildDedupPlan(base.table, base.alias, dedup, fopts, std::move(centers)));
+    cleaning_plans.push_back(std::move(cp));
+  }
+  for (const auto& cb : query.cluster_bys) {
+    if (query.from.size() < 2) {
+      return Status::InvalidArgument(
+          "CLUSTER BY requires a dictionary table as the second FROM entry");
+    }
+    const TableRef& dict = query.from[1];
+    if (!cb.term || cb.term->kind != ExprKind::kField) {
+      return Status::InvalidArgument("CLUSTER BY term must be a column reference");
+    }
+    const std::string attr = cb.term->name;
+    FilteringOptions fopts = options_.filtering;
+    fopts.algo = cb.op;
+    std::vector<std::string> centers;
+    if (cb.op == FilteringAlgo::kKMeans) {
+      centers = SampleCenters(dict.table, attr, fopts.k);
+    }
+    CLEANM_ASSIGN_OR_RETURN(
+        CleaningPlan cp,
+        BuildTermValidationPlan(base.table, base.alias, dict.table, dict.alias, attr,
+                                cb, fopts, std::move(centers)));
+    cleaning_plans.push_back(std::move(cp));
+  }
+  // Disambiguate repeated operator names (FD, FD_2, ...).
+  {
+    std::map<std::string, int> seen;
+    for (auto& cp : cleaning_plans) {
+      const int n = ++seen[cp.op_name];
+      if (n > 1) cp.op_name += "_" + std::to_string(n);
+    }
+  }
+
+  PreparedQuery pq;
+  pq.db_ = this;
+  pq.status_ = Status::OK();
+  pq.query_ = query;
+  pq.plans_ = std::move(cleaning_plans);
+
+  // Algebra-level optimization, done once: coalesce shared Nest stages
+  // (Figure 1) into the unified plan forms. Both forms are kept so the
+  // unify knob stays a per-execution choice.
+  std::vector<AlgOpPtr> roots;
+  roots.reserve(pq.plans_.size());
+  for (const auto& cp : pq.plans_) roots.push_back(cp.plan);
+  RewriteStats stats;
+  CoalescedPlans coalesced = CoalesceNests(roots, &stats);
+  pq.unified_roots_ = std::move(coalesced.roots);
+  pq.nests_coalesced_ = coalesced.groups_merged;
+  return pq;
+}
+
+Result<PreparedQuery> CleanDB::PrepareDenialConstraint(const std::string& table,
+                                                       ExprPtr pred,
+                                                       ExprPtr prefilter) {
+  if (!pred) return Status::InvalidArgument("denial constraint has no predicate");
+  AlgOpPtr left = Scan(table, "t1");
+  if (prefilter) left = SelectOp(std::move(left), prefilter);
+  AlgOpPtr join = JoinOp(std::move(left), Scan(table, "t2"), std::move(pred));
+  CleaningPlan cp;
+  cp.op_name = "DC";
+  cp.plan = std::move(join);
+  cp.entity_vars = {"t1", "t2"};
+
+  PreparedQuery pq;
+  pq.db_ = this;
+  pq.status_ = Status::OK();
+  pq.unified_roots_ = {cp.plan};
+  pq.plans_.push_back(std::move(cp));
+  return pq;
+}
+
+// ---- Execution ----
+
+std::vector<std::string> PreparedQuery::operation_names() const {
+  std::vector<std::string> names;
+  names.reserve(plans_.size());
+  for (const auto& cp : plans_) names.push_back(cp.op_name);
+  return names;
+}
+
+Result<QueryResult> PreparedQuery::Execute(const ExecOptions& opts) {
+  QueryResultSink sink;
+  CLEANM_RETURN_NOT_OK(db_->ExecutePrepared(*this, opts, sink, &sink.result()));
+  return std::move(sink.result());
+}
+
+Status PreparedQuery::ExecuteInto(ViolationSink& sink, const ExecOptions& opts) {
+  return db_->ExecutePrepared(*this, opts, sink, nullptr);
+}
+
+Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts,
+                                ViolationSink& sink, QueryResult* summary) {
+  CLEANM_RETURN_NOT_OK(pq.status_);
+  if (!pq.db_) return Status::Internal("PreparedQuery is not bound to a CleanDB");
+  const bool unify = opts.unify_operations.value_or(options_.unify_operations);
+
+  Timer total;
+  ScopedClusterConfig config(cluster_.get(), opts);
+  Catalog catalog = MakeCatalog();
+  cluster_->metrics().Reset();
+  const PartitionCache::Stats cache_before = cache_.stats();
+  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+                pq.persist_cache_};
+
+  // The unified violation report: entity → operations it violates (the
+  // Section-4.4 outer join), built incrementally as violations stream.
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+  };
+  std::unordered_map<Value, std::vector<std::string>, ValueHash, ValueEq> entities;
+
+  for (size_t i = 0; i < pq.plans_.size(); i++) {
+    const CleaningPlan& cp = pq.plans_[i];
+    Timer op_timer;
+    const AlgOpPtr& root = unify ? pq.unified_roots_[i] : cp.plan;
+    CLEANM_ASSIGN_OR_RETURN(Value out, exec.RunToValue(root));
+
+    CLEANM_RETURN_NOT_OK(sink.OnOpBegin(cp.op_name));
+    size_t emitted = 0;
+    CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&](const Value& v) {
+      CLEANM_RETURN_NOT_OK(sink.OnViolation(cp.op_name, v));
+      emitted++;
+      for (const auto& var : cp.entity_vars) {
+        auto field = v.GetField(var);
+        if (!field.ok()) continue;
+        const Value& entity = field.value();
+        auto add = [&](const Value& e) {
+          auto& ops = entities[e];
+          if (ops.empty() || ops.back() != cp.op_name) ops.push_back(cp.op_name);
+        };
+        if (entity.type() == ValueType::kList) {
+          for (const auto& e : entity.AsList()) add(e);
+        } else {
+          add(entity);
+        }
+      }
+      return Status::OK();
+    }));
+    OpSummary op_summary;
+    op_summary.op_name = cp.op_name;
+    op_summary.violations = emitted;
+    op_summary.seconds = op_timer.ElapsedSeconds();
+    CLEANM_RETURN_NOT_OK(sink.OnOpEnd(op_summary));
+  }
+
+  for (const auto& [entity, ops] : entities) {
+    CLEANM_RETURN_NOT_OK(sink.OnDirtyEntity(entity, ops));
+  }
+
+  if (summary) {
+    summary->nests_coalesced = unify ? pq.nests_coalesced_ : 0;
+    summary->total_seconds = total.ElapsedSeconds();
+    summary->metrics = cluster_->metrics().Snapshot();
+    summary->cache = cache_.stats().Since(cache_before);
+  }
+  return Status::OK();
+}
+
+}  // namespace cleanm

@@ -1,0 +1,85 @@
+// PreparedQuery: the prepare-once / execute-many half of the CleanDB API.
+//
+// The paper's central claim is that one declarative CleanM query is
+// optimized *once* and then serves repeated cleaning passes over evolving
+// data. CleanDB::Prepare performs the per-query work exactly once — parse,
+// monoid normalization, clause desugaring, algebra rewriting, Nest
+// coalescing, schema validation — and the resulting PreparedQuery owns both
+// plan forms (standalone and unified). Each Execute then only runs the
+// physical plans, reusing the session's partition cache, so re-executions
+// skip re-parsing, re-planning, and (on cache hits) re-partitioning.
+//
+// Binding is lazy: tables are resolved against the session catalog at
+// execution time, so a query may be prepared before its tables are
+// registered (executing then yields kKeyError), and re-registering a table
+// between executions is picked up automatically via the generation bump.
+// The one prepare-time constant is k-means center sampling: centers are
+// sampled (deterministically) when the source table is registered at
+// Prepare time and embedded in the plan, like bound parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cleaning/cleandb.h"
+#include "cleaning/exec_options.h"
+#include "cleaning/plan_builder.h"
+#include "cleaning/violation_sink.h"
+#include "language/ast.h"
+
+namespace cleanm {
+
+/// \brief An optimized, session-bound CleanM query (or programmatic
+/// cleaning program). Create via CleanDB::Prepare / PrepareQuery /
+/// PrepareDenialConstraint; must not outlive its CleanDB.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  /// Preparation status: OK for a PreparedQuery obtained from a successful
+  /// Prepare (the failing case — positioned ParseError, unknown column,
+  /// type error — is carried by the Result<PreparedQuery> itself), non-OK
+  /// for an unprepared instance (e.g. moved-from); executing the latter
+  /// returns this status.
+  const Status& status() const { return status_; }
+
+  /// The parsed query (empty for programmatic preparations).
+  const CleanMQuery& query() const { return query_; }
+
+  size_t num_operations() const { return plans_.size(); }
+  std::vector<std::string> operation_names() const;
+
+  /// Nest stages the optimizer coalesced in the unified plan forms.
+  int nests_coalesced() const { return nests_coalesced_; }
+
+  /// Runs the prepared plans and materializes a QueryResult (via
+  /// QueryResultSink). `opts` fields override the session defaults for
+  /// this call only.
+  Result<QueryResult> Execute(const ExecOptions& opts = {});
+
+  /// Runs the prepared plans, streaming violations and the dirty-entity
+  /// join into `sink`. A non-OK status from the sink aborts the execution
+  /// and is returned.
+  Status ExecuteInto(ViolationSink& sink, const ExecOptions& opts = {});
+
+ private:
+  friend class CleanDB;
+  PreparedQuery() = default;
+
+  CleanDB* db_ = nullptr;
+  /// Set to OK by the Prepare factories; anything else is unprepared.
+  Status status_ = Status::Internal("PreparedQuery was not prepared");
+  CleanMQuery query_;
+  /// Standalone per-operation plans (executed when unify is off).
+  std::vector<CleaningPlan> plans_;
+  /// Nest-coalesced plan roots, same order (executed when unify is on).
+  std::vector<AlgOpPtr> unified_roots_;
+  int nests_coalesced_ = 0;
+  /// False for the one-shot Execute convenience: the plans die with this
+  /// object, so their Nest outputs must not persist in (and pollute) the
+  /// session cache.
+  bool persist_cache_ = true;
+};
+
+}  // namespace cleanm

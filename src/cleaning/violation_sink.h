@@ -1,0 +1,98 @@
+// Streaming consumption of cleaning results.
+//
+// PreparedQuery::ExecuteInto pushes violations and the unified dirty-entity
+// join (the Section-4.4 outer join) into a ViolationSink as they are
+// produced, instead of materializing a whole QueryResult first. Sinks that
+// only count, forward, or filter violations never hold the full violation
+// set in memory; the classic materializing behavior survives as
+// QueryResultSink, so old callers migrate mechanically:
+//
+//   auto result = db.Execute(text);                 // before
+//   auto pq = db.Prepare(text);                     // after
+//   auto result = pq.value().Execute();             //   (materializing)
+//   CountingSink sink;                              //   (streaming)
+//   pq.value().ExecuteInto(sink);
+//
+// Any callback returning a non-OK Status aborts the execution and becomes
+// ExecuteInto's return value (early exit, e.g. "first 100 violations").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cleaning/cleandb.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cleanm {
+
+/// Per-operation completion summary delivered to OnOpEnd.
+struct OpSummary {
+  std::string op_name;
+  size_t violations = 0;
+  double seconds = 0;
+};
+
+/// \brief Receiver interface for streamed cleaning results.
+///
+/// Call order per execution: for each operation, OnOpBegin, then zero or
+/// more OnViolation (already deduplicated on the operation's entity
+/// projection), then OnOpEnd; after all operations, one OnDirtyEntity per
+/// entity that violates at least one rule.
+class ViolationSink {
+ public:
+  virtual ~ViolationSink() = default;
+
+  virtual Status OnOpBegin(const std::string& op_name) {
+    (void)op_name;
+    return Status::OK();
+  }
+
+  virtual Status OnViolation(const std::string& op_name, const Value& violation) = 0;
+
+  virtual Status OnOpEnd(const OpSummary& summary) {
+    (void)summary;
+    return Status::OK();
+  }
+
+  /// One entity of the unified report with the names of the operations it
+  /// violates (ordered as the operations ran).
+  virtual Status OnDirtyEntity(const Value& entity,
+                               const std::vector<std::string>& violated_ops) = 0;
+};
+
+/// \brief The materializing sink: accumulates everything into a
+/// QueryResult, reproducing the pre-streaming API surface.
+class QueryResultSink final : public ViolationSink {
+ public:
+  Status OnOpBegin(const std::string& op_name) override {
+    OpResult op;
+    op.op_name = op_name;
+    result_.ops.push_back(std::move(op));
+    return Status::OK();
+  }
+
+  Status OnViolation(const std::string& op_name, const Value& violation) override {
+    (void)op_name;  // OnOpBegin already opened this operation
+    result_.ops.back().violations.push_back(violation);
+    return Status::OK();
+  }
+
+  Status OnOpEnd(const OpSummary& summary) override {
+    result_.ops.back().seconds = summary.seconds;
+    return Status::OK();
+  }
+
+  Status OnDirtyEntity(const Value& entity,
+                       const std::vector<std::string>& violated_ops) override {
+    result_.dirty_entities.emplace_back(entity, violated_ops);
+    return Status::OK();
+  }
+
+  QueryResult& result() { return result_; }
+
+ private:
+  QueryResult result_;
+};
+
+}  // namespace cleanm

@@ -4,14 +4,11 @@
 
 namespace cleanm {
 
-std::string QueryMetrics::ToString() const {
+std::string MetricsCounters::ToString() const {
   std::ostringstream os;
-  os << "rows_shuffled=" << rows_shuffled.load()
-     << " bytes_shuffled=" << bytes_shuffled.load()
-     << " shuffle_batches=" << shuffle_batches.load()
-     << " comparisons=" << comparisons.load()
-     << " rows_scanned=" << rows_scanned.load()
-     << " groups_built=" << groups_built.load();
+  os << "rows_shuffled=" << rows_shuffled << " bytes_shuffled=" << bytes_shuffled
+     << " shuffle_batches=" << shuffle_batches << " comparisons=" << comparisons
+     << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built;
   return os.str();
 }
 

@@ -13,6 +13,32 @@
 
 namespace cleanm {
 
+/// \brief Plain copyable point-in-time copy of the engine counters — the
+/// form results and tests carry around (QueryMetrics itself is atomic and
+/// non-copyable). Produced by QueryMetrics::Snapshot().
+struct MetricsCounters {
+  uint64_t rows_shuffled = 0;
+  uint64_t bytes_shuffled = 0;
+  /// Network messages: one per flushed remote (source, destination) batch.
+  uint64_t shuffle_batches = 0;
+  uint64_t comparisons = 0;  ///< pairwise similarity checks
+  uint64_t rows_scanned = 0;
+  uint64_t groups_built = 0;
+
+  std::string ToString() const;
+
+  friend bool operator==(const MetricsCounters& a, const MetricsCounters& b) {
+    return a.rows_shuffled == b.rows_shuffled &&
+           a.bytes_shuffled == b.bytes_shuffled &&
+           a.shuffle_batches == b.shuffle_batches &&
+           a.comparisons == b.comparisons && a.rows_scanned == b.rows_scanned &&
+           a.groups_built == b.groups_built;
+  }
+  friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
+    return !(a == b);
+  }
+};
+
 /// \brief Counters for one engine run. Thread-safe.
 struct QueryMetrics {
   std::atomic<uint64_t> rows_shuffled{0};
@@ -32,7 +58,18 @@ struct QueryMetrics {
     groups_built = 0;
   }
 
-  std::string ToString() const;
+  MetricsCounters Snapshot() const {
+    MetricsCounters s;
+    s.rows_shuffled = rows_shuffled.load();
+    s.bytes_shuffled = bytes_shuffled.load();
+    s.shuffle_batches = shuffle_batches.load();
+    s.comparisons = comparisons.load();
+    s.rows_scanned = rows_scanned.load();
+    s.groups_built = groups_built.load();
+    return s;
+  }
+
+  std::string ToString() const { return Snapshot().ToString(); }
 };
 
 /// \brief Per-node load sample used to quantify skew-induced imbalance.

@@ -6,7 +6,8 @@
 
 namespace cleanm::engine {
 
-Cluster::Cluster(ClusterOptions options) : options_(options) {
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), active_nodes_(options.num_nodes) {
   CLEANM_CHECK(options_.num_nodes > 0);
   CLEANM_CHECK(options_.shuffle_batch_rows > 0);
   if (options_.use_worker_pool) {
@@ -14,9 +15,34 @@ Cluster::Cluster(ClusterOptions options) : options_(options) {
   }
 }
 
+void Cluster::SetActiveNodes(size_t n) {
+  if (n < 1) n = 1;
+  if (n > options_.num_nodes) n = options_.num_nodes;
+  active_nodes_ = n;
+}
+
+void Cluster::SetShuffleCost(double ns_per_byte, double ns_per_batch) {
+  options_.shuffle_ns_per_byte = ns_per_byte;
+  options_.shuffle_ns_per_batch = ns_per_batch;
+}
+
+void Cluster::SetShuffleBatchRows(size_t rows) {
+  // Clamp like SetActiveNodes: a 0 from ExecOptions means row-at-a-time,
+  // not a session abort.
+  options_.shuffle_batch_rows = rows < 1 ? 1 : rows;
+}
+
 void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
+  const size_t active = active_nodes_;
   if (pool_) {
-    pool_->Run(fn);
+    if (active == pool_->size()) {
+      pool_->Run(fn);
+    } else {
+      // Node cap in force: workers above the cap idle through the epoch.
+      pool_->Run([&fn, active](size_t n) {
+        if (n < active) fn(n);
+      });
+    }
     return;
   }
   // Legacy spawn-per-call model (use_worker_pool = false): one fresh thread
@@ -26,8 +52,8 @@ void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
   std::mutex error_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> workers;
-  workers.reserve(options_.num_nodes);
-  for (size_t n = 0; n < options_.num_nodes; n++) {
+  workers.reserve(active);
+  for (size_t n = 0; n < active; n++) {
     workers.emplace_back([&fn, &error_mu, &first_error, n] {
       try {
         fn(n);
@@ -42,11 +68,11 @@ void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
 }
 
 Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
-  Partitioned out(options_.num_nodes);
-  const size_t per_node = rows.size() / options_.num_nodes + 1;
+  Partitioned out(active_nodes_);
+  const size_t per_node = rows.size() / active_nodes_ + 1;
   for (auto& p : out) p.reserve(per_node);
   for (size_t i = 0; i < rows.size(); i++) {
-    out[i % options_.num_nodes].push_back(rows[i]);
+    out[i % active_nodes_].push_back(rows[i]);
   }
   metrics_.rows_scanned += rows.size();
   return out;
@@ -131,7 +157,7 @@ struct ShuffleBuffer {
 
 Partitioned Cluster::Shuffle(const Partitioned& in,
                              const std::function<uint64_t(const Row&)>& route) {
-  const size_t n_nodes = options_.num_nodes;
+  const size_t n_nodes = active_nodes_;
   const size_t batch_rows = options_.shuffle_batch_rows;
   // staged[src][dst] holds the flushed batches in routing order, so the
   // destination splice below reproduces the exact row order of an
@@ -186,7 +212,7 @@ Partitioned Cluster::Shuffle(const Partitioned& in,
 }
 
 Partition Cluster::BroadcastAll(const Partitioned& in) {
-  const size_t n_nodes = options_.num_nodes;
+  const size_t n_nodes = active_nodes_;
   const size_t receivers = n_nodes - 1;
   // Offsets let every source copy its slice into the shared result
   // concurrently (the "receive work" of the broadcast).

@@ -57,9 +57,32 @@ class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
 
-  size_t num_nodes() const { return options_.num_nodes; }
+  /// Nodes participating in execution right now (≤ max_nodes; see
+  /// SetActiveNodes). All Partitioned widths follow this value.
+  size_t num_nodes() const { return active_nodes_; }
+  /// Physical pool width, fixed at construction.
+  size_t max_nodes() const { return options_.num_nodes; }
   const ClusterOptions& options() const { return options_; }
   QueryMetrics& metrics() { return metrics_; }
+
+  // ---- Per-execution reconfiguration (the session API's ExecOptions) ----
+  //
+  // These mutate the shared cluster and must only be called from the
+  // driver between operator calls — never while an epoch is in flight.
+  // Callers are expected to restore the previous values afterwards (see
+  // cleaning/prepared_query.cc, ScopedClusterConfig).
+
+  /// Caps execution to the first `n` nodes (clamped to [1, max_nodes]).
+  /// Workers above the cap idle through their epochs; partitionings built
+  /// under a different cap are not interchangeable (the partition cache
+  /// keys on the active width).
+  void SetActiveNodes(size_t n);
+
+  /// Re-points the simulated interconnect cost model.
+  void SetShuffleCost(double ns_per_byte, double ns_per_batch);
+
+  /// Re-sizes the per-destination shuffle batches (clamped to ≥ 1).
+  void SetShuffleBatchRows(size_t rows);
 
   /// Runs fn(node_id) on every node concurrently and waits for all.
   /// Worker exceptions propagate to the caller (first one wins).
@@ -107,6 +130,8 @@ class Cluster {
 
  private:
   ClusterOptions options_;
+  /// Nodes participating in execution (≤ options_.num_nodes).
+  size_t active_nodes_;
   mutable QueryMetrics metrics_;
   /// Lives for the Cluster's lifetime; null when use_worker_pool is false.
   mutable std::unique_ptr<WorkerPool> pool_;

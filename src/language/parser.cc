@@ -31,9 +31,24 @@ class Lexer {
     return t;
   }
 
+  /// Positioned parse error: line/column (1-based) of the current token,
+  /// so Prepare failures point at the offending spot in multi-line query
+  /// text, plus the raw offset for tooling.
   Status Error(const std::string& msg) const {
-    return Status::ParseError(msg + " near position " + std::to_string(current_.pos) +
-                              " ('" + current_.text + "')");
+    size_t line = 1, column = 1;
+    for (size_t i = 0; i < current_.pos && i < text_.size(); i++) {
+      if (text_[i] == '\n') {
+        line++;
+        column = 1;
+      } else {
+        column++;
+      }
+    }
+    const std::string token =
+        current_.kind == TokKind::kEnd ? "end of input" : "'" + current_.text + "'";
+    return Status::ParseError(msg + " at line " + std::to_string(line) + ", column " +
+                              std::to_string(column) + " (near " + token +
+                              ", offset " + std::to_string(current_.pos) + ")");
   }
 
  private:

@@ -12,8 +12,10 @@
 
 namespace cleanm {
 
-/// Parses one CleanM query. ParseError statuses carry the offending
-/// position's context.
+/// Parses one CleanM query. ParseError statuses are positioned: the
+/// message carries the 1-based line/column (and raw offset) of the
+/// offending token, so a failed CleanDB::Prepare points at the exact spot
+/// in multi-line query text.
 Result<CleanMQuery> ParseCleanM(const std::string& query);
 
 /// Parses a standalone scalar expression (exposed for tests and the

@@ -1,0 +1,172 @@
+#include "physical/partition_cache.h"
+
+#include <sstream>
+
+namespace cleanm {
+
+namespace {
+
+uint64_t PartitionedBytes(const engine::Partitioned& data) {
+  uint64_t bytes = 0;
+  for (const auto& partition : data) {
+    for (const auto& row : partition) bytes += RowByteSize(row);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+PartitionCache::Stats PartitionCache::Stats::Since(const Stats& before) const {
+  Stats delta = *this;
+  delta.scan_hits -= before.scan_hits;
+  delta.scan_misses -= before.scan_misses;
+  delta.nest_hits -= before.nest_hits;
+  delta.nest_misses -= before.nest_misses;
+  delta.evictions -= before.evictions;
+  delta.invalidations -= before.invalidations;
+  return delta;
+}
+
+std::string PartitionCache::Stats::ToString() const {
+  std::ostringstream out;
+  out << "{scan_hits=" << scan_hits << " scan_misses=" << scan_misses
+      << " nest_hits=" << nest_hits << " nest_misses=" << nest_misses
+      << " evictions=" << evictions << " invalidations=" << invalidations
+      << " resident_bytes=" << resident_bytes
+      << " resident_entries=" << resident_entries << "}";
+  return out.str();
+}
+
+const engine::Partitioned* PartitionCache::Find(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return &it->second.data;
+}
+
+const engine::Partitioned* PartitionCache::FindScan(const std::string& table,
+                                                    uint64_t generation, size_t nodes) {
+  return Find(Key{Kind::kScan, nullptr, table, "", generation, nodes});
+}
+
+void PartitionCache::PutScan(const std::string& table, uint64_t generation,
+                             size_t nodes, engine::Partitioned data) {
+  Entry entry;
+  entry.bytes = PartitionedBytes(data);
+  entry.data = std::move(data);
+  entry.deps = {{table, generation}};
+  Put(Key{Kind::kScan, nullptr, table, "", generation, nodes}, std::move(entry));
+}
+
+const engine::Partitioned* PartitionCache::FindWrap(const std::string& table,
+                                                    const std::string& var,
+                                                    uint64_t generation, size_t nodes) {
+  return Find(Key{Kind::kWrap, nullptr, table, var, generation, nodes});
+}
+
+void PartitionCache::PutWrap(const std::string& table, const std::string& var,
+                             uint64_t generation, size_t nodes,
+                             engine::Partitioned data) {
+  Entry entry;
+  entry.bytes = PartitionedBytes(data);
+  entry.data = std::move(data);
+  entry.deps = {{table, generation}};
+  Put(Key{Kind::kWrap, nullptr, table, var, generation, nodes}, std::move(entry));
+}
+
+const engine::Partitioned* PartitionCache::FindNest(
+    const AlgOp* node, size_t nodes,
+    const std::function<uint64_t(const std::string&)>& generation_of) {
+  const Key key{Kind::kNest, node, "", "", 0, nodes};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    stats_.nest_misses++;
+    return nullptr;
+  }
+  // Eager invalidation already drops stale entries; the generation re-check
+  // is the belt-and-braces guarantee that a stale partitioning is
+  // unreachable even if an invalidation path is ever missed.
+  for (const auto& [table, generation] : it->second.deps) {
+    if (generation_of(table) != generation) {
+      Erase(it, &stats_.invalidations);
+      stats_.nest_misses++;
+      return nullptr;
+    }
+  }
+  stats_.nest_hits++;
+  it->second.last_used = ++tick_;
+  return &it->second.data;
+}
+
+void PartitionCache::PutNest(const AlgOpPtr& node, size_t nodes,
+                             std::vector<std::pair<std::string, uint64_t>> deps,
+                             engine::Partitioned data) {
+  Entry entry;
+  entry.bytes = PartitionedBytes(data);
+  entry.data = std::move(data);
+  entry.deps = std::move(deps);
+  entry.pinned = node;
+  Put(Key{Kind::kNest, node.get(), "", "", 0, nodes}, std::move(entry));
+}
+
+void PartitionCache::Put(Key key, Entry entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) Erase(it, nullptr);  // replace, re-accounting bytes
+  entry.last_used = ++tick_;
+  resident_bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  stats_.resident_bytes = resident_bytes_;
+  stats_.resident_entries = entries_.size();
+  if (byte_budget_ > 0) EvictToBudget(key);
+}
+
+void PartitionCache::Erase(std::map<Key, Entry>::iterator it, uint64_t* counter) {
+  resident_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+  if (counter) (*counter)++;
+  stats_.resident_bytes = resident_bytes_;
+  stats_.resident_entries = entries_.size();
+}
+
+void PartitionCache::EvictToBudget(const Key& keep) {
+  while (resident_bytes_ > byte_budget_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;  // never evict the entry being admitted
+      if (victim == entries_.end() || it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    Erase(victim, &stats_.evictions);
+  }
+}
+
+void PartitionCache::InvalidateTable(const std::string& table) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool depends = false;
+    for (const auto& [dep_table, generation] : it->second.deps) {
+      (void)generation;
+      if (dep_table == table) {
+        depends = true;
+        break;
+      }
+    }
+    if (depends) {
+      auto doomed = it++;
+      Erase(doomed, &stats_.invalidations);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PartitionCache::Clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  resident_bytes_ = 0;
+  stats_.resident_bytes = 0;
+  stats_.resident_entries = 0;
+}
+
+}  // namespace cleanm

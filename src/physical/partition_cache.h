@@ -1,0 +1,135 @@
+// Session-owned partition cache: the cross-query successor of the
+// executor's per-query scan/wrap/nest maps.
+//
+// A CleanDB session owns one PartitionCache; every Executor the session
+// creates shares it. Entries are keyed by (kind, table, var, node identity,
+// table generation, partition count), so
+//   * repeated executions of a PreparedQuery reuse the parallelized scans,
+//     the {var: record} wrapped scans, and the outputs of coalesced Nest
+//     stages instead of re-partitioning,
+//   * a re-registered table (generation bump) can never be served stale —
+//     RegisterTable invalidates eagerly AND the stale generation no longer
+//     matches the key,
+//   * executions under a different active-node cap (ExecOptions::max_nodes)
+//     never see partitionings of the wrong width.
+//
+// Memory is bounded by a byte budget with LRU eviction (ROADMAP
+// "Scan-cache memory"): each Put charges the deep row bytes of the inserted
+// partitioning and evicts least-recently-used entries until the cache fits.
+// A single entry larger than the whole budget is admitted alone (evicting
+// everything else); refusing it would livelock large-table sessions.
+//
+// Thread model: executions are driver-serial (the cluster parallelizes
+// *inside* operator calls), so the cache is not locked. Do not share one
+// cache between concurrently executing sessions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "engine/cluster.h"
+
+namespace cleanm {
+
+class PartitionCache {
+ public:
+  /// Point-in-time counters. Hit/miss/eviction counters are cumulative for
+  /// the cache's lifetime; resident_* describe the current contents.
+  /// `Since` turns two snapshots into a per-execution delta.
+  struct Stats {
+    uint64_t scan_hits = 0;    ///< scan requests served without Parallelize
+    uint64_t scan_misses = 0;  ///< Parallelize runs (tables partitioned)
+    uint64_t nest_hits = 0;    ///< shared-Nest requests served from cache
+    uint64_t nest_misses = 0;  ///< Nest stages executed
+    uint64_t evictions = 0;    ///< entries dropped by the byte budget
+    uint64_t invalidations = 0;  ///< entries dropped by table re-registration
+    uint64_t resident_bytes = 0;
+    uint64_t resident_entries = 0;
+
+    /// Counter-wise delta against an earlier snapshot (resident_* keep the
+    /// later snapshot's values — they are gauges, not counters).
+    Stats Since(const Stats& before) const;
+    std::string ToString() const;
+  };
+
+  /// `byte_budget` bounds the resident partition bytes; 0 = unbounded.
+  explicit PartitionCache(size_t byte_budget = 0) : byte_budget_(byte_budget) {}
+
+  PartitionCache(const PartitionCache&) = delete;
+  PartitionCache& operator=(const PartitionCache&) = delete;
+
+  // ---- Scans (a table parallelized across `nodes` partitions) ----
+
+  const engine::Partitioned* FindScan(const std::string& table, uint64_t generation,
+                                      size_t nodes);
+  void PutScan(const std::string& table, uint64_t generation, size_t nodes,
+               engine::Partitioned data);
+
+  // ---- Wrapped scans (the {var: record} tuple wrap of a scan) ----
+
+  const engine::Partitioned* FindWrap(const std::string& table, const std::string& var,
+                                      uint64_t generation, size_t nodes);
+  void PutWrap(const std::string& table, const std::string& var, uint64_t generation,
+               size_t nodes, engine::Partitioned data);
+
+  // ---- Nest outputs (keyed by node identity; the node is pinned) ----
+
+  /// `generation_of` resolves a table name to its current generation; a hit
+  /// requires every recorded dependency to still match.
+  const engine::Partitioned* FindNest(
+      const AlgOp* node, size_t nodes,
+      const std::function<uint64_t(const std::string&)>& generation_of);
+  /// `node` is retained (shared ownership) while the entry lives, so a
+  /// recycled heap address can never alias a cached result. `deps` lists
+  /// every (table, generation) the Nest's input subtree read.
+  void PutNest(const AlgOpPtr& node, size_t nodes,
+               std::vector<std::pair<std::string, uint64_t>> deps,
+               engine::Partitioned data);
+
+  /// Records a scan served from cache (wrap or base) / a Parallelize run.
+  /// Exposed so the executor can count wrap-cache hits as scan hits.
+  void CountScanHit() { stats_.scan_hits++; }
+  void CountScanMiss() { stats_.scan_misses++; }
+
+  /// Drops every entry that read `table` (any generation). Called by
+  /// RegisterTable/UnregisterTable.
+  void InvalidateTable(const std::string& table);
+
+  void Clear();
+
+  size_t byte_budget() const { return byte_budget_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Kind { kScan, kWrap, kNest };
+  /// (kind, nest-node identity, table, var, generation, partition count).
+  using Key = std::tuple<Kind, const AlgOp*, std::string, std::string, uint64_t, size_t>;
+
+  struct Entry {
+    engine::Partitioned data;
+    uint64_t bytes = 0;
+    uint64_t last_used = 0;
+    /// Tables (with the generations seen) this entry depends on.
+    std::vector<std::pair<std::string, uint64_t>> deps;
+    /// Nest entries pin their plan node against address reuse.
+    AlgOpPtr pinned;
+  };
+
+  const engine::Partitioned* Find(const Key& key);
+  void Put(Key key, Entry entry);
+  void Erase(std::map<Key, Entry>::iterator it, uint64_t* counter);
+  void EvictToBudget(const Key& keep);
+
+  size_t byte_budget_;
+  uint64_t tick_ = 0;
+  uint64_t resident_bytes_ = 0;
+  std::map<Key, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace cleanm

@@ -22,20 +22,41 @@ Value MergeTuples(const Value& a, const Value& b) {
   return Value(std::move(merged));
 }
 
+/// Every table scanned under `plan`, with the catalog's current generation
+/// — the dependency set recorded on cached Nest outputs.
+void CollectScanDeps(const AlgOpPtr& plan, const Catalog& catalog,
+                     std::vector<std::pair<std::string, uint64_t>>* deps) {
+  if (!plan) return;
+  if (plan->kind == AlgKind::kScan) {
+    for (const auto& dep : *deps) {
+      if (dep.first == plan->table) return;
+    }
+    deps->emplace_back(plan->table, catalog.GenerationOf(plan->table));
+    return;
+  }
+  CollectScanDeps(plan->input, catalog, deps);
+  CollectScanDeps(plan->right, catalog, deps);
+}
+
 }  // namespace
 
 Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
   if (!plan) return Status::Internal("null physical plan");
+  if (!cache) return Status::Internal("Executor has no partition cache");
   switch (plan->kind) {
     case AlgKind::kScan: {
-      const auto wrap_key = std::make_pair(plan->table, plan->var);
-      auto wrapped = wrap_cache.find(wrap_key);
-      if (wrapped != wrap_cache.end()) return wrapped->second;
+      const uint64_t generation = catalog->GenerationOf(plan->table);
+      const size_t nodes = cluster->num_nodes();
+      if (const Partitioned* wrapped =
+              cache->FindWrap(plan->table, plan->var, generation, nodes)) {
+        cache->CountScanHit();
+        return *wrapped;
+      }
 
-      auto cached = scan_cache.find(plan->table);
       Partitioned base;
-      if (cached != scan_cache.end()) {
-        base = cached->second;
+      if (const Partitioned* scanned = cache->FindScan(plan->table, generation, nodes)) {
+        cache->CountScanHit();
+        base = *scanned;
       } else {
         CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(plan->table));
         std::vector<Row> rows;
@@ -44,14 +65,15 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
           rows.push_back(MakeTupleRow(RowToRecord(table->schema(), row)));
         }
         base = cluster->Parallelize(rows);
-        scan_cache.emplace(plan->table, base);
+        cache->CountScanMiss();
+        cache->PutScan(plan->table, generation, nodes, base);
       }
       // Wrap each record into the {var: record} tuple.
       const std::string var = plan->var;
       Partitioned result = cluster->Map(base, [var](const Row& r) {
         return MakeTupleRow(Value(ValueStruct{{var, TupleOf(r)}}));
       });
-      wrap_cache.emplace(wrap_key, result);
+      cache->PutWrap(plan->table, plan->var, generation, nodes, result);
       return result;
     }
 
@@ -149,8 +171,18 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
     }
 
     case AlgKind::kNest: {
-      auto cached = nest_cache.find(plan.get());
-      if (cached != nest_cache.end()) return cached->second;
+      const size_t nodes = cluster->num_nodes();
+      if (!persist_nests) {
+        auto local = local_nests.find(plan.get());
+        if (local != local_nests.end()) return local->second;
+      } else {
+        const Catalog& cat = *catalog;
+        if (const Partitioned* cached = cache->FindNest(
+                plan.get(), nodes,
+                [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
+          return *cached;
+        }
+      }
 
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
       const TupleLayout layout = CollectVars(plan->input);
@@ -241,7 +273,13 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
 
       Partitioned result = engine::AggregateByKey(*cluster, keyed, spec,
                                                   options.aggregate_strategy);
-      nest_cache.emplace(plan.get(), result);
+      if (!persist_nests) {
+        local_nests.emplace(plan.get(), result);
+      } else {
+        std::vector<std::pair<std::string, uint64_t>> deps;
+        CollectScanDeps(plan, *catalog, &deps);
+        cache->PutNest(plan, nodes, std::move(deps), result);
+      }
       return result;
     }
 

@@ -14,9 +14,11 @@
 //   Outer join  → engine::HashLeftOuterJoin
 //
 // The executor also implements the two sharing mechanisms enabled by the
-// algebra rewriter: a scan cache (each table parallelized once per query)
-// and a nest cache (a coalesced shared Nest node executes once and feeds
-// every consumer).
+// algebra rewriter — shared scans (each table parallelized once, Figure 1's
+// DAG) and shared Nests (a coalesced Nest node executes once and feeds
+// every consumer) — by reading and writing the session-owned
+// PartitionCache, so the sharing extends across repeated executions of a
+// PreparedQuery, not just within one query.
 #pragma once
 
 #include <map>
@@ -28,6 +30,7 @@
 #include "engine/cluster.h"
 #include "engine/join.h"
 #include "physical/compile.h"
+#include "physical/partition_cache.h"
 
 namespace cleanm {
 
@@ -38,21 +41,35 @@ struct PhysicalOptions {
   engine::ThetaJoinAlgo theta_algo = engine::ThetaJoinAlgo::kMatrix;
 };
 
-/// \brief Per-query execution state: cluster, catalog, options, caches.
+/// \brief Execution state: cluster, catalog, options, session cache.
+///
+/// The cache outlives the executor (a session runs many executors over its
+/// lifetime); an executor is cheap and constructed per execution.
 struct Executor {
-  engine::Cluster* cluster;
-  const Catalog* catalog;
-  PhysicalOptions options;
+  Executor(engine::Cluster* cluster_in, const Catalog* catalog_in,
+           PhysicalOptions options_in, PartitionCache* cache_in,
+           bool persist_nests_in = true)
+      : cluster(cluster_in),
+        catalog(catalog_in),
+        options(options_in),
+        cache(cache_in),
+        persist_nests(persist_nests_in) {}
 
-  /// Scan cache — the shared-scan DAG of Figure 1: each table is read and
-  /// parallelized once per query.
-  std::map<std::string, engine::Partitioned> scan_cache;
-  /// Wrapped-scan cache keyed by (table, var): the {var: record} tuple wrap
-  /// of a scan is pure, so repeated scans of the same alias reuse it
-  /// instead of paying a Map dispatch + copy per consumer.
-  std::map<std::pair<std::string, std::string>, engine::Partitioned> wrap_cache;
-  /// Nest cache keyed by node identity — coalesced Nests execute once.
-  std::map<const AlgOp*, engine::Partitioned> nest_cache;
+  engine::Cluster* cluster = nullptr;
+  const Catalog* catalog = nullptr;
+  PhysicalOptions options;
+  /// Session-owned partition cache (required): scans, wrapped scans, and
+  /// Nest outputs are looked up and published here, keyed by table
+  /// generation and active partition count.
+  PartitionCache* cache = nullptr;
+  /// When false, Nest outputs go into `local_nests` instead of the session
+  /// cache. Nest entries are keyed by plan-node identity, so outputs of
+  /// *transient* plans (one-shot Execute, the programmatic ops) could
+  /// never be hit again — persisting them would only pin dead partitions
+  /// and LRU-evict live ones. Within-execution sharing of a coalesced
+  /// Nest (Figure 1) works in either mode.
+  bool persist_nests = true;
+  std::map<const AlgOp*, engine::Partitioned> local_nests;
 
   /// Executes a plan (any root except Reduce), returning distributed
   /// tuples. Tuple layout matches CollectVars(plan).

@@ -76,7 +76,8 @@ Value RunEngineAgainstReference(const AlgOpPtr& plan, const Catalog& catalog,
                                 size_t nodes = 4) {
   auto reference = EvalPlan(plan, catalog).ValueOrDie();
   engine::Cluster cluster(FastClusterOptions(nodes));
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   auto engine_result = exec.RunToValue(plan).ValueOrDie();
   EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference));
   if (metrics) *metrics = Snapshot(cluster.metrics());
@@ -137,7 +138,7 @@ TEST(E2EDedupTest, ParsedQueryMatchesReferenceEvaluator) {
   auto result = db.Execute(query_text).ValueOrDie();
   ASSERT_EQ(result.ops.size(), 1u);
   EXPECT_EQ(result.ops[0].violations.size(), violations.AsList().size());
-  EXPECT_GT(result.rows_shuffled, 0u);
+  EXPECT_GT(result.metrics.rows_shuffled, 0u);
 }
 
 // ---- Scenario 2: term validation ----
@@ -252,7 +253,8 @@ TEST(E2EDenialConstraintTest, ThetaSelfJoinMatchesReferenceAcrossAlgorithms) {
     engine::Cluster cluster(FastClusterOptions());
     PhysicalOptions popts;
     popts.theta_algo = algo;
-    Executor exec{&cluster, &catalog, popts, {}, {}, {}};
+    PartitionCache cache;
+    Executor exec{&cluster, &catalog, popts, &cache};
     auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
     EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference))
         << engine::ThetaJoinAlgoName(algo);
@@ -334,7 +336,8 @@ TEST(E2ESelectTest, ParsedSelectAgreesAcrossInterpreterReferenceAndEngine) {
   EXPECT_EQ(CanonicalString(reference), CanonicalString(interpreted));
 
   engine::Cluster cluster(FastClusterOptions());
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
   EXPECT_EQ(CanonicalString(engine_result), CanonicalString(interpreted));
 }
@@ -368,10 +371,9 @@ TEST(E2EUnifiedQueryTest, CoalescedExecutionIsStableAndShuffles) {
   EXPECT_GT(first.dirty_entities.size(), 0u);
 
   // Nonzero, run-to-run stable shuffle traffic and identical violations.
-  EXPECT_GT(first.rows_shuffled, 0u);
-  EXPECT_GT(first.bytes_shuffled, 0u);
-  EXPECT_EQ(first.rows_shuffled, second.rows_shuffled);
-  EXPECT_EQ(first.bytes_shuffled, second.bytes_shuffled);
+  EXPECT_GT(first.metrics.rows_shuffled, 0u);
+  EXPECT_GT(first.metrics.bytes_shuffled, 0u);
+  EXPECT_TRUE(SnapshotsEqual(first.metrics, second.metrics));
   for (size_t i = 0; i < first.ops.size(); i++) {
     EXPECT_EQ(first.ops[i].violations.size(), second.ops[i].violations.size());
   }

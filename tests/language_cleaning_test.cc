@@ -218,7 +218,7 @@ TEST(CleanDBTest, UnifiedQueryCoalescesSharedGroupings) {
   db2.RegisterTable("customer", datagen::MakeCustomer(copts));
   auto result2 = db2.Execute(query).ValueOrDie();
   EXPECT_EQ(result2.nests_coalesced, 0);
-  EXPECT_LT(result.rows_shuffled, result2.rows_shuffled);
+  EXPECT_LT(result.metrics.rows_shuffled, result2.metrics.rows_shuffled);
   // Same violations either way.
   for (size_t i = 0; i < 3; i++) {
     EXPECT_EQ(result.ops[i].violations.size(), result2.ops[i].violations.size());

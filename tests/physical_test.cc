@@ -78,7 +78,8 @@ TEST_P(PhysicalAgreementTest, NestPlanMatchesReferenceEvaluator) {
   engine::Cluster cluster(FastCluster());
   PhysicalOptions popts;
   popts.aggregate_strategy = GetParam();
-  Executor exec{&cluster, &catalog, popts, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, popts, &cache};
   auto distributed = exec.RunToValue(plan).ValueOrDie();
 
   // Same number of violating groups, same key set.
@@ -116,7 +117,8 @@ TEST(PhysicalTest, EquiJoinAndReduceMatchReference) {
   auto expected = EvalPlan(plan, catalog).ValueOrDie();
 
   engine::Cluster cluster(FastCluster());
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   auto actual = exec.RunToValue(plan).ValueOrDie();
   EXPECT_EQ(actual.AsInt(), expected.AsInt());
   EXPECT_EQ(actual.AsInt(), 50);
@@ -145,7 +147,8 @@ TEST(PhysicalTest, ThetaJoinMatchesReferenceAcrossAlgorithms) {
     engine::Cluster cluster(FastCluster());
     PhysicalOptions popts;
     popts.theta_algo = algo;
-    Executor exec{&cluster, &catalog, popts, {}, {}, {}};
+    PartitionCache cache;
+    Executor exec{&cluster, &catalog, popts, &cache};
     auto actual = exec.RunToValue(plan).ValueOrDie();
     EXPECT_EQ(actual.AsInt(), expected.AsInt()) << engine::ThetaJoinAlgoName(algo);
   }
@@ -157,7 +160,8 @@ TEST(PhysicalTest, UnnestAndOuterUnnest) {
   pubs.Append({Value("p2"), Value(ValueList{})});
   Catalog catalog{{{"pubs", &pubs}}};
   engine::Cluster cluster(FastCluster());
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   auto inner = exec.RunToValue(ReduceOp(
       UnnestOp(Scan("pubs", "p"), FieldAccess(Var("p"), "authors"), "a"), "count",
       Var("a")));
@@ -173,7 +177,8 @@ TEST(PhysicalTest, ScanCacheSharesTablesAcrossPlans) {
   for (int i = 0; i < 100; i++) t.Append({Value(int64_t{i})});
   Catalog catalog{{{"t", &t}}};
   engine::Cluster cluster(FastCluster());
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   (void)exec.RunToValue(ReduceOp(Scan("t", "a"), "count", Var("a"))).ValueOrDie();
   const uint64_t scanned_once = cluster.metrics().rows_scanned.load();
   (void)exec.RunToValue(ReduceOp(Scan("t", "b"), "count", Var("b"))).ValueOrDie();
@@ -193,7 +198,8 @@ TEST(PhysicalTest, NestCacheExecutesSharedNestOnce) {
   auto root2 = SelectOp(shared, Binary(BinaryOp::kGt, Call("count", {Var("partition")}),
                                        ConstInt(1)));
   engine::Cluster cluster(FastCluster());
-  Executor exec{&cluster, &catalog, {}, {}, {}, {}};
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
   (void)exec.RunToValue(root1).ValueOrDie();
   const uint64_t groups_after_first = cluster.metrics().groups_built.load();
   (void)exec.RunToValue(root2).ValueOrDie();

@@ -1,0 +1,565 @@
+// Tests for the prepare-once / execute-many API: PreparedQuery lifecycle,
+// ExecOptions per-call overrides, the session PartitionCache (generation
+// invalidation, byte-budget LRU), streaming ViolationSinks, and the
+// specific error codes surfaced by Prepare/Execute.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cleaning/prepared_query.h"
+#include "datagen/generators.h"
+#include "support/fixtures.h"
+
+namespace cleanm {
+namespace {
+
+CleanDBOptions FastOptions() { return testsupport::FastCleanDBOptions(4); }
+
+Dataset DirtyCustomers() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 300;
+  copts.duplicate_fraction = 0.08;
+  copts.max_duplicates = 4;
+  copts.fd_violation_fraction = 0.05;
+  return datagen::MakeCustomer(copts);
+}
+
+/// Bit-identical comparison of two results: same operations in the same
+/// order, every violation Value equal pairwise, and equal dirty-entity
+/// sets (compared order-insensitively — the entity join hashes).
+void ExpectResultsBitIdentical(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); i++) {
+    EXPECT_EQ(a.ops[i].op_name, b.ops[i].op_name);
+    ASSERT_EQ(a.ops[i].violations.size(), b.ops[i].violations.size())
+        << "operation " << a.ops[i].op_name;
+    for (size_t v = 0; v < a.ops[i].violations.size(); v++) {
+      EXPECT_TRUE(a.ops[i].violations[v].Equals(b.ops[i].violations[v]))
+          << a.ops[i].op_name << " violation " << v;
+    }
+  }
+  auto entity_set = [](const QueryResult& r) {
+    std::vector<std::string> out;
+    for (const auto& [entity, ops] : r.dirty_entities) {
+      std::string s = entity.ToString() + " <-";
+      for (const auto& op : ops) s += " " + op;
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(entity_set(a), entity_set(b));
+}
+
+/// Renders a Value with struct fields sorted by name and list elements
+/// sorted lexicographically, so results compare equal regardless of the
+/// merge-tree order that built an aggregated collection.
+std::string CanonicalString(const Value& v) {
+  if (v.type() == ValueType::kStruct) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const auto& [name, field] : v.AsStruct()) {
+      fields.emplace_back(name, CanonicalString(field));
+    }
+    std::sort(fields.begin(), fields.end());
+    std::string out = "{";
+    for (const auto& [name, repr] : fields) out += name + ":" + repr + ",";
+    return out + "}";
+  }
+  if (v.type() == ValueType::kList) {
+    std::vector<std::string> elems;
+    for (const auto& e : v.AsList()) elems.push_back(CanonicalString(e));
+    std::sort(elems.begin(), elems.end());
+    std::string out = "[";
+    for (const auto& e : elems) out += e + ",";
+    return out + "]";
+  }
+  return v.ToString();
+}
+
+/// Order-insensitive equality of the violation/dirty-entity *sets* — for
+/// comparisons across different partition widths, where output order (and
+/// the internal order of aggregated collections) may legitimately differ.
+void ExpectSameViolationSets(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  auto sorted = [](const ValueList& vs) {
+    std::vector<std::string> out;
+    for (const auto& v : vs) out.push_back(CanonicalString(v));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (size_t i = 0; i < a.ops.size(); i++) {
+    EXPECT_EQ(sorted(a.ops[i].violations), sorted(b.ops[i].violations))
+        << "operation " << a.ops[i].op_name;
+  }
+  EXPECT_EQ(a.dirty_entities.size(), b.dirty_entities.size());
+}
+
+// ---- Acceptance: prepared re-execution ≡ cold execution, zero
+// re-partitioning on cache hits ----
+
+TEST(PreparedQueryTest, ReExecutionBitIdenticalToColdExecuteAcrossScenarios) {
+  // FD + dedup + term validation in one query (the motivating example
+  // shape), all through the prepared path.
+  const char* query = R"(
+    SELECT * FROM customer c, dictionary d
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, LD, 0.8, c.address)
+    CLUSTER BY(token filtering, LD, 0.8, c.name)
+  )";
+  Dataset customers = DirtyCustomers();
+  Dataset dictionary(Schema{{"name", ValueType::kString}});
+  {
+    std::vector<std::string> names;
+    const size_t name_idx = customers.schema().IndexOf("name").ValueOrDie();
+    for (const auto& row : customers.rows()) names.push_back(row[name_idx].AsString());
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (const auto& n : names) dictionary.Append({Value(n)});
+  }
+
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", customers);
+  db.RegisterTable("dictionary", dictionary);
+  auto prepared = db.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  PreparedQuery& pq = prepared.value();
+  ASSERT_EQ(pq.num_operations(), 4u);
+  EXPECT_TRUE(pq.status().ok());
+
+  auto first = pq.Execute().ValueOrDie();
+  auto second = pq.Execute().ValueOrDie();
+  ExpectResultsBitIdentical(first, second);
+  ASSERT_GT(first.ops[0].violations.size(), 0u);  // datagen injected FD dirt
+  ASSERT_GT(first.ops[2].violations.size(), 0u);  // and duplicates
+
+  // Cold path: a fresh session executing the same text one-shot.
+  CleanDB cold(FastOptions());
+  cold.RegisterTable("customer", customers);
+  cold.RegisterTable("dictionary", dictionary);
+  auto cold_result = cold.Execute(query).ValueOrDie();
+  ExpectResultsBitIdentical(first, cold_result);
+
+  // Within the first execution, the clauses already share scans (the
+  // Figure-1 DAG): the customer table is parallelized once and every later
+  // scan of it is a cache hit.
+  EXPECT_GT(first.cache.scan_misses, 0u);
+  EXPECT_GT(first.cache.scan_hits, 0u);
+  // The re-execution does zero re-partitioning: every Nest output comes
+  // straight from the session cache (which short-circuits the scans
+  // beneath them — no scan is even requested), and no rows are scanned.
+  EXPECT_EQ(second.cache.scan_misses, 0u);
+  EXPECT_EQ(second.cache.nest_misses, 0u);
+  EXPECT_GT(second.cache.nest_hits, 0u);
+  EXPECT_EQ(second.metrics.rows_scanned, 0u);
+}
+
+TEST(PreparedQueryTest, PreparedDenialConstraintMatchesProgrammaticCheck) {
+  datagen::LineitemOptions lopts;
+  lopts.rows = 200;
+  lopts.noise_fraction = 0.1;
+  auto lineitem = datagen::MakeLineitem(lopts);
+
+  auto pred = ParseCleanMExpr("t1.price < t2.price AND t1.discount > t2.discount");
+  auto prefilter = ParseCleanMExpr("t1.price < 905");
+
+  CleanDB db(FastOptions());
+  db.RegisterTable("lineitem", lineitem);
+  auto reference = db.CheckDenialConstraint("lineitem", CloneExpr(pred.ValueOrDie()),
+                                            CloneExpr(prefilter.ValueOrDie()))
+                       .ValueOrDie();
+
+  auto prepared = db.PrepareDenialConstraint(
+      "lineitem", CloneExpr(pred.ValueOrDie()), CloneExpr(prefilter.ValueOrDie()));
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto first = prepared.value().Execute().ValueOrDie();
+  auto second = prepared.value().Execute().ValueOrDie();
+
+  ASSERT_EQ(first.ops.size(), 1u);
+  EXPECT_EQ(first.ops[0].op_name, "DC");
+  ASSERT_EQ(first.ops[0].violations.size(), reference.violations.size());
+  ExpectResultsBitIdentical(first, second);
+  EXPECT_EQ(second.cache.scan_misses, 0u);
+  EXPECT_GT(second.cache.scan_hits, 0u);
+}
+
+// ---- ExecOptions: per-call overrides of session knobs ----
+
+TEST(PreparedQueryTest, UnifyOverridePerCallMatchesSessionLevelAblation) {
+  const char* query = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, c.address)
+  )";
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", DirtyCustomers());
+  auto prepared = db.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  PreparedQuery& pq = prepared.value();
+  EXPECT_EQ(pq.nests_coalesced(), 2);
+
+  ExecOptions unified;
+  unified.unify_operations = true;
+  ExecOptions separate;
+  separate.unify_operations = false;
+  auto uni = pq.Execute(unified).ValueOrDie();
+  auto sep = pq.Execute(separate).ValueOrDie();
+
+  EXPECT_EQ(uni.nests_coalesced, 2);
+  EXPECT_EQ(sep.nests_coalesced, 0);
+  // The ablation changes the plan shape, never the violations.
+  ASSERT_EQ(uni.ops.size(), sep.ops.size());
+  for (size_t i = 0; i < uni.ops.size(); i++) {
+    EXPECT_EQ(uni.ops[i].violations.size(), sep.ops[i].violations.size());
+  }
+}
+
+TEST(PreparedQueryTest, NodeCapAndShuffleOverridesPreserveResultsAndRestore) {
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", DirtyCustomers());
+  auto prepared = db.Prepare(
+      "SELECT * FROM customer c FD(c.address, prefix(c.phone))");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  PreparedQuery& pq = prepared.value();
+  auto baseline = pq.Execute().ValueOrDie();
+
+  ExecOptions capped;
+  capped.max_nodes = 2;
+  capped.shuffle_batch_rows = 1;
+  capped.shuffle_ns_per_byte = 0.0;
+  auto capped_result = pq.Execute(capped).ValueOrDie();
+  ExpectSameViolationSets(baseline, capped_result);
+  // A capped execution re-partitions at the narrower width (widths are
+  // cache keys, not interchangeable) ...
+  EXPECT_GT(capped_result.cache.scan_misses, 0u);
+  // ... and the session configuration is restored afterwards.
+  EXPECT_EQ(db.cluster().num_nodes(), 4u);
+  EXPECT_EQ(db.cluster().options().shuffle_batch_rows, db.options().shuffle_batch_rows);
+
+  // Re-executing at the default width hits the original cached layout.
+  auto again = pq.Execute().ValueOrDie();
+  ExpectResultsBitIdentical(baseline, again);
+  EXPECT_EQ(again.cache.scan_misses, 0u);
+}
+
+TEST(PreparedQueryTest, ClusterConfigRestoredEvenWhenExecutionFails) {
+  CleanDB db(FastOptions());
+  auto prepared = db.Prepare("SELECT * FROM ghost g FD(g.a, g.b)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ExecOptions capped;
+  capped.max_nodes = 1;
+  auto result = prepared.value().Execute(capped);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(db.cluster().num_nodes(), 4u);
+}
+
+// ---- Satellite: RegisterTable bumps the generation; no stale serving ----
+
+TEST(PreparedQueryTest, ReRegisteredTableIsNeverServedFromStaleCache) {
+  const char* query = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+  datagen::CustomerOptions copts;
+  copts.base_rows = 200;
+  copts.duplicate_fraction = 0;
+  copts.fd_violation_fraction = 0.05;
+  Dataset v1 = datagen::MakeCustomer(copts);
+
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", v1);
+  EXPECT_EQ(db.TableGeneration("customer"), 1u);
+  auto prepared = db.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  PreparedQuery& pq = prepared.value();
+  auto before = pq.Execute().ValueOrDie();
+
+  // Replace the table between two executions of the same PreparedQuery:
+  // a brand-new FD violation group must surface.
+  Dataset v2 = v1;
+  Row extra1 = v1.row(0);
+  Row extra2 = v1.row(0);
+  const size_t addr = v1.schema().IndexOf("address").ValueOrDie();
+  const size_t nation = v1.schema().IndexOf("nationkey").ValueOrDie();
+  extra1[addr] = Value(std::string("1 freshly injected lane"));
+  extra2[addr] = Value(std::string("1 freshly injected lane"));
+  extra1[nation] = Value(int64_t{7});
+  extra2[nation] = Value(int64_t{8});
+  v2.Append(extra1);
+  v2.Append(extra2);
+  db.RegisterTable("customer", v2);
+  EXPECT_EQ(db.TableGeneration("customer"), 2u);
+
+  auto after = pq.Execute().ValueOrDie();
+  EXPECT_EQ(after.ops[0].violations.size(), before.ops[0].violations.size() + 1);
+  EXPECT_GT(after.cache.scan_misses, 0u);  // really re-partitioned
+
+  // And it matches a cold execution over the new data bit for bit.
+  CleanDB cold(FastOptions());
+  cold.RegisterTable("customer", v2);
+  ExpectResultsBitIdentical(after, cold.Execute(query).ValueOrDie());
+}
+
+// ---- Acceptance: the byte budget under a multi-table session workload ----
+
+TEST(PreparedQueryTest, PartitionCacheRespectsByteBudgetAcrossTables) {
+  const std::vector<std::string> tables = {"t1", "t2", "t3", "t4"};
+  datagen::CustomerOptions copts;
+  copts.base_rows = 150;
+  copts.duplicate_fraction = 0;
+  copts.fd_violation_fraction = 0.05;
+
+  // Size one table's cache footprint (scan + wrap + nest) with an
+  // unbounded session, then budget the real session to roughly two.
+  uint64_t per_table_bytes = 0;
+  {
+    CleanDBOptions unbounded = FastOptions();
+    unbounded.partition_cache_bytes = 0;
+    CleanDB probe(unbounded);
+    probe.RegisterTable("t1", datagen::MakeCustomer(copts));
+    ASSERT_TRUE(probe.Execute("SELECT * FROM t1 c FD(c.address, c.nationkey)").ok());
+    per_table_bytes = probe.partition_cache().stats().resident_bytes;
+    ASSERT_GT(per_table_bytes, 0u);
+  }
+
+  CleanDBOptions budgeted = FastOptions();
+  budgeted.partition_cache_bytes = per_table_bytes * 2;
+  CleanDB db(budgeted);
+  for (const auto& t : tables) db.RegisterTable(t, datagen::MakeCustomer(copts));
+
+  // Working set (4 tables) > budget (~2 tables): the cache must stay under
+  // its budget at every step, evicting LRU entries as tables rotate, while
+  // an immediate re-execution (entries still resident) is served from it.
+  for (int round = 0; round < 2; round++) {
+    for (const auto& t : tables) {
+      const std::string query = "SELECT * FROM " + t + " c FD(c.address, c.nationkey)";
+      auto cold = db.Execute(query);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      // One-shot Execute re-prepares (fresh Nest nodes → no nest reuse),
+      // but the table scans are keyed by name+generation and must hit.
+      auto warm = db.Execute(query);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      EXPECT_GT(warm.value().cache.scan_hits, 0u) << t;
+      EXPECT_LE(db.partition_cache().stats().resident_bytes,
+                budgeted.partition_cache_bytes)
+          << db.partition_cache().stats().ToString();
+    }
+  }
+  const auto& stats = db.partition_cache().stats();
+  EXPECT_GT(stats.evictions, 0u) << stats.ToString();
+}
+
+TEST(PreparedQueryTest, TransientExecutionsDoNotPolluteTheNestCache) {
+  // One-shot Execute and the programmatic ops build throwaway plans; their
+  // Nest outputs are identity-keyed and could never be hit again, so they
+  // must not accumulate in (and LRU-thrash) the session cache.
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", DirtyCustomers());
+  const char* query = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+
+  ASSERT_TRUE(db.Execute(query).ok());
+  const uint64_t entries_after_first = db.partition_cache().stats().resident_entries;
+  ASSERT_TRUE(db.Execute(query).ok());
+  FdClause fd;
+  fd.lhs = {ParseCleanMExpr("c.address").ValueOrDie()};
+  fd.rhs = {ParseCleanMExpr("c.nationkey").ValueOrDie()};
+  ASSERT_TRUE(db.CheckFd("customer", "c", fd).ok());
+  // Only the (table, generation)-keyed scan/wrap entries persist — no
+  // per-call nest growth.
+  EXPECT_EQ(db.partition_cache().stats().resident_entries, entries_after_first);
+
+  // A held PreparedQuery's nests DO persist (that is the point of it).
+  auto prepared = db.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared.value().Execute().ok());
+  EXPECT_GT(db.partition_cache().stats().resident_entries, entries_after_first);
+  auto again = prepared.value().Execute().ValueOrDie();
+  EXPECT_GT(again.cache.nest_hits, 0u);
+}
+
+TEST(PartitionCacheTest, LruEvictionPrefersLeastRecentlyUsed) {
+  engine::Partitioned one_row{{Row{Value(int64_t{1})}}};
+  const uint64_t entry_bytes = RowByteSize(one_row[0][0]);
+  PartitionCache cache(entry_bytes * 2);
+  cache.PutScan("a", 1, 4, one_row);
+  cache.PutScan("b", 1, 4, one_row);
+  EXPECT_NE(cache.FindScan("a", 1, 4), nullptr);  // touch a → b becomes LRU
+  cache.PutScan("c", 1, 4, one_row);
+  EXPECT_NE(cache.FindScan("a", 1, 4), nullptr);
+  EXPECT_EQ(cache.FindScan("b", 1, 4), nullptr);
+  EXPECT_NE(cache.FindScan("c", 1, 4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().resident_bytes, entry_bytes * 2);
+}
+
+TEST(PartitionCacheTest, GenerationAndInvalidationKeepStaleEntriesUnreachable) {
+  engine::Partitioned data{{Row{Value(int64_t{1})}}};
+  PartitionCache cache;
+  cache.PutScan("t", 1, 4, data);
+  cache.PutWrap("t", "c", 1, 4, data);
+  // A different generation or width never matches.
+  EXPECT_EQ(cache.FindScan("t", 2, 4), nullptr);
+  EXPECT_EQ(cache.FindScan("t", 1, 2), nullptr);
+  EXPECT_NE(cache.FindScan("t", 1, 4), nullptr);
+  // Invalidation drops every entry derived from the table.
+  cache.InvalidateTable("t");
+  EXPECT_EQ(cache.FindScan("t", 1, 4), nullptr);
+  EXPECT_EQ(cache.FindWrap("t", "c", 1, 4), nullptr);
+  EXPECT_EQ(cache.stats().resident_entries, 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+// ---- Satellite: specific error codes ----
+
+TEST(PreparedQueryTest, PrepareOnMalformedCleanMIsPositionedParseError) {
+  CleanDB db(FastOptions());
+  auto r1 = db.Prepare("SELECT * FROM t c\n  FD(c.a)");  // FD missing RHS
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r1.status().message().find("line 2"), std::string::npos)
+      << r1.status().ToString();
+
+  auto r2 = db.Prepare("not a query");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r2.status().message().find("line 1, column 1"), std::string::npos)
+      << r2.status().ToString();
+}
+
+TEST(PreparedQueryTest, ExecuteAgainstUnregisteredTableIsKeyError) {
+  CleanDB db(FastOptions());
+  // Binding is lazy: preparing against a not-yet-registered table succeeds…
+  auto prepared = db.Prepare("SELECT * FROM nowhere n FD(n.a, n.b)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // …and executing it reports the missing table as kKeyError.
+  auto result = prepared.value().Execute();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kKeyError);
+
+  // Registering the table afterwards makes the same PreparedQuery runnable.
+  Dataset t(Schema{{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  t.Append({Value(int64_t{1}), Value(int64_t{2})});
+  db.RegisterTable("nowhere", t);
+  EXPECT_TRUE(prepared.value().Execute().ok());
+}
+
+TEST(PreparedQueryTest, UnknownColumnAndTypeMismatchSurfaceSpecificCodes) {
+  CleanDB db(FastOptions());
+  Dataset t(Schema{{"name", ValueType::kString}, {"num", ValueType::kInt}});
+  t.Append({Value(std::string("x")), Value(int64_t{1})});
+  db.RegisterTable("t", t);
+  Dataset dict(Schema{{"name", ValueType::kString}});
+  dict.Append({Value(std::string("x"))});
+  db.RegisterTable("dict", dict);
+
+  // Unknown column in a cleaning clause of a registered table: kKeyError
+  // at Prepare time.
+  auto unknown = db.Prepare("SELECT * FROM t c FD(c.nope, c.name)");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kKeyError);
+
+  // Grouping monoids need string terms: kTypeError at Prepare time.
+  auto bad_dedup = db.Prepare("SELECT * FROM t c DEDUP(token filtering, LD, 0.8, c.num)");
+  ASSERT_FALSE(bad_dedup.ok());
+  EXPECT_EQ(bad_dedup.status().code(), StatusCode::kTypeError);
+
+  auto bad_cluster =
+      db.Prepare("SELECT * FROM t c, dict d CLUSTER BY(tf, LD, 0.8, c.num)");
+  ASSERT_FALSE(bad_cluster.ok());
+  EXPECT_EQ(bad_cluster.status().code(), StatusCode::kTypeError);
+
+  // Exact-key dedup has no string requirement.
+  EXPECT_TRUE(db.Prepare("SELECT * FROM t c DEDUP(exact, c.num)").ok());
+}
+
+// ---- Streaming sinks ----
+
+/// Records the full event stream for comparison with the materialized path.
+class RecordingSink : public ViolationSink {
+ public:
+  Status OnOpBegin(const std::string& op_name) override {
+    events.push_back("begin " + op_name);
+    return Status::OK();
+  }
+  Status OnViolation(const std::string& op_name, const Value& violation) override {
+    events.push_back("violation " + op_name);
+    violations.push_back(violation);
+    return Status::OK();
+  }
+  Status OnOpEnd(const OpSummary& summary) override {
+    events.push_back("end " + summary.op_name + " " +
+                     std::to_string(summary.violations));
+    return Status::OK();
+  }
+  Status OnDirtyEntity(const Value& entity, const std::vector<std::string>&) override {
+    dirty.push_back(entity);
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+  ValueList violations;
+  ValueList dirty;
+};
+
+TEST(ViolationSinkTest, StreamedEventsMatchMaterializedResult) {
+  const char* query = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    DEDUP(exact, c.address)
+  )";
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", DirtyCustomers());
+  auto prepared = db.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  RecordingSink sink;
+  ASSERT_TRUE(prepared.value().ExecuteInto(sink).ok());
+  auto materialized = prepared.value().Execute().ValueOrDie();
+
+  // Same violations, in the same order, and per-op begin/end bracketing.
+  size_t total = 0;
+  for (const auto& op : materialized.ops) total += op.violations.size();
+  ASSERT_EQ(sink.violations.size(), total);
+  size_t k = 0;
+  for (const auto& op : materialized.ops) {
+    for (const auto& v : op.violations) {
+      EXPECT_TRUE(v.Equals(sink.violations[k++]));
+    }
+  }
+  EXPECT_EQ(sink.dirty.size(), materialized.dirty_entities.size());
+  ASSERT_GE(sink.events.size(), 4u);
+  EXPECT_EQ(sink.events.front(), "begin FD");
+  EXPECT_EQ(sink.events.back(),
+            "end DEDUP " + std::to_string(materialized.ops[1].violations.size()));
+}
+
+TEST(ViolationSinkTest, SinkErrorAbortsExecutionAndPropagates) {
+  class AbortingSink : public ViolationSink {
+   public:
+    Status OnViolation(const std::string&, const Value&) override {
+      seen++;
+      if (seen >= 3) return Status::IOError("sink full after 3 violations");
+      return Status::OK();
+    }
+    Status OnDirtyEntity(const Value&, const std::vector<std::string>&) override {
+      ADD_FAILURE() << "aborted execution must not reach the entity join";
+      return Status::OK();
+    }
+    int seen = 0;
+  };
+
+  CleanDB db(FastOptions());
+  db.RegisterTable("customer", DirtyCustomers());
+  auto prepared = db.Prepare("SELECT * FROM customer c DEDUP(exact, c.address)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  AbortingSink sink;
+  auto status = prepared.value().ExecuteInto(sink);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(sink.seen, 3);
+}
+
+}  // namespace
+}  // namespace cleanm

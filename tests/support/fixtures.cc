@@ -115,41 +115,21 @@ bool DatasetsEqual(const Dataset& a, const Dataset& b) {
   return true;
 }
 
-std::string MetricsSnapshot::ToString() const {
-  std::ostringstream out;
-  out << "{rows_shuffled=" << rows_shuffled << " bytes_shuffled=" << bytes_shuffled
-      << " comparisons=" << comparisons << " rows_scanned=" << rows_scanned
-      << " groups_built=" << groups_built << "}";
-  return out.str();
-}
-
-MetricsSnapshot Snapshot(const QueryMetrics& metrics) {
-  MetricsSnapshot s;
-  s.rows_shuffled = metrics.rows_shuffled.load();
-  s.bytes_shuffled = metrics.bytes_shuffled.load();
-  s.comparisons = metrics.comparisons.load();
-  s.rows_scanned = metrics.rows_scanned.load();
-  s.groups_built = metrics.groups_built.load();
-  return s;
-}
+MetricsSnapshot Snapshot(const QueryMetrics& metrics) { return metrics.Snapshot(); }
 
 ::testing::AssertionResult ShuffledNonzero(const MetricsSnapshot& m) {
   if (m.rows_shuffled > 0 && m.bytes_shuffled > 0) {
     return ::testing::AssertionSuccess();
   }
   return ::testing::AssertionFailure()
-         << "expected nonzero shuffle traffic, got " << m.ToString();
+         << "expected nonzero shuffle traffic, got {" << m.ToString() << "}";
 }
 
 ::testing::AssertionResult SnapshotsEqual(const MetricsSnapshot& a,
                                           const MetricsSnapshot& b) {
-  if (a.rows_shuffled == b.rows_shuffled && a.bytes_shuffled == b.bytes_shuffled &&
-      a.comparisons == b.comparisons && a.rows_scanned == b.rows_scanned &&
-      a.groups_built == b.groups_built) {
-    return ::testing::AssertionSuccess();
-  }
-  return ::testing::AssertionFailure()
-         << "metrics differ: " << a.ToString() << " vs " << b.ToString();
+  if (a == b) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "metrics differ: {" << a.ToString()
+                                       << "} vs {" << b.ToString() << "}";
 }
 
 void TempDirTest::SetUp() {

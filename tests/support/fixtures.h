@@ -64,16 +64,9 @@ Value DatasetToRecords(const Dataset& dataset);
 bool DatasetsEqual(const Dataset& a, const Dataset& b);
 
 /// Point-in-time copy of the engine counters, for stability assertions
-/// across runs (QueryMetrics itself is atomic and non-copyable).
-struct MetricsSnapshot {
-  uint64_t rows_shuffled = 0;
-  uint64_t bytes_shuffled = 0;
-  uint64_t comparisons = 0;
-  uint64_t rows_scanned = 0;
-  uint64_t groups_built = 0;
-
-  std::string ToString() const;
-};
+/// across runs. Now just the library's own snapshot type (the old
+/// hand-copied struct duplicated it field by field).
+using MetricsSnapshot = ::cleanm::MetricsCounters;
 MetricsSnapshot Snapshot(const QueryMetrics& metrics);
 
 /// Passes when the snapshot recorded nonzero shuffle traffic (rows + bytes).

@@ -23,4 +23,13 @@ echo "=== [release] cluster-primitives dispatch gate ==="
 ./build-release/bench_cluster_primitives --smoke --check \
   --out build-release/BENCH_cluster.json
 
-echo "CI OK: release + asan presets built and tested clean; dispatch gate passed."
+# Prepared-query regression gate: re-executing a PreparedQuery on a warm
+# session must stay ≥2× faster than a cold one-shot Execute on the 8-FD
+# unified plan (pure compute), with zero re-partitioning — this is the
+# plan/partition-cache reuse the Prepare/Execute split exists for. The
+# measured numbers land in BENCH_cluster.json next to the dispatch gate's.
+echo "=== [release] prepared-query re-execution gate ==="
+./build-release/bench_unified_cleaning --smoke --nonet --check \
+  --out build-release/BENCH_cluster.json
+
+echo "CI OK: release + asan presets built and tested clean; dispatch and prepared-reexec gates passed."

@@ -71,8 +71,9 @@ struct ValueEq {
 
 /// Computes the group keys of a tuple under a GroupSpec. Exact grouping
 /// yields one key; grouping monoids may yield several.
-Result<std::vector<Value>> GroupKeys(const GroupSpec& group, const Env& env) {
-  CLEANM_ASSIGN_OR_RETURN(Value term, EvalExpr(group.term, env));
+Result<std::vector<Value>> GroupKeys(const GroupSpec& group, const Env& env,
+                                     const EvalContext& ctx) {
+  CLEANM_ASSIGN_OR_RETURN(Value term, EvalExpr(group.term, env, ctx));
   switch (group.algo) {
     case FilteringAlgo::kExactKey:
       return std::vector<Value>{term};
@@ -107,7 +108,25 @@ Result<std::vector<Value>> GroupKeys(const GroupSpec& group, const Env& env) {
   return Status::Internal("unhandled grouping algo");
 }
 
-Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
+/// Builds the expression-evaluation context from the catalog: registered
+/// scalar/repair functions resolve in call position (strictly — unlike the
+/// physical path, errors propagate, which is what the cross-check tests
+/// want from a reference semantics).
+EvalContext MakeEvalContext(const Catalog& catalog) {
+  EvalContext ctx;
+  if (catalog.functions != nullptr) {
+    const FunctionRegistry* functions = catalog.functions;
+    ctx.call_fallback = [functions](const std::string& name,
+                                    const std::vector<Value>& args) -> Result<Value> {
+      if (const ScalarFunction* fn = functions->FindScalar(name)) return fn->fn(args);
+      return Status::KeyError("unknown function '" + name + "'");
+    };
+  }
+  return ctx;
+}
+
+Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog,
+                                const EvalContext& ctx) {
   if (!plan) return Status::Internal("null plan");
   switch (plan->kind) {
     case AlgKind::kScan: {
@@ -120,10 +139,10 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
       return out;
     }
     case AlgKind::kSelect: {
-      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog));
+      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog, ctx));
       std::vector<Value> out;
       for (auto& tuple : in) {
-        CLEANM_ASSIGN_OR_RETURN(Value p, EvalExpr(plan->pred, TupleToEnv(tuple)));
+        CLEANM_ASSIGN_OR_RETURN(Value p, EvalExpr(plan->pred, TupleToEnv(tuple), ctx));
         if (p.type() != ValueType::kBool) {
           return Status::TypeError("selection predicate is not boolean");
         }
@@ -133,8 +152,8 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
     }
     case AlgKind::kJoin:
     case AlgKind::kOuterJoin: {
-      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> left, Eval(plan->input, catalog));
-      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> right, Eval(plan->right, catalog));
+      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> left, Eval(plan->input, catalog, ctx));
+      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> right, Eval(plan->right, catalog, ctx));
       const bool outer = plan->kind == AlgKind::kOuterJoin;
       const auto right_vars = CollectVars(plan->right);
       std::vector<Value> out;
@@ -146,12 +165,12 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
           for (const auto& [var, val] : r.AsStruct()) env[var] = val;
           bool ok = true;
           if (plan->left_key) {
-            CLEANM_ASSIGN_OR_RETURN(Value lk, EvalExpr(plan->left_key, lenv));
-            CLEANM_ASSIGN_OR_RETURN(Value rk, EvalExpr(plan->right_key, TupleToEnv(r)));
+            CLEANM_ASSIGN_OR_RETURN(Value lk, EvalExpr(plan->left_key, lenv, ctx));
+            CLEANM_ASSIGN_OR_RETURN(Value rk, EvalExpr(plan->right_key, TupleToEnv(r), ctx));
             ok = lk.Equals(rk);
           }
           if (ok && plan->pred) {
-            CLEANM_ASSIGN_OR_RETURN(Value p, EvalExpr(plan->pred, env));
+            CLEANM_ASSIGN_OR_RETURN(Value p, EvalExpr(plan->pred, env, ctx));
             ok = p.type() == ValueType::kBool && p.AsBool();
           }
           if (ok) {
@@ -169,11 +188,11 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
     }
     case AlgKind::kUnnest:
     case AlgKind::kOuterUnnest: {
-      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog));
+      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog, ctx));
       const bool outer = plan->kind == AlgKind::kOuterUnnest;
       std::vector<Value> out;
       for (const auto& tuple : in) {
-        CLEANM_ASSIGN_OR_RETURN(Value coll, EvalExpr(plan->path, TupleToEnv(tuple)));
+        CLEANM_ASSIGN_OR_RETURN(Value coll, EvalExpr(plan->path, TupleToEnv(tuple), ctx));
         if (coll.is_null() || (coll.type() == ValueType::kList && coll.AsList().empty())) {
           if (outer) {
             ValueStruct padded = tuple.AsStruct();
@@ -199,20 +218,24 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
       return out;
     }
     case AlgKind::kNest: {
-      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog));
+      CLEANM_ASSIGN_OR_RETURN(std::vector<Value> in, Eval(plan->input, catalog, ctx));
       // Group: key → per-aggregation accumulator.
       struct GroupAccs {
         std::vector<Value> accs;
       };
       std::vector<const Monoid*> monoids;
+      std::vector<const AggregateFunction*> udfs;
       for (const auto& agg : plan->aggs) {
-        CLEANM_ASSIGN_OR_RETURN(const Monoid* m, LookupMonoid(agg.monoid));
+        const AggregateFunction* udf = nullptr;
+        CLEANM_ASSIGN_OR_RETURN(
+            const Monoid* m, ResolveAggregateMonoid(catalog.functions, agg.monoid, &udf));
         monoids.push_back(m);
+        udfs.push_back(udf);
       }
       std::unordered_map<Value, GroupAccs, ValueHash, ValueEq> groups;
       for (const auto& tuple : in) {
         const Env env = TupleToEnv(tuple);
-        CLEANM_ASSIGN_OR_RETURN(std::vector<Value> keys, GroupKeys(plan->group, env));
+        CLEANM_ASSIGN_OR_RETURN(std::vector<Value> keys, GroupKeys(plan->group, env, ctx));
         for (const auto& key : keys) {
           auto it = groups.find(key);
           if (it == groups.end()) {
@@ -221,7 +244,7 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
             it = groups.emplace(key, std::move(fresh)).first;
           }
           for (size_t a = 0; a < plan->aggs.size(); a++) {
-            CLEANM_ASSIGN_OR_RETURN(Value v, EvalExpr(plan->aggs[a].expr, env));
+            CLEANM_ASSIGN_OR_RETURN(Value v, EvalExpr(plan->aggs[a].expr, env, ctx));
             it->second.accs[a] = monoids[a]->Accumulate(std::move(it->second.accs[a]), v);
           }
         }
@@ -231,11 +254,17 @@ Result<std::vector<Value>> Eval(const AlgOpPtr& plan, const Catalog& catalog) {
         ValueStruct tuple;
         tuple.emplace_back(plan->key_name, key);
         for (size_t a = 0; a < plan->aggs.size(); a++) {
+          if (udfs[a] && udfs[a]->finalize) {
+            // Strict reference semantics: a failing UDF finalize is an
+            // error, not a null.
+            CLEANM_ASSIGN_OR_RETURN(group.accs[a],
+                                    udfs[a]->finalize({group.accs[a]}));
+          }
           tuple.emplace_back(plan->aggs[a].name, std::move(group.accs[a]));
         }
         Value result(std::move(tuple));
         if (plan->having) {
-          CLEANM_ASSIGN_OR_RETURN(Value h, EvalExpr(plan->having, TupleToEnv(result)));
+          CLEANM_ASSIGN_OR_RETURN(Value h, EvalExpr(plan->having, TupleToEnv(result), ctx));
           if (h.type() != ValueType::kBool) {
             return Status::TypeError("having predicate is not boolean");
           }
@@ -257,22 +286,26 @@ Result<std::vector<Value>> EvalPlanTuples(const AlgOpPtr& plan, const Catalog& c
   if (plan && plan->kind == AlgKind::kReduce) {
     return Status::InvalidArgument("EvalPlanTuples on a Reduce-rooted plan");
   }
-  return Eval(plan, catalog);
+  return Eval(plan, catalog, MakeEvalContext(catalog));
 }
 
 Result<Value> EvalPlan(const AlgOpPtr& plan, const Catalog& catalog) {
   if (!plan) return Status::Internal("null plan");
+  const EvalContext ctx = MakeEvalContext(catalog);
   if (plan->kind != AlgKind::kReduce) {
-    CLEANM_ASSIGN_OR_RETURN(std::vector<Value> tuples, Eval(plan, catalog));
+    CLEANM_ASSIGN_OR_RETURN(std::vector<Value> tuples, Eval(plan, catalog, ctx));
     return Value(ValueList(tuples.begin(), tuples.end()));
   }
-  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid, LookupMonoid(plan->monoid));
-  CLEANM_ASSIGN_OR_RETURN(std::vector<Value> tuples, Eval(plan->input, catalog));
+  const AggregateFunction* udf = nullptr;
+  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
+                          ResolveAggregateMonoid(catalog.functions, plan->monoid, &udf));
+  CLEANM_ASSIGN_OR_RETURN(std::vector<Value> tuples, Eval(plan->input, catalog, ctx));
   Value acc = monoid->zero();
   for (const auto& tuple : tuples) {
-    CLEANM_ASSIGN_OR_RETURN(Value head, EvalExpr(plan->head, TupleToEnv(tuple)));
+    CLEANM_ASSIGN_OR_RETURN(Value head, EvalExpr(plan->head, TupleToEnv(tuple), ctx));
     acc = monoid->Accumulate(std::move(acc), head);
   }
+  if (udf && udf->finalize) return udf->finalize({acc});
   return acc;
 }
 

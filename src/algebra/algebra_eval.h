@@ -11,6 +11,7 @@
 
 #include "algebra/algebra.h"
 #include "common/status.h"
+#include "functions/function_registry.h"
 #include "storage/dataset.h"
 
 namespace cleanm {
@@ -22,6 +23,10 @@ struct Catalog {
   /// (re-)registration. The physical layer keys its partition cache on
   /// them; 0 means the owner does not track generations.
   std::map<std::string, uint64_t> generations;
+  /// Session function registry (may be null): plans referencing registered
+  /// scalar/aggregate/repair functions resolve against it in both the
+  /// reference evaluator and the physical executor.
+  const FunctionRegistry* functions = nullptr;
 
   Catalog() = default;
   /// Tables-only form (the common shape in tests and baselines): all

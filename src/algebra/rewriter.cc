@@ -118,10 +118,13 @@ bool SameGroup(const GroupSpec& a, const GroupSpec& b) {
          a.delta == b.delta && a.centers == b.centers;
 }
 
-/// Walks from a root through unary Select/Unnest nodes to a Nest; records
-/// the pipeline outer-to-inner so it can be rebuilt over the shared node.
+/// Walks from a root through unary Select/Unnest/Reduce nodes to a Nest;
+/// records the pipeline outer-to-inner so it can be rebuilt over the shared
+/// node. Reduce appears here since user GROUP BY queries project their
+/// group tuples through a Reduce root (see cleaning/select_builder.cc), and
+/// their Nest stage must still coalesce with the built-in cleaning plans.
 struct NestAccess {
-  std::vector<AlgOpPtr> pipeline;  // Select/Unnest nodes, outermost first
+  std::vector<AlgOpPtr> pipeline;  // Select/Unnest/Reduce nodes, outermost first
   AlgOpPtr nest;
 };
 
@@ -129,7 +132,7 @@ NestAccess FindNest(const AlgOpPtr& root) {
   NestAccess access;
   AlgOpPtr cur = root;
   while (cur && (cur->kind == AlgKind::kSelect || cur->kind == AlgKind::kUnnest ||
-                 cur->kind == AlgKind::kOuterUnnest)) {
+                 cur->kind == AlgKind::kOuterUnnest || cur->kind == AlgKind::kReduce)) {
     access.pipeline.push_back(cur);
     cur = cur->input;
   }
@@ -237,6 +240,7 @@ CoalescedPlans CoalesceNests(const std::vector<AlgOpPtr>& plans, RewriteStats* s
       stage->input = rebuilt;
       if (stage->pred) stage->pred = rename_expr(stage->pred);
       if (stage->path) stage->path = rename_expr(stage->path);
+      if (stage->head) stage->head = rename_expr(stage->head);
       rebuilt = stage;
     }
     result.roots[i] = rebuilt;

@@ -46,6 +46,7 @@ Catalog CleanDB::MakeCatalog() const {
   Catalog catalog;
   for (const auto& [name, dataset] : tables_) catalog.tables[name] = &dataset;
   catalog.generations = generations_;
+  catalog.functions = &functions_;
   return catalog;
 }
 

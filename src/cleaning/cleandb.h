@@ -22,6 +22,7 @@
 #include "algebra/rewriter.h"
 #include "cleaning/plan_builder.h"
 #include "common/timer.h"
+#include "functions/function_registry.h"
 #include "language/parser.h"
 #include "physical/partition_cache.h"
 #include "physical/planner.h"
@@ -159,6 +160,13 @@ class CleanDB {
 
   engine::Cluster& cluster() { return *cluster_; }
   const CleanDBOptions& options() const { return options_; }
+  /// The session function registry: register scalar / aggregate / repair
+  /// functions here to make them callable from CleanM query text (see
+  /// functions/function_registry.h and README, "Extending CleanM").
+  /// Register before Prepare — prepared plans resolve calls at Prepare
+  /// time and validate names/arities against the registry's state then.
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
   /// The session partition cache (stats for tests/monitoring; Clear() to
   /// drop all cached partitionings).
   PartitionCache& partition_cache() { return cache_; }
@@ -172,6 +180,11 @@ class CleanDB {
   friend class PreparedQuery;
 
   Result<OpResult> RunCleaningPlan(Executor& exec, const CleaningPlan& cp);
+  /// Shared Prepare body; `query_text` (when available) positions the
+  /// kKeyError of an unknown function / arity mismatch at the recorded
+  /// call offset. Defined in prepared_query.cc.
+  Result<PreparedQuery> PrepareQueryImpl(const CleanMQuery& query,
+                                         const std::string* query_text);
   /// Executes a prepared query's plans under `opts`, streaming into `sink`;
   /// fills the summary fields (timings, metrics, cache deltas) of
   /// `*summary` when non-null. Defined in prepared_query.cc.
@@ -186,6 +199,10 @@ class CleanDB {
   std::map<std::string, uint64_t> generations_;
   /// Session-owned partition cache shared by every execution.
   PartitionCache cache_;
+  /// Session-owned function registry (user scalar/aggregate/repair
+  /// functions); referenced by prepared plans, so it must outlive them —
+  /// which it does, since PreparedQuerys must not outlive their CleanDB.
+  FunctionRegistry functions_;
 };
 
 }  // namespace cleanm

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "cleaning/select_builder.h"
+
 namespace cleanm {
 
 namespace {
@@ -122,17 +124,84 @@ Status ValidateClauses(const CleanDB& db, const CleanMQuery& query) {
   return Status::OK();
 }
 
+/// Walks one expression and checks every function-call site against the
+/// registry + builtin tables (Prepare-time signature checking). When the
+/// original query text is available and the parser recorded the call's
+/// offset, the kKeyError is positioned at the offending function name.
+Status ValidateCallsIn(const ExprPtr& e, const FunctionRegistry& functions,
+                       const std::string* query_text) {
+  if (!e) return Status::OK();
+  if (e->kind == ExprKind::kCall) {
+    Status st = functions.ValidateCall(e->name, e->args.size());
+    if (!st.ok()) {
+      if (query_text != nullptr && e->src_pos != kNoSourcePos) {
+        size_t line = 1, column = 1;
+        LineColumnAt(*query_text, e->src_pos, &line, &column);
+        return Status(st.code(), st.message() + " at line " + std::to_string(line) +
+                                     ", column " + std::to_string(column) +
+                                     " (offset " + std::to_string(e->src_pos) + ")");
+      }
+      return st;
+    }
+  }
+  for (const ExprPtr& child :
+       {e->child, e->lhs, e->rhs, e->cond, e->then_e, e->else_e}) {
+    CLEANM_RETURN_NOT_OK(ValidateCallsIn(child, functions, query_text));
+  }
+  for (const auto& a : e->args) {
+    CLEANM_RETURN_NOT_OK(ValidateCallsIn(a, functions, query_text));
+  }
+  for (const auto& v : e->field_values) {
+    CLEANM_RETURN_NOT_OK(ValidateCallsIn(v, functions, query_text));
+  }
+  if (e->kind == ExprKind::kComprehension) {
+    CLEANM_RETURN_NOT_OK(ValidateCallsIn(e->comp.head, functions, query_text));
+    for (const auto& q : e->comp.qualifiers) {
+      CLEANM_RETURN_NOT_OK(ValidateCallsIn(q.expr, functions, query_text));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateFunctionCalls(const CleanMQuery& query,
+                             const FunctionRegistry& functions,
+                             const std::string* query_text) {
+  auto check = [&](const ExprPtr& e) {
+    return ValidateCallsIn(e, functions, query_text);
+  };
+  for (const auto& item : query.select_list) CLEANM_RETURN_NOT_OK(check(item.expr));
+  CLEANM_RETURN_NOT_OK(check(query.where));
+  for (const auto& g : query.group_by) CLEANM_RETURN_NOT_OK(check(g));
+  CLEANM_RETURN_NOT_OK(check(query.having));
+  for (const auto& fd : query.fds) {
+    for (const auto& side : {&fd.lhs, &fd.rhs}) {
+      for (const auto& e : *side) CLEANM_RETURN_NOT_OK(check(e));
+    }
+  }
+  for (const auto& dedup : query.dedups) {
+    for (const auto& e : dedup.attributes) CLEANM_RETURN_NOT_OK(check(e));
+  }
+  for (const auto& cb : query.cluster_bys) CLEANM_RETURN_NOT_OK(check(cb.term));
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---- Preparation ----
 
 Result<PreparedQuery> CleanDB::Prepare(const std::string& query_text) {
   CLEANM_ASSIGN_OR_RETURN(CleanMQuery query, ParseCleanM(query_text));
-  return PrepareQuery(query);
+  return PrepareQueryImpl(query, &query_text);
 }
 
 Result<PreparedQuery> CleanDB::PrepareQuery(const CleanMQuery& query) {
+  return PrepareQueryImpl(query, nullptr);
+}
+
+Result<PreparedQuery> CleanDB::PrepareQueryImpl(const CleanMQuery& query,
+                                                const std::string* query_text) {
   CLEANM_RETURN_NOT_OK(ValidateClauses(*this, query));
+  CLEANM_RETURN_NOT_OK(ValidateFunctionCalls(query, functions_, query_text));
   const TableRef& base = query.from[0];
 
   // Desugar every cleaning clause to its algebra plan.
@@ -176,6 +245,21 @@ Result<PreparedQuery> CleanDB::PrepareQuery(const CleanMQuery& query) {
                                 cb, fopts, std::move(centers)));
     cleaning_plans.push_back(std::move(cp));
   }
+  // User SELECT / GROUP BY / HAVING plan — the open language surface. Its
+  // Nest stage is shaped like the built-in builders', so the Nest
+  // coalescing below can merge it with FD/DEDUP groupings over the same
+  // term, and a registered repair call in SELECT position marks its output
+  // field for the repair loop (see repair/repair_sink.h).
+  std::vector<std::string> repair_fields;
+  std::string repair_table;
+  if (QueryWantsSelectPlan(query)) {
+    CLEANM_ASSIGN_OR_RETURN(SelectPlan sp, BuildSelectPlan(query, &functions_));
+    if (!sp.repair_fields.empty()) {
+      repair_fields = std::move(sp.repair_fields);
+      repair_table = std::move(sp.source_table);
+    }
+    cleaning_plans.push_back(std::move(sp.plan));
+  }
   // Disambiguate repeated operator names (FD, FD_2, ...).
   {
     std::map<std::string, int> seen;
@@ -190,6 +274,8 @@ Result<PreparedQuery> CleanDB::PrepareQuery(const CleanMQuery& query) {
   pq.status_ = Status::OK();
   pq.query_ = query;
   pq.plans_ = std::move(cleaning_plans);
+  pq.repair_fields_ = std::move(repair_fields);
+  pq.repair_table_ = std::move(repair_table);
 
   // Algebra-level optimization, done once: coalesce shared Nest stages
   // (Figure 1) into the unified plan forms. Both forms are kept so the

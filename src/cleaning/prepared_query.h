@@ -53,6 +53,13 @@ class PreparedQuery {
   /// Nest stages the optimizer coalesced in the unified plan forms.
   int nests_coalesced() const { return nests_coalesced_; }
 
+  /// For queries with a SELECT plan (GROUP BY / HAVING / pure projection):
+  /// the output field names whose values follow the repair-action contract
+  /// (a registered repair function is called in their expression), and the
+  /// FROM table those actions repair. Empty when the query repairs nothing.
+  const std::vector<std::string>& repair_fields() const { return repair_fields_; }
+  const std::string& repair_table() const { return repair_table_; }
+
   /// Runs the prepared plans and materializes a QueryResult (via
   /// QueryResultSink). `opts` fields override the session defaults for
   /// this call only.
@@ -76,6 +83,9 @@ class PreparedQuery {
   /// Nest-coalesced plan roots, same order (executed when unify is on).
   std::vector<AlgOpPtr> unified_roots_;
   int nests_coalesced_ = 0;
+  /// Repair bookkeeping of the SELECT plan (see accessors above).
+  std::vector<std::string> repair_fields_;
+  std::string repair_table_;
   /// False for the one-shot Execute convenience: the plans die with this
   /// object, so their Nest outputs must not persist in (and pollute) the
   /// session cache.

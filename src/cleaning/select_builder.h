@@ -1,0 +1,67 @@
+// Desugaring of user SELECT / GROUP BY / HAVING queries into algebra plans.
+//
+// The built-in cleaning clauses (plan_builder.h) lower fixed Section-4.4
+// templates; this module lowers the *open* part of the language surface —
+// user-written grouping and aggregation, including registered (UDF)
+// aggregates and repair functions in SELECT position:
+//
+//   SELECT <items> FROM T t [WHERE p]
+//   [GROUP BY g1, ... [HAVING h]]
+//
+//   ungrouped →  Reduce[list / record-head](σp(Scan T))
+//   grouped   →  Reduce[list / record-head](
+//                  Nest[exact g; one aggregation per distinct aggregate
+//                       call in <items>/h; having = h'](σp(Scan T)))
+//
+// Aggregate calls (count(t), sum(t.x), set(prefix(t.y)), any registered
+// aggregate) are detected by name *and* by what they consume: a call whose
+// single argument ranges over the FROM row becomes a Nest aggregation;
+// calls over aggregation outputs stay scalar (so `length(set(t.x))` means
+// "distinct count"). `avg(e)` desugars to the builtin avg over a collected
+// bag. Everything else in a grouped item must derive from the GROUP BY
+// terms — a bare row column is the classic kTypeError.
+//
+// The Nest stage is shaped exactly like the built-in builders' (exact
+// GroupSpec, having inside the Nest), so CoalesceNests merges it with FD /
+// DEDUP groupings over the same term — a user query shares the grouping
+// pass of Figure 1 with the built-in operators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cleaning/plan_builder.h"
+#include "functions/function_registry.h"
+#include "language/ast.h"
+
+namespace cleanm {
+
+/// A lowered SELECT query plus the bookkeeping the repair loop needs.
+struct SelectPlan {
+  /// op_name "SELECT"; entity_vars empty (every output tuple reports).
+  CleaningPlan plan;
+  /// Projection field names, in SELECT-list order.
+  std::vector<std::string> output_fields;
+  /// The output fields whose expressions invoke a registered *repair*
+  /// function — their values follow the repair-action contract
+  /// (functions/function_registry.h) and are consumed by RepairSink.
+  std::vector<std::string> repair_fields;
+  /// The FROM table — the table repair actions apply to.
+  std::string source_table;
+};
+
+/// True when `query` needs a SELECT plan in addition to (or instead of) its
+/// cleaning-clause plans: any GROUP BY / HAVING, or a pure query with no
+/// cleaning clauses at all. A `SELECT * ... FD(...)` keeps the historical
+/// meaning ("report the violations"), with no separate projection plan.
+bool QueryWantsSelectPlan(const CleanMQuery& query);
+
+/// Lowers the SELECT / GROUP BY / HAVING part of `query`. `functions` (may
+/// be null) resolves registered aggregates and marks repair calls. Errors:
+/// kTypeError for HAVING without GROUP BY, SELECT * under GROUP BY, row
+/// columns outside aggregates, or nested aggregates; kNotImplemented for
+/// multi-table projections.
+Result<SelectPlan> BuildSelectPlan(const CleanMQuery& query,
+                                   const FunctionRegistry* functions);
+
+}  // namespace cleanm

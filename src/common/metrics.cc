@@ -8,7 +8,8 @@ std::string MetricsCounters::ToString() const {
   std::ostringstream os;
   os << "rows_shuffled=" << rows_shuffled << " bytes_shuffled=" << bytes_shuffled
      << " shuffle_batches=" << shuffle_batches << " comparisons=" << comparisons
-     << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built;
+     << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built
+     << " udf_calls=" << udf_calls << " repairs_applied=" << repairs_applied;
   return os.str();
 }
 

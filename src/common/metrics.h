@@ -24,6 +24,11 @@ struct MetricsCounters {
   uint64_t comparisons = 0;  ///< pairwise similarity checks
   uint64_t rows_scanned = 0;
   uint64_t groups_built = 0;
+  /// Registered user-function invocations (scalar, repair, and aggregate
+  /// unit/merge calls) on the physical path.
+  uint64_t udf_calls = 0;
+  /// Cells overwritten by the repair applier (src/repair/).
+  uint64_t repairs_applied = 0;
 
   std::string ToString() const;
 
@@ -32,7 +37,8 @@ struct MetricsCounters {
            a.bytes_shuffled == b.bytes_shuffled &&
            a.shuffle_batches == b.shuffle_batches &&
            a.comparisons == b.comparisons && a.rows_scanned == b.rows_scanned &&
-           a.groups_built == b.groups_built;
+           a.groups_built == b.groups_built && a.udf_calls == b.udf_calls &&
+           a.repairs_applied == b.repairs_applied;
   }
   friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
     return !(a == b);
@@ -48,6 +54,10 @@ struct QueryMetrics {
   std::atomic<uint64_t> comparisons{0};       ///< pairwise similarity checks
   std::atomic<uint64_t> rows_scanned{0};
   std::atomic<uint64_t> groups_built{0};
+  /// Registered user-function invocations (scalar, repair, aggregate units).
+  std::atomic<uint64_t> udf_calls{0};
+  /// Cells overwritten by the repair applier.
+  std::atomic<uint64_t> repairs_applied{0};
 
   void Reset() {
     rows_shuffled = 0;
@@ -56,6 +66,8 @@ struct QueryMetrics {
     comparisons = 0;
     rows_scanned = 0;
     groups_built = 0;
+    udf_calls = 0;
+    repairs_applied = 0;
   }
 
   MetricsCounters Snapshot() const {
@@ -66,6 +78,8 @@ struct QueryMetrics {
     s.comparisons = comparisons.load();
     s.rows_scanned = rows_scanned.load();
     s.groups_built = groups_built.load();
+    s.udf_calls = udf_calls.load();
+    s.repairs_applied = repairs_applied.load();
     return s;
   }
 

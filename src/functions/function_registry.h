@@ -1,0 +1,136 @@
+// Session-owned registry of user-defined functions (the "Extending CleanM"
+// surface): scalar functions, monoid-annotated aggregates, and repair
+// functions, all callable from CleanM query text.
+//
+// The paper's claim is that *every* cleaning operation — including
+// user-written repair logic — is expressible inside one optimizable CleanM
+// query. The registry is what makes that true beyond the built-in
+// operators:
+//
+//  * Scalar functions extend the builtin library (prefix, lower, ...) and
+//    run per row inside compiled predicates and projections.
+//  * Aggregate functions carry a full monoid annotation — identity (zero),
+//    unit, and an associative merge — so the physical layer can fold them
+//    with local pre-aggregation and merge partial accumulators across
+//    worker nodes exactly like the built-in monoids (Section 4.1's
+//    parallelism argument applies unchanged). An optional `finalize` maps
+//    the accumulator to the reported value (e.g. a {sum, count} pair to a
+//    mean), which keeps non-monoid aggregates like avg distributable.
+//  * Repair functions are scalar-callable from SELECT position but their
+//    results follow the repair-action contract (see below); a RepairSink
+//    (src/repair/) collects those actions, applies them cell-wise, and
+//    re-registers the repaired table.
+//
+// Repair-action contract: a repair function returns either one action or a
+// list of actions, each a struct Value
+//
+//   { "entity": <the source record to repair>,
+//     "set":    { <column>: <new value>, ... } }
+//
+// `entity` must equal (Value::Equals) the record as scanned from the source
+// table; `set` names the cells to overwrite. Anything else in the result is
+// ignored by the repair applier.
+//
+// Name resolution: registered names must not shadow builtin functions or
+// builtin monoids — registration fails instead, so a query's meaning can
+// never change silently when a registry fills up.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monoid/monoid.h"
+#include "storage/value.h"
+
+namespace cleanm {
+
+/// A user function body: argument values → result. Non-OK results
+/// null-propagate on the physical path (like builtin errors) and surface as
+/// errors on the strict reference-evaluator path.
+using UserFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// A registered scalar (or repair) function.
+struct ScalarFunction {
+  std::string name;
+  /// Declared argument count; -1 = variadic. Checked at Prepare time.
+  int arity = -1;
+  UserFn fn;
+  /// True for repair functions: results follow the repair-action contract
+  /// and are routed to the RepairSink by the cleaning layer.
+  bool is_repair = false;
+};
+
+/// A registered aggregate: a monoid (zero / unit / merge) plus an optional
+/// finalizer applied once per group after all partial merges.
+struct AggregateFunction {
+  std::string name;
+  std::shared_ptr<Monoid> monoid;
+  /// Optional: maps the final accumulator to the reported value. Null =
+  /// report the accumulator itself.
+  UserFn finalize;
+};
+
+/// \brief Per-session function registry. Owned by CleanDB; consulted by
+/// Prepare-time validation, the physical expression compiler, the Nest/
+/// Reduce planners, and the reference evaluator.
+class FunctionRegistry {
+ public:
+  /// Registers a scalar function. `arity` -1 = variadic. Fails with
+  /// kInvalidArgument on an empty name, a duplicate registration, or a name
+  /// that shadows a builtin function or monoid.
+  Status RegisterScalar(const std::string& name, int arity, UserFn fn);
+
+  /// Registers a repair function (a scalar whose results follow the
+  /// repair-action contract above). Same name rules as RegisterScalar.
+  Status RegisterRepair(const std::string& name, int arity, UserFn fn);
+
+  /// Registers an aggregate from its monoid annotation: `zero` is the
+  /// identity, `unit` lifts one element, `merge` is the associative ⊕.
+  /// `finalize` (optional) maps the merged accumulator to the reported
+  /// value. `commutative`/`idempotent` declare the algebraic properties the
+  /// optimizer may rely on (merge order across nodes is unspecified, so
+  /// non-commutative aggregates should fold into order-insensitive form).
+  Status RegisterAggregate(const std::string& name, Value zero,
+                           std::function<Value(const Value&)> unit,
+                           std::function<Value(Value, const Value&)> merge,
+                           UserFn finalize = nullptr, bool commutative = true,
+                           bool idempotent = false);
+
+  /// Scalar or repair function by name; nullptr when absent.
+  const ScalarFunction* FindScalar(const std::string& name) const;
+  /// Aggregate by name; nullptr when absent.
+  const AggregateFunction* FindAggregate(const std::string& name) const;
+  /// True when `name` is a registered repair function.
+  bool IsRepair(const std::string& name) const;
+
+  /// Checks a call site at Prepare time: unknown names and arity mismatches
+  /// are kKeyError (the caller decorates the message with the source
+  /// position). A name is acceptable if *any* interpretation — builtin
+  /// function, builtin monoid (aggregates take one argument), registered
+  /// scalar/repair, registered aggregate — matches the argument count.
+  Status ValidateCall(const std::string& name, size_t num_args) const;
+
+  size_t num_scalars() const { return scalars_.size(); }
+  size_t num_aggregates() const { return aggregates_.size(); }
+
+ private:
+  Status CheckName(const std::string& name) const;
+
+  std::map<std::string, ScalarFunction> scalars_;  // includes repairs
+  std::map<std::string, AggregateFunction> aggregates_;
+};
+
+/// Resolves a Nest/Reduce aggregation monoid by name: the registry's
+/// aggregates first (when `functions` is non-null; `*udf` then receives the
+/// entry so callers can apply its finalize), falling back to the builtin
+/// monoid registry. Shared by the physical planner and the reference
+/// evaluator so the two paths cannot diverge.
+Result<const Monoid*> ResolveAggregateMonoid(const FunctionRegistry* functions,
+                                             const std::string& name,
+                                             const AggregateFunction** udf = nullptr);
+
+}  // namespace cleanm

@@ -36,14 +36,7 @@ class Lexer {
   /// text, plus the raw offset for tooling.
   Status Error(const std::string& msg) const {
     size_t line = 1, column = 1;
-    for (size_t i = 0; i < current_.pos && i < text_.size(); i++) {
-      if (text_[i] == '\n') {
-        line++;
-        column = 1;
-      } else {
-        column++;
-      }
-    }
+    LineColumnAt(text_, current_.pos, &line, &column);
     const std::string token =
         current_.kind == TokKind::kEnd ? "end of input" : "'" + current_.text + "'";
     return Status::ParseError(msg + " at line " + std::to_string(line) + ", column " +
@@ -146,10 +139,12 @@ class Parser {
         if (!IsPunct(",")) break;
         lex_.Take();
       }
-      if (IsKeyword("HAVING")) {
-        lex_.Take();
-        CLEANM_ASSIGN_OR_RETURN(q.having, ParseExpr());
-      }
+    }
+    // HAVING parses with or without GROUP BY; the groupless form is a
+    // semantic error (kTypeError) reported by Prepare, not a parse error.
+    if (IsKeyword("HAVING")) {
+      lex_.Take();
+      CLEANM_ASSIGN_OR_RETURN(q.having, ParseExpr());
     }
 
     // Cleaning clauses, in any order, repeated.
@@ -493,6 +488,7 @@ class Parser {
           }
           CLEANM_RETURN_NOT_OK(ExpectPunct(")"));
           ExprPtr call = Call(ident.text, std::move(args));
+          call->src_pos = ident.pos;
           return ParsePostfix(std::move(call));
         }
         return ParsePostfix(Var(ident.text));
@@ -533,6 +529,20 @@ Result<CleanMQuery> ParseCleanM(const std::string& query) {
 Result<ExprPtr> ParseCleanMExpr(const std::string& text) {
   Parser parser(text);
   return parser.ParseStandaloneExpr();
+}
+
+void LineColumnAt(const std::string& text, size_t offset, size_t* line,
+                  size_t* column) {
+  *line = 1;
+  *column = 1;
+  for (size_t i = 0; i < offset && i < text.size(); i++) {
+    if (text[i] == '\n') {
+      (*line)++;
+      *column = 1;
+    } else {
+      (*column)++;
+    }
+  }
 }
 
 }  // namespace cleanm

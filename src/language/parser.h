@@ -22,4 +22,11 @@ Result<CleanMQuery> ParseCleanM(const std::string& query);
 /// programmatic cleaning API, e.g. "prefix(c.phone)").
 Result<ExprPtr> ParseCleanMExpr(const std::string& text);
 
+/// 1-based line/column of byte `offset` within `text` — the same
+/// computation behind the parser's positioned kParseError messages, shared
+/// so Prepare-time validation (unknown function, arity mismatch) can point
+/// at the recorded Expr::src_pos of an AST node.
+void LineColumnAt(const std::string& text, size_t offset, size_t* line,
+                  size_t* column);
+
 }  // namespace cleanm

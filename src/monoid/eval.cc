@@ -166,7 +166,12 @@ Result<Value> EvalExpr(const ExprPtr& e, const Env& env, const EvalContext& ctx)
         CLEANM_ASSIGN_OR_RETURN(Value v, EvalExpr(a, env, ctx));
         args.push_back(std::move(v));
       }
-      return EvalBuiltin(e->name, args);
+      auto r = EvalBuiltin(e->name, args);
+      if (!r.ok() && r.status().code() == StatusCode::kKeyError &&
+          ctx.call_fallback) {
+        return ctx.call_fallback(e->name, args);
+      }
+      return r;
     }
     case ExprKind::kRecord: {
       ValueStruct fields;
@@ -434,6 +439,40 @@ Result<Value> EvalBuiltin(const std::string& name, const std::vector<Value>& arg
   if (name == "is_null") {
     CLEANM_RETURN_NOT_OK(Arity(name, args, 1));
     return Value(args[0].is_null());
+  }
+  return Status::KeyError("unknown builtin function '" + name + "'");
+}
+
+namespace {
+
+/// (name, arity) of every builtin; -1 = variadic. Must stay in sync with
+/// EvalBuiltin above (the registry test probes each entry through both).
+struct BuiltinSig {
+  const char* name;
+  int arity;
+};
+constexpr BuiltinSig kBuiltins[] = {
+    {"prefix", 1},     {"lower", 1},      {"upper", 1},      {"trim", 1},
+    {"substr", 3},     {"length", 1},     {"contains", 2},   {"concat", -1},
+    {"split", 2},      {"tokens", 2},     {"levenshtein", 2}, {"similarity", 3},
+    {"similar", 4},    {"year", 1},       {"month", 1},      {"day", 1},
+    {"abs", 1},        {"to_string", 1},  {"to_int", 1},     {"distinct", 1},
+    {"count", 1},      {"avg", 1},        {"bag_concat", 2}, {"set_union", 2},
+    {"is_null", 1},
+};
+
+}  // namespace
+
+bool IsBuiltinFunction(const std::string& name) {
+  for (const auto& sig : kBuiltins) {
+    if (name == sig.name) return true;
+  }
+  return false;
+}
+
+Result<int> BuiltinFunctionArity(const std::string& name) {
+  for (const auto& sig : kBuiltins) {
+    if (name == sig.name) return sig.arity;
   }
   return Status::KeyError("unknown builtin function '" + name + "'");
 }

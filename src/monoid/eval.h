@@ -6,9 +6,11 @@
 // suite checks normalized and translated plans against this interpreter.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "monoid/expr.h"
@@ -21,9 +23,16 @@ namespace cleanm {
 using Env = std::map<std::string, Value>;
 
 /// \brief Evaluation context: the base monoid registry plus caller-supplied
-/// parameterized monoids (e.g. "tf2" → token filtering with q=2).
+/// parameterized monoids (e.g. "tf2" → token filtering with q=2) and an
+/// optional fallback for function calls the builtin library does not know
+/// (registered user functions; supplied by the algebra/cleaning layers so
+/// this module does not depend on the function registry).
 struct EvalContext {
   std::map<std::string, std::shared_ptr<Monoid>> extra_monoids;
+  /// Tried when EvalBuiltin reports kKeyError for a call's name. Should
+  /// itself return kKeyError for names it does not know either.
+  std::function<Result<Value>(const std::string&, const std::vector<Value>&)>
+      call_fallback;
 
   Result<const Monoid*> FindMonoid(const std::string& name) const;
 };
@@ -39,5 +48,13 @@ Result<Value> EvalExpr(const ExprPtr& e, const Env& env, const EvalContext& ctx 
 /// split, tokens, levenshtein, similarity, similar, year, month, day, abs,
 /// to_string, to_int, distinct, count, avg, is_null.
 Result<Value> EvalBuiltin(const std::string& name, const std::vector<Value>& args);
+
+/// True when `name` is a builtin function (callable via EvalBuiltin).
+bool IsBuiltinFunction(const std::string& name);
+
+/// Declared argument count of a builtin; -1 = variadic. kKeyError for
+/// unknown names. Used by Prepare-time call validation so arity mistakes
+/// fail with a positioned error instead of a per-row null at execution.
+Result<int> BuiltinFunctionArity(const std::string& name);
 
 }  // namespace cleanm

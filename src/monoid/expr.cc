@@ -113,6 +113,7 @@ ExprPtr CloneExpr(const ExprPtr& e) {
   if (!e) return nullptr;
   auto c = std::make_shared<Expr>();
   c->kind = e->kind;
+  c->src_pos = e->src_pos;
   c->literal = e->literal;
   c->name = e->name;
   c->child = CloneExpr(e->child);

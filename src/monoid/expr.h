@@ -62,10 +62,19 @@ struct ComprehensionExpr {
   std::vector<Qualifier> qualifiers;
 };
 
+/// Sentinel for Expr::src_pos: no source location recorded.
+inline constexpr size_t kNoSourcePos = static_cast<size_t>(-1);
+
 /// \brief One node of the expression tree. A tagged union in the Arrow
 /// style: `kind` selects which members are meaningful.
 struct Expr {
   ExprKind kind;
+
+  /// Raw offset of this node's defining token in the query text the parser
+  /// consumed (currently recorded for kCall: the function-name token), or
+  /// kNoSourcePos for programmatically built expressions. Prepare-time
+  /// validation turns it into line/column for positioned errors.
+  size_t src_pos = kNoSourcePos;
 
   Value literal;                    // kConst
   std::string name;                 // kVar: variable; kField: field name;

@@ -64,7 +64,8 @@ Value ApplyBinary(BinaryOp op, const Value& l, const Value& r) {
 
 }  // namespace
 
-Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
+Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout,
+                                 const CompileEnv& env) {
   if (!e) return Status::Internal("compiling null expression");
   switch (e->kind) {
     case ExprKind::kConst: {
@@ -92,7 +93,7 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
       });
     }
     case ExprKind::kField: {
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr child, CompileExpr(e->child, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr child, CompileExpr(e->child, layout, env));
       std::string field = e->name;
       return CompiledExpr([child, field](const Value& tuple) {
         const Value base = child(tuple);
@@ -104,8 +105,8 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
       });
     }
     case ExprKind::kBinary: {
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr lhs, CompileExpr(e->lhs, layout));
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr rhs, CompileExpr(e->rhs, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr lhs, CompileExpr(e->lhs, layout, env));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr rhs, CompileExpr(e->rhs, layout, env));
       const BinaryOp op = e->bin_op;
       if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
         // Short-circuit.
@@ -123,7 +124,7 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
       });
     }
     case ExprKind::kUnary: {
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr child, CompileExpr(e->child, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr child, CompileExpr(e->child, layout, env));
       const UnaryOp op = e->un_op;
       return CompiledExpr([child, op](const Value& tuple) {
         const Value v = child(tuple);
@@ -137,9 +138,9 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
       });
     }
     case ExprKind::kIf: {
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr cond, CompileExpr(e->cond, layout));
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr then_e, CompileExpr(e->then_e, layout));
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr else_e, CompileExpr(e->else_e, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr cond, CompileExpr(e->cond, layout, env));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr then_e, CompileExpr(e->then_e, layout, env));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr else_e, CompileExpr(e->else_e, layout, env));
       return CompiledExpr([cond, then_e, else_e](const Value& tuple) {
         const Value c = cond(tuple);
         if (c.type() != ValueType::kBool) return Value::Null();
@@ -149,12 +150,30 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
     case ExprKind::kCall: {
       std::vector<CompiledExpr> args;
       for (const auto& a : e->args) {
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(a, layout));
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(a, layout, env));
         args.push_back(std::move(c));
+      }
+      const std::string fn = e->name;
+      // Registered user functions (scalar + repair) resolve here; builtin
+      // names can never collide with them (registration rejects shadows).
+      // Registered-function errors null-propagate like builtin errors, and
+      // each invocation charges one udf_calls tick.
+      if (env.functions != nullptr) {
+        if (const ScalarFunction* user = env.functions->FindScalar(fn)) {
+          const UserFn body = user->fn;
+          QueryMetrics* metrics = env.metrics;
+          return CompiledExpr([body, args, metrics](const Value& tuple) {
+            std::vector<Value> vals;
+            vals.reserve(args.size());
+            for (const auto& a : args) vals.push_back(a(tuple));
+            if (metrics) metrics->udf_calls++;
+            auto r = body(vals);
+            return r.ok() ? r.MoveValue() : Value::Null();
+          });
+        }
       }
       // Validate the function name at compile time with a dummy invocation
       // guard: unknown builtins must fail at plan time, not per row.
-      const std::string fn = e->name;
       {
         std::vector<Value> probe;  // arity checks happen at runtime
         auto r = EvalBuiltin(fn, probe);
@@ -173,7 +192,7 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
     case ExprKind::kRecord: {
       std::vector<CompiledExpr> values;
       for (const auto& v : e->field_values) {
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(v, layout));
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(v, layout, env));
         values.push_back(std::move(c));
       }
       const std::vector<std::string> names = e->field_names;
@@ -195,8 +214,9 @@ Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout) {
 }
 
 Result<std::function<bool(const Value&)>> CompilePredicate(const ExprPtr& e,
-                                                           const TupleLayout& layout) {
-  CLEANM_ASSIGN_OR_RETURN(CompiledExpr compiled, CompileExpr(e, layout));
+                                                           const TupleLayout& layout,
+                                                           const CompileEnv& env) {
+  CLEANM_ASSIGN_OR_RETURN(CompiledExpr compiled, CompileExpr(e, layout, env));
   return std::function<bool(const Value&)>([compiled](const Value& tuple) {
     const Value v = compiled(tuple);
     return v.type() == ValueType::kBool && v.AsBool();

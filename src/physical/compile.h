@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "functions/function_registry.h"
 #include "monoid/expr.h"
 
 namespace cleanm {
@@ -28,11 +30,23 @@ using TupleLayout = std::vector<std::string>;
 /// A compiled expression: tuple → value.
 using CompiledExpr = std::function<Value(const Value& tuple)>;
 
+/// \brief Compile-time context beyond the tuple layout: the session's
+/// function registry (registered scalar/repair functions resolve in call
+/// position; registration rejects builtin-shadowing names, so resolution
+/// order cannot change a query's meaning) and the metrics sink charged one
+/// `udf_calls` tick per registered-function invocation.
+struct CompileEnv {
+  const FunctionRegistry* functions = nullptr;
+  QueryMetrics* metrics = nullptr;
+};
+
 /// Compiles `e` against `layout`. Unknown variables are a plan-time error.
-Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout);
+Result<CompiledExpr> CompileExpr(const ExprPtr& e, const TupleLayout& layout,
+                                 const CompileEnv& env = {});
 
 /// Compiles a predicate: null or non-bool results become false.
 Result<std::function<bool(const Value&)>> CompilePredicate(const ExprPtr& e,
-                                                           const TupleLayout& layout);
+                                                           const TupleLayout& layout,
+                                                           const CompileEnv& env = {});
 
 }  // namespace cleanm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "functions/function_registry.h"
 #include "monoid/monoid.h"
 
 namespace cleanm {
@@ -80,7 +81,7 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
     case AlgKind::kSelect: {
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
       const TupleLayout layout = CollectVars(plan->input);
-      CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(plan->pred, layout));
+      CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(plan->pred, layout, Env()));
       return cluster->Filter(in, [pred](const Row& r) { return pred(TupleOf(r)); });
     }
 
@@ -98,14 +99,14 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
       };
 
       if (plan->left_key) {
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr lk, CompileExpr(plan->left_key, left_layout));
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr lk, CompileExpr(plan->left_key, left_layout, Env()));
         CLEANM_ASSIGN_OR_RETURN(CompiledExpr rk,
-                                CompileExpr(plan->right_key, right_layout));
+                                CompileExpr(plan->right_key, right_layout, Env()));
         auto lkey = [lk](const Row& r) { return lk(TupleOf(r)); };
         auto rkey = [rk](const Row& r) { return rk(TupleOf(r)); };
         std::function<bool(const Value&)> residual;
         if (plan->pred) {
-          CLEANM_ASSIGN_OR_RETURN(residual, CompilePredicate(plan->pred, both));
+          CLEANM_ASSIGN_OR_RETURN(residual, CompilePredicate(plan->pred, both, Env()));
         }
         Partitioned joined;
         if (plan->kind == AlgKind::kOuterJoin) {
@@ -132,7 +133,7 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
       }
       std::function<bool(const Row&, const Row&)> pred;
       if (plan->pred) {
-        CLEANM_ASSIGN_OR_RETURN(auto compiled, CompilePredicate(plan->pred, both));
+        CLEANM_ASSIGN_OR_RETURN(auto compiled, CompilePredicate(plan->pred, both, Env()));
         pred = [compiled](const Row& l, const Row& r) {
           return compiled(MergeTuples(TupleOf(l), TupleOf(r)));
         };
@@ -148,7 +149,7 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
     case AlgKind::kOuterUnnest: {
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
       const TupleLayout layout = CollectVars(plan->input);
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(plan->path, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(plan->path, layout, Env()));
       const std::string var = plan->path_var;
       const bool outer = plan->kind == AlgKind::kOuterUnnest;
       return cluster->FlatMap(in, [path, var, outer](const Row& r, Partition* out) {
@@ -189,7 +190,7 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
 
       // Phase 1: expand each tuple into (key, tuple) pairs. Exact grouping
       // emits one pair; grouping monoids may emit several.
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr term, CompileExpr(plan->group.term, layout));
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr term, CompileExpr(plan->group.term, layout, Env()));
       const GroupSpec group = plan->group;
       if (group.algo == FilteringAlgo::kKMeans && group.centers.empty()) {
         return Status::InvalidArgument(
@@ -222,12 +223,26 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
       });
 
       // Phase 2: monoid aggregation under the configured shuffle strategy.
+      // Aggregation names resolve against the session registry first, so a
+      // registered (monoid-annotated) UDF aggregate distributes exactly
+      // like a built-in: units fold locally, partial accumulators merge
+      // across nodes, and its optional finalize maps each group's merged
+      // accumulator to the reported value before `having` sees it.
       std::vector<const Monoid*> monoids;
       std::vector<CompiledExpr> agg_exprs;
-      for (const auto& agg : plan->aggs) {
-        CLEANM_ASSIGN_OR_RETURN(const Monoid* m, LookupMonoid(agg.monoid));
+      std::vector<UserFn> finalizers(plan->aggs.size());
+      size_t udf_aggs = 0;
+      for (size_t a = 0; a < plan->aggs.size(); a++) {
+        const NestAgg& agg = plan->aggs[a];
+        const AggregateFunction* udf = nullptr;
+        CLEANM_ASSIGN_OR_RETURN(const Monoid* m,
+                                ResolveAggregateMonoid(functions, agg.monoid, &udf));
         monoids.push_back(m);
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(agg.expr, layout));
+        if (udf) {
+          finalizers[a] = udf->finalize;
+          udf_aggs++;
+        }
+        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(agg.expr, layout, Env()));
         agg_exprs.push_back(std::move(c));
       }
       const std::string key_name = plan->key_name;
@@ -237,17 +252,19 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
       if (plan->having) {
         TupleLayout out_layout{key_name};
         for (const auto& agg : aggs) out_layout.push_back(agg.name);
-        CLEANM_ASSIGN_OR_RETURN(having, CompilePredicate(plan->having, out_layout));
+        CLEANM_ASSIGN_OR_RETURN(having, CompilePredicate(plan->having, out_layout, Env()));
       }
 
       engine::AggregateSpec spec;
       spec.key = [](const Row& r) { return r[0]; };
-      spec.init = [monoids, agg_exprs](const Row& r) {
+      QueryMetrics* metrics = &cluster->metrics();
+      spec.init = [monoids, agg_exprs, metrics, udf_aggs](const Row& r) {
         ValueList accs;
         accs.reserve(monoids.size());
         for (size_t a = 0; a < monoids.size(); a++) {
           accs.push_back(monoids[a]->Unit(agg_exprs[a](r[1])));
         }
+        if (udf_aggs) metrics->udf_calls += udf_aggs;
         return Value(std::move(accs));
       };
       spec.merge = [monoids](Value a, const Value& b) {
@@ -258,12 +275,21 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
         }
         return a;
       };
-      spec.finalize = [key_name, aggs, having](const Value& key, const Value& acc,
-                                               Partition* out) {
+      spec.finalize = [key_name, aggs, having, finalizers](const Value& key,
+                                                           const Value& acc,
+                                                           Partition* out) {
         ValueStruct tuple;
         tuple.emplace_back(key_name, key);
         const auto& accs = acc.AsList();
         for (size_t a = 0; a < aggs.size(); a++) {
+          if (finalizers[a]) {
+            // UDF finalize errors null-propagate (engine convention for
+            // per-row/-group data errors).
+            auto finalized = finalizers[a]({accs[a]});
+            tuple.emplace_back(aggs[a].name,
+                               finalized.ok() ? finalized.MoveValue() : Value::Null());
+            continue;
+          }
           tuple.emplace_back(aggs[a].name, accs[a]);
         }
         Value result(std::move(tuple));
@@ -299,10 +325,12 @@ Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
     }
     return Value(std::move(out));
   }
-  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid, LookupMonoid(plan->monoid));
+  const AggregateFunction* udf = nullptr;
+  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
+                          ResolveAggregateMonoid(functions, plan->monoid, &udf));
   CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
   const TupleLayout layout = CollectVars(plan->input);
-  CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout));
+  CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout, Env()));
   // Fold locally per node, then merge the partials on the driver — legal
   // for any monoid by associativity (commutative monoids also tolerate the
   // arbitrary node order; "list" keeps node order deterministic).
@@ -316,6 +344,8 @@ Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
   });
   Value acc = monoid->zero();
   for (auto& p : partials) acc = monoid->Merge(std::move(acc), p);
+  if (udf) cluster->metrics().udf_calls += engine::Cluster::TotalRows(in);
+  if (udf && udf->finalize) return udf->finalize({acc});
   return acc;
 }
 

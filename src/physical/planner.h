@@ -48,16 +48,23 @@ struct PhysicalOptions {
 struct Executor {
   Executor(engine::Cluster* cluster_in, const Catalog* catalog_in,
            PhysicalOptions options_in, PartitionCache* cache_in,
-           bool persist_nests_in = true)
+           bool persist_nests_in = true,
+           const FunctionRegistry* functions_in = nullptr)
       : cluster(cluster_in),
         catalog(catalog_in),
         options(options_in),
+        functions(functions_in ? functions_in : catalog_in->functions),
         cache(cache_in),
         persist_nests(persist_nests_in) {}
 
   engine::Cluster* cluster = nullptr;
   const Catalog* catalog = nullptr;
   PhysicalOptions options;
+  /// Session function registry (may be null): registered scalars resolve
+  /// inside compiled expressions, registered aggregates supply Nest/Reduce
+  /// monoids whose partial accumulators merge across worker nodes like the
+  /// built-ins. Defaults to the catalog's registry.
+  const FunctionRegistry* functions = nullptr;
   /// Session-owned partition cache (required): scans, wrapped scans, and
   /// Nest outputs are looked up and published here, keyed by table
   /// generation and active partition count.
@@ -70,6 +77,10 @@ struct Executor {
   /// Nest (Figure 1) works in either mode.
   bool persist_nests = true;
   std::map<const AlgOp*, engine::Partitioned> local_nests;
+
+  /// Compile context for this execution: registered functions + the
+  /// cluster's metrics (udf_calls accounting).
+  CompileEnv Env() const { return {functions, &cluster->metrics()}; }
 
   /// Executes a plan (any root except Reduce), returning distributed
   /// tuples. Tuple layout matches CollectVars(plan).

@@ -1,0 +1,158 @@
+#include "repair/repair_sink.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "algebra/algebra_eval.h"  // RowToRecord
+
+namespace cleanm {
+
+namespace {
+
+/// An action value: a struct with an "entity" field and a struct-valued
+/// "set" field. (The shape is distinctive enough that projection fields
+/// carrying ordinary data can never be mistaken for repairs.)
+bool IsRepairAction(const Value& v) {
+  if (v.type() != ValueType::kStruct) return false;
+  bool has_entity = false, has_set = false;
+  for (const auto& [name, field] : v.AsStruct()) {
+    if (name == "entity") has_entity = true;
+    if (name == "set" && field.type() == ValueType::kStruct) has_set = true;
+  }
+  return has_entity && has_set;
+}
+
+RepairAction ToAction(const Value& v) {
+  RepairAction action;
+  for (const auto& [name, field] : v.AsStruct()) {
+    if (name == "entity") action.entity = field;
+    if (name == "set") action.set = field.AsStruct();
+  }
+  return action;
+}
+
+}  // namespace
+
+std::vector<RepairAction> ExtractRepairActions(
+    const Value& output_tuple, const std::vector<std::string>* fields) {
+  std::vector<RepairAction> actions;
+  if (output_tuple.type() != ValueType::kStruct) return actions;
+  for (const auto& [name, field] : output_tuple.AsStruct()) {
+    if (fields != nullptr &&
+        std::find(fields->begin(), fields->end(), name) == fields->end()) {
+      continue;
+    }
+    if (IsRepairAction(field)) {
+      actions.push_back(ToAction(field));
+      continue;
+    }
+    if (field.type() == ValueType::kList) {
+      for (const auto& element : field.AsList()) {
+        if (IsRepairAction(element)) actions.push_back(ToAction(element));
+      }
+    }
+  }
+  return actions;
+}
+
+Result<Dataset> ApplyRepairActions(const Dataset& source,
+                                   const std::vector<RepairAction>& actions,
+                                   RepairSummary* summary, QueryMetrics* metrics) {
+  summary->actions = actions.size();
+
+  // Resolve the target columns once, and index the actions by entity hash
+  // so the application pass stays O(rows + actions).
+  std::vector<std::vector<size_t>> column_indexes(actions.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> by_entity;
+  for (size_t a = 0; a < actions.size(); a++) {
+    for (const auto& [column, value] : actions[a].set) {
+      (void)value;
+      CLEANM_ASSIGN_OR_RETURN(size_t idx, source.schema().IndexOf(column));
+      column_indexes[a].push_back(idx);
+    }
+    by_entity[actions[a].entity.Hash()].push_back(a);
+  }
+
+  std::vector<bool> matched(actions.size(), false);
+  Dataset repaired(source.schema());
+  for (const auto& source_row : source.rows()) {
+    Row row = source_row;
+    const Value record = RowToRecord(source.schema(), source_row);
+    bool changed = false;
+    auto candidates = by_entity.find(record.Hash());
+    if (candidates != by_entity.end()) {
+      for (size_t a : candidates->second) {
+        if (!actions[a].entity.Equals(record)) continue;
+        matched[a] = true;
+        for (size_t s = 0; s < actions[a].set.size(); s++) {
+          const size_t idx = column_indexes[a][s];
+          const Value& new_value = actions[a].set[s].second;
+          if (row[idx].Equals(new_value)) continue;
+          row[idx] = new_value;
+          summary->cells_changed++;
+          changed = true;
+        }
+      }
+    }
+    if (changed) summary->rows_changed++;
+    repaired.Append(std::move(row));
+  }
+  for (bool m : matched) {
+    if (!m) summary->unmatched++;
+  }
+  if (metrics) metrics->repairs_applied += summary->cells_changed;
+  return repaired;
+}
+
+RepairSink::RepairSink(CleanDB* db, const PreparedQuery& pq,
+                       std::string target_table)
+    : db_(db),
+      source_table_(pq.repair_table()),
+      target_table_(std::move(target_table)),
+      repair_fields_(pq.repair_fields()) {}
+
+RepairSink::RepairSink(CleanDB* db, std::string source_table,
+                       std::string target_table)
+    : db_(db),
+      source_table_(std::move(source_table)),
+      target_table_(std::move(target_table)) {}
+
+Status RepairSink::OnViolation(const std::string& op_name, const Value& violation) {
+  (void)op_name;
+  const std::vector<std::string>* fields =
+      repair_fields_.empty() ? nullptr : &repair_fields_;
+  for (auto& action : ExtractRepairActions(violation, fields)) {
+    actions_.push_back(std::move(action));
+  }
+  return Status::OK();
+}
+
+Status RepairSink::OnDirtyEntity(const Value& entity,
+                                 const std::vector<std::string>& violated_ops) {
+  (void)entity;
+  (void)violated_ops;
+  return Status::OK();
+}
+
+Result<RepairSummary> RepairSink::Commit() {
+  if (db_ == nullptr) return Status::Internal("RepairSink has no CleanDB");
+  CLEANM_ASSIGN_OR_RETURN(const Dataset* source, db_->GetTable(source_table_));
+
+  RepairSummary summary;
+  CLEANM_ASSIGN_OR_RETURN(
+      Dataset repaired,
+      ApplyRepairActions(*source, actions_, &summary, &db_->cluster().metrics()));
+
+  // Re-register under the target name: RegisterTable bumps the generation
+  // and invalidates every cached partitioning of that table, so follow-up
+  // (even already-prepared) queries bind the clean data.
+  const std::string target =
+      target_table_.empty() ? source_table_ : target_table_;
+  db_->RegisterTable(target, std::move(repaired));
+  summary.table = target;
+  summary.new_generation = db_->TableGeneration(target);
+  actions_.clear();
+  return summary;
+}
+
+}  // namespace cleanm

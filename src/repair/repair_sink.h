@@ -1,0 +1,116 @@
+// The repair half of the function-registry subsystem: collect the
+// repair-action outputs of a query, apply them cell-wise, and re-register
+// the repaired table so follow-up queries run against clean data.
+//
+// This closes the paper's detect → repair loop (and echoes the
+// consistent-query-answering view of repairs: a repaired relation is a
+// first-class query input, not side-channel output). A registered repair
+// function (FunctionRegistry::RegisterRepair) called in SELECT position
+// emits actions of the shape
+//
+//   { "entity": <source record>, "set": { <column>: <new value>, ... } }
+//
+// (one action or a list per output cell). RepairSink streams over a
+// PreparedQuery execution, recognizes those action values, and on Commit():
+//
+//   1. matches each action's `entity` against the source table's records
+//      (Value equality over the full record — the same representation the
+//      plan scanned),
+//   2. overwrites the named cells (counted into QueryMetrics::
+//      repairs_applied),
+//   3. materializes the repaired Dataset and re-registers it via
+//      CleanDB::RegisterTable under the target name — which bumps the
+//      table generation and eagerly invalidates every cached partitioning,
+//      so a later PreparedQuery execution re-partitions the clean data and
+//      can never see the dirty rows again.
+//
+// Usage:
+//   RepairSink sink(&db, pq.repair_table());      // in-place repair
+//   CLEANM_RETURN_NOT_OK(pq.ExecuteInto(sink));
+//   auto summary = sink.Commit();                  // applies + re-registers
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cleaning/cleandb.h"
+#include "cleaning/prepared_query.h"
+#include "cleaning/violation_sink.h"
+#include "storage/dataset.h"
+
+namespace cleanm {
+
+/// One cell-wise repair: overwrite `set`'s columns on every source row
+/// whose record equals `entity`.
+struct RepairAction {
+  Value entity;
+  ValueStruct set;  ///< column → new value
+};
+
+/// Outcome of one Commit().
+struct RepairSummary {
+  size_t actions = 0;        ///< actions collected from the execution
+  size_t rows_changed = 0;   ///< source rows with ≥ 1 cell overwritten
+  size_t cells_changed = 0;  ///< cells whose value actually changed
+  size_t unmatched = 0;      ///< actions whose entity matched no source row
+  std::string table;         ///< name the repaired table was registered under
+  uint64_t new_generation = 0;
+};
+
+/// Extracts the repair actions embedded in one query-output tuple: every
+/// field whose value is an action ({entity, set} struct) or a list of
+/// actions contributes; other fields are ignored. `fields` (optional)
+/// restricts extraction to the named output fields — the scoping a
+/// PreparedQuery's repair_fields() provides, so tuples of *other*
+/// operations (or data columns that happen to look action-shaped) can
+/// never be mistaken for repairs. Exposed for tests.
+std::vector<RepairAction> ExtractRepairActions(
+    const Value& output_tuple, const std::vector<std::string>* fields = nullptr);
+
+/// Applies `actions` to `source` cell-wise (see RepairAction). Unknown
+/// columns in an action's `set` are kKeyError. Fills `summary`'s
+/// row/cell/unmatched counts; `metrics` (optional) is charged one
+/// repairs_applied tick per changed cell.
+Result<Dataset> ApplyRepairActions(const Dataset& source,
+                                   const std::vector<RepairAction>& actions,
+                                   RepairSummary* summary,
+                                   QueryMetrics* metrics = nullptr);
+
+/// \brief Streaming sink that collects repair actions during a
+/// PreparedQuery execution and applies + re-registers on Commit().
+class RepairSink final : public ViolationSink {
+ public:
+  /// The preferred form: scopes collection to `pq`'s repair metadata —
+  /// only values in the prepared query's repair_fields() are treated as
+  /// actions, and the source table is its repair_table(). `target_table`
+  /// names the re-registered result; empty = repair in place (re-register
+  /// under the source name, bumping its generation).
+  RepairSink(CleanDB* db, const PreparedQuery& pq, std::string target_table = "");
+
+  /// Unscoped form for hand-built pipelines: *any* action-shaped field of
+  /// any streamed violation is collected. Prefer the PreparedQuery form
+  /// when one exists — it cannot mistake look-alike data for repairs.
+  RepairSink(CleanDB* db, std::string source_table, std::string target_table = "");
+
+  Status OnViolation(const std::string& op_name, const Value& violation) override;
+  Status OnDirtyEntity(const Value& entity,
+                       const std::vector<std::string>& violated_ops) override;
+
+  /// Applies the collected actions to the current contents of the source
+  /// table, registers the repaired dataset, and resets the collected set
+  /// (so one sink can serve repeated execute→commit rounds). kKeyError when
+  /// the source table is unknown or an action names an unknown column.
+  Result<RepairSummary> Commit();
+
+  const std::vector<RepairAction>& actions() const { return actions_; }
+
+ private:
+  CleanDB* db_;
+  std::string source_table_;
+  std::string target_table_;
+  /// Output fields to harvest actions from; empty = unscoped.
+  std::vector<std::string> repair_fields_;
+  std::vector<RepairAction> actions_;
+};
+
+}  // namespace cleanm

@@ -17,6 +17,8 @@
 #include "algebra/translate.h"
 #include "cleaning/cleandb.h"
 #include "cleaning/plan_builder.h"
+#include "cleaning/prepared_query.h"
+#include "cleaning/select_builder.h"
 #include "common/random.h"
 #include "datagen/generators.h"
 #include "monoid/eval.h"
@@ -378,6 +380,162 @@ TEST(E2EUnifiedQueryTest, CoalescedExecutionIsStableAndShuffles) {
     EXPECT_EQ(first.ops[i].violations.size(), second.ops[i].violations.size());
   }
   EXPECT_EQ(first.dirty_entities.size(), second.dirty_entities.size());
+}
+
+// ---- Scenario 7: user GROUP BY / HAVING through the full pipeline ----
+//
+// Parser → select_builder (monoid normalization + aggregate extraction) →
+// Nest/Reduce algebra → physical compile → clustered engine, cross-checked
+// against the reference algebra evaluator.
+
+/// Lineitem-style rows with known group structure: 3 orders; order 1 has 3
+/// lines (prices 10, 20, 30), order 2 has 2 (prices 5, 5), order 3 has 1
+/// (price 100).
+Dataset GroupedLineitems() {
+  Dataset d(Schema{{"orderkey", ValueType::kInt},
+                   {"linenumber", ValueType::kInt},
+                   {"price", ValueType::kDouble}});
+  d.Append({Value(int64_t{1}), Value(int64_t{1}), Value(10.0)});
+  d.Append({Value(int64_t{1}), Value(int64_t{2}), Value(20.0)});
+  d.Append({Value(int64_t{1}), Value(int64_t{3}), Value(30.0)});
+  d.Append({Value(int64_t{2}), Value(int64_t{1}), Value(5.0)});
+  d.Append({Value(int64_t{2}), Value(int64_t{2}), Value(5.0)});
+  d.Append({Value(int64_t{3}), Value(int64_t{1}), Value(100.0)});
+  return d;
+}
+
+/// Prepares + executes `query_text` on the engine and cross-checks the
+/// SELECT op's rows against the reference evaluator running the same
+/// lowered plan. Returns the engine rows.
+ValueList RunSelectAgainstReference(const std::string& query_text,
+                                    const Dataset& data,
+                                    const std::string& table = "lineitem") {
+  auto query = ParseCleanM(query_text).ValueOrDie();
+  auto sp = BuildSelectPlan(query, nullptr).ValueOrDie();
+  Catalog catalog{{{table, &data}}};
+  auto reference = EvalPlan(sp.plan.plan, catalog).ValueOrDie();
+
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable(table, data);
+  auto result = db.Execute(query_text).ValueOrDie();
+  EXPECT_EQ(result.ops.size(), 1u);
+  EXPECT_EQ(result.ops.back().op_name, "SELECT");
+  EXPECT_EQ(CanonicalTuples(Value(result.ops.back().violations)),
+            CanonicalTuples(reference));
+  return result.ops.back().violations;
+}
+
+TEST(E2EGroupByTest, SingleKeyGroupingWithAggregates) {
+  auto rows = RunSelectAgainstReference(
+      "SELECT l.orderkey AS k, count(l) AS n, sum(l.price) AS total, "
+      "avg(l.price) AS mean, max(l.price) AS top "
+      "FROM lineitem l GROUP BY l.orderkey",
+      GroupedLineitems());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    const int64_t k = row.GetField("k").ValueOrDie().AsInt();
+    const int64_t n = row.GetField("n").ValueOrDie().AsInt();
+    const double total = row.GetField("total").ValueOrDie().ToDouble();
+    const double mean = row.GetField("mean").ValueOrDie().AsDouble();
+    if (k == 1) {
+      EXPECT_EQ(n, 3);
+      EXPECT_DOUBLE_EQ(total, 60.0);
+      EXPECT_DOUBLE_EQ(mean, 20.0);
+      EXPECT_DOUBLE_EQ(row.GetField("top").ValueOrDie().AsDouble(), 30.0);
+    }
+    if (k == 2) {
+      EXPECT_EQ(n, 2);
+      EXPECT_DOUBLE_EQ(total, 10.0);
+    }
+    if (k == 3) {
+      EXPECT_EQ(n, 1);
+    }
+  }
+}
+
+TEST(E2EGroupByTest, MultiKeyGrouping) {
+  // (orderkey, linenumber) is a key of this table: every group is a
+  // singleton, and both key components project back out of the group key.
+  auto rows = RunSelectAgainstReference(
+      "SELECT l.orderkey AS ok, l.linenumber AS ln, count(l) AS n "
+      "FROM lineitem l GROUP BY l.orderkey, l.linenumber",
+      GroupedLineitems());
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.GetField("n").ValueOrDie().AsInt(), 1);
+    EXPECT_GE(row.GetField("ok").ValueOrDie().AsInt(), 1);
+    EXPECT_GE(row.GetField("ln").ValueOrDie().AsInt(), 1);
+  }
+}
+
+TEST(E2EGroupByTest, HavingOverAliasedAggregate) {
+  auto rows = RunSelectAgainstReference(
+      "SELECT l.orderkey AS k, count(l) AS n "
+      "FROM lineitem l GROUP BY l.orderkey HAVING n >= 2",
+      GroupedLineitems());
+  ASSERT_EQ(rows.size(), 2u);  // orders 1 and 2
+  for (const auto& row : rows) {
+    EXPECT_NE(row.GetField("k").ValueOrDie().AsInt(), 3);
+  }
+}
+
+TEST(E2EGroupByTest, HavingCanFilterEveryGroupAndWhereCanEmptyTheInput) {
+  // No group reaches count 10 → empty result, not an error.
+  auto none = RunSelectAgainstReference(
+      "SELECT l.orderkey AS k, count(l) AS n "
+      "FROM lineitem l GROUP BY l.orderkey HAVING n > 10",
+      GroupedLineitems());
+  EXPECT_EQ(none.size(), 0u);
+
+  // WHERE excludes every row → no groups at all (the empty-group edge:
+  // groups never materialize with zero members).
+  auto empty_input = RunSelectAgainstReference(
+      "SELECT l.orderkey AS k, count(l) AS n "
+      "FROM lineitem l WHERE l.price > 1000 GROUP BY l.orderkey",
+      GroupedLineitems());
+  EXPECT_EQ(empty_input.size(), 0u);
+}
+
+TEST(E2EGroupByTest, HavingWithoutGroupByIsTypeError) {
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("lineitem", GroupedLineitems());
+  auto prepared =
+      db.Prepare("SELECT l.orderkey FROM lineitem l HAVING count(l) > 1");
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kTypeError);
+  EXPECT_NE(prepared.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST(E2EGroupByTest, BareColumnOutsideAggregateIsTypeError) {
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("lineitem", GroupedLineitems());
+  auto prepared = db.Prepare(
+      "SELECT l.price FROM lineitem l GROUP BY l.orderkey");
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kTypeError);
+}
+
+TEST(E2EGroupByTest, GroupByPlanSurvivesRewriterAndMatchesReference) {
+  // The full optimizer path: select_builder output through RewritePlan,
+  // engine vs reference on the rewritten form.
+  auto query = ParseCleanM(
+                   "SELECT l.orderkey AS k, sum(l.price) AS total "
+                   "FROM lineitem l WHERE l.linenumber >= 1 "
+                   "GROUP BY l.orderkey HAVING total > 9")
+                   .ValueOrDie();
+  auto sp = BuildSelectPlan(query, nullptr).ValueOrDie();
+  auto rewritten = RewritePlan(sp.plan.plan);
+
+  auto data = GroupedLineitems();
+  Catalog catalog{{{"lineitem", &data}}};
+  auto reference = EvalPlan(sp.plan.plan, catalog).ValueOrDie();
+
+  engine::Cluster cluster(FastClusterOptions());
+  PartitionCache cache;
+  Executor exec{&cluster, &catalog, {}, &cache};
+  auto engine_result = exec.RunToValue(rewritten).ValueOrDie();
+  EXPECT_EQ(CanonicalTuples(engine_result), CanonicalTuples(reference));
+  EXPECT_EQ(engine_result.AsList().size(), 3u);  // 60, 10, 100 all > 9
 }
 
 }  // namespace

@@ -23,13 +23,15 @@ echo "=== [release] cluster-primitives dispatch gate ==="
 ./build-release/bench_cluster_primitives --smoke --check \
   --out build-release/BENCH_cluster.json
 
-# Prepared-query regression gate: re-executing a PreparedQuery on a warm
-# session must stay ≥2× faster than a cold one-shot Execute on the 8-FD
-# unified plan (pure compute), with zero re-partitioning — this is the
-# plan/partition-cache reuse the Prepare/Execute split exists for. The
-# measured numbers land in BENCH_cluster.json next to the dispatch gate's.
-echo "=== [release] prepared-query re-execution gate ==="
+# Prepared-query + UDF regression gates: re-executing a PreparedQuery on a
+# warm session must stay ≥2× faster than a cold one-shot Execute on the
+# 8-FD unified plan (pure compute), with zero re-partitioning, AND a
+# registered (monoid-annotated) UDF aggregate must stay within 1.3× of the
+# equivalent built-in on a GROUP BY, with the registered repair loop
+# computing the same cell set as a hand-rolled traversal. The measured
+# numbers land in BENCH_cluster.json next to the dispatch gate's.
+echo "=== [release] prepared-query re-execution + UDF aggregate gates ==="
 ./build-release/bench_unified_cleaning --smoke --nonet --check \
   --out build-release/BENCH_cluster.json
 
-echo "CI OK: release + asan presets built and tested clean; dispatch and prepared-reexec gates passed."
+echo "CI OK: release + asan presets built and tested clean; dispatch, prepared-reexec, and UDF-aggregate gates passed."

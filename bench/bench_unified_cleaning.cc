@@ -395,6 +395,72 @@ UdfAb RunUdfAb() {
   return ab;
 }
 
+// ---- Pipeline A/B: materialize-first vs morsel-driven execution on the
+// 8-FD unified plan. Both runs start from a fresh session (cold caches) so
+// each pays its own Nest builds; violations must be *bit-identical* — same
+// tuples in the same order, compared on their full rendered structure. The
+// memory gate compares QueryMetrics::peak_bytes_materialized: transient
+// operator-output buffers (whole materialized outputs vs in-flight
+// morsels). The A/B pins morsel_rows so a morsel is a small fraction of a
+// per-node partition at bench scale — the scaled-down equivalent of the
+// 4096-row default on production-size tables (a morsel only bounds memory
+// when it is smaller than the partition it streams from).
+
+struct PipelineAb {
+  uint64_t peak_materialized = 0;
+  uint64_t peak_pipelined = 0;
+  double reduction = 0;  ///< materialized / pipelined (≥ 4 gated)
+  uint64_t morsels = 0;
+  double materialized_s = 0;
+  double pipelined_s = 0;
+  size_t violations = 0;
+  bool identical = false;
+};
+
+PipelineAb RunPipelineAb() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = std::max<size_t>(g_base_rows, 2000);
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 40;
+  copts.fd_violation_fraction = 0.05;
+  const Dataset data = datagen::MakeCustomer(copts);
+  const size_t kGateMorselRows = 32;
+
+  PipelineAb ab;
+  std::vector<std::string> rendered[2];
+  for (int pipe = 0; pipe <= 1; pipe++) {
+    CleanDB db(ManyOpOptions(/*legacy=*/false));
+    db.RegisterTable("customer", data);
+    auto prepared = db.Prepare(kManyOpQuery);
+    CLEANM_CHECK(prepared.ok());
+    ExecOptions eo;
+    eo.pipeline = pipe != 0;
+    eo.morsel_rows = kGateMorselRows;
+    Timer timer;
+    auto result = prepared.value().Execute(eo).ValueOrDie();
+    const double s = timer.ElapsedSeconds();
+    CLEANM_CHECK(result.ops.size() == 8);
+    for (const auto& op : result.ops) {
+      for (const auto& v : op.violations) rendered[pipe].push_back(v.ToString());
+    }
+    if (pipe == 0) {
+      ab.peak_materialized = result.metrics.peak_bytes_materialized;
+      ab.materialized_s = s;
+    } else {
+      ab.peak_pipelined = result.metrics.peak_bytes_materialized;
+      ab.pipelined_s = s;
+      ab.morsels = result.metrics.morsels_processed;
+    }
+  }
+  ab.violations = rendered[0].size();
+  ab.identical = rendered[0] == rendered[1];
+  ab.reduction = ab.peak_pipelined
+                     ? static_cast<double>(ab.peak_materialized) /
+                           static_cast<double>(ab.peak_pipelined)
+                     : 0;
+  return ab;
+}
+
 /// Inserts/replaces `"key": object` in the flat JSON file at `path`
 /// (written by bench_cluster_primitives), preserving the other sections.
 /// Sections written this way live on a single line, so replacement is a
@@ -515,6 +581,20 @@ int main(int argc, char** argv) {
               "during timed re-executions: %llu\n",
               ab.speedup, static_cast<unsigned long long>(ab.reexec_repartitions));
 
+  std::printf("\n=== pipeline A/B: materialize-first vs morsel-driven "
+              "(8 FDs, fresh sessions, pure compute) ===\n");
+  const PipelineAb pab = RunPipelineAb();
+  std::printf("materialize-first peak bytes  %12llu  (%8.4f s)\n",
+              static_cast<unsigned long long>(pab.peak_materialized),
+              pab.materialized_s);
+  std::printf("pipelined peak bytes          %12llu  (%8.4f s, %llu morsels)\n",
+              static_cast<unsigned long long>(pab.peak_pipelined), pab.pipelined_s,
+              static_cast<unsigned long long>(pab.morsels));
+  std::printf("[measured] peak transient memory reduction %.2fx; %zu violations "
+              "%s across the two paths\n",
+              pab.reduction, pab.violations,
+              pab.identical ? "bit-identical" : "DIFFER");
+
   std::printf("\n=== UDF / repair A/B: registered functions vs built-ins "
               "(pure compute) ===\n");
   const UdfAb udf = RunUdfAb();
@@ -551,6 +631,17 @@ int main(int argc, char** argv) {
                   udf.udf_agg_legacy_s, udf.repair_registered_s,
                   udf.repair_manual_s, udf.repairs_applied);
     MergeJsonSection(out_path, "udf_repair", udf_object);
+    char pipe_object[320];
+    std::snprintf(pipe_object, sizeof(pipe_object),
+                  "{\"peak_materialized_bytes\": %llu, "
+                  "\"peak_pipelined_bytes\": %llu, \"reduction\": %.3f, "
+                  "\"morsels\": %llu, \"materialized_s\": %.6f, "
+                  "\"pipelined_s\": %.6f, \"violations_identical\": %d}",
+                  static_cast<unsigned long long>(pab.peak_materialized),
+                  static_cast<unsigned long long>(pab.peak_pipelined),
+                  pab.reduction, static_cast<unsigned long long>(pab.morsels),
+                  pab.materialized_s, pab.pipelined_s, pab.identical ? 1 : 0);
+    MergeJsonSection(out_path, "pipeline", pipe_object);
   }
 
   if (check) {
@@ -597,6 +688,39 @@ int main(int argc, char** argv) {
     std::printf("[check] UDF aggregate gate passed (%.2fx ≤ %.1fx; %zu repairs "
                 "match the baseline)\n",
                 udf.agg_ratio, kMaxUdfRatio, udf.repairs_applied);
+
+    // Pipeline gate: morsel-driven execution must hold peak transient
+    // memory ≥4× below the materialize-first path on the 8-FD unified plan
+    // while producing bit-identical violations, with morsels really
+    // flowing — otherwise operator-level pipelining has regressed to
+    // materialization (or worse, changed results).
+    const double kMinPeakReduction = 4.0;
+    if (!pab.identical || pab.violations == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: pipelined violations %s materialize-first "
+                   "(%zu tuples)\n",
+                   pab.identical ? "match" : "DIFFER from", pab.violations);
+      return 1;
+    }
+    if (pab.morsels == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: pipelined execution processed 0 morsels "
+                   "(pipeline fell back to materialization)\n");
+      return 1;
+    }
+    if (pab.reduction < kMinPeakReduction) {
+      std::fprintf(stderr,
+                   "[check] FAILED: pipelined peak memory reduction %.2fx is "
+                   "below the %.1fx gate (%llu vs %llu bytes)\n",
+                   pab.reduction, kMinPeakReduction,
+                   static_cast<unsigned long long>(pab.peak_materialized),
+                   static_cast<unsigned long long>(pab.peak_pipelined));
+      return 1;
+    }
+    std::printf("[check] pipeline gate passed (%.2fx ≥ %.1fx peak reduction, "
+                "%llu morsels, %zu bit-identical violations)\n",
+                pab.reduction, kMinPeakReduction,
+                static_cast<unsigned long long>(pab.morsels), pab.violations);
   }
   return 0;
 }

@@ -1,10 +1,12 @@
 #include "cleaning/cleandb.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "cleaning/prepared_query.h"
 #include "cluster/filtering.h"
 #include "monoid/eval.h"
+#include "physical/tuple.h"
 
 namespace cleanm {
 
@@ -70,11 +72,34 @@ Result<OpResult> CleanDB::RunCleaningPlan(Executor& exec, const CleaningPlan& cp
   Timer timer;
   OpResult result;
   result.op_name = cp.op_name;
-  CLEANM_ASSIGN_OR_RETURN(Value out, exec.RunToValue(cp.plan));
-  CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&result](const Value& v) {
-    result.violations.push_back(v);
-    return Status::OK();
-  }));
+  // The programmatic ops honor the session's pipeline default just like
+  // PreparedQuery executions: morsel-driven below the (here: collecting)
+  // consumer, with the same ViolationDeduper semantics on both paths.
+  if (options_.pipeline && cp.plan->kind != AlgKind::kReduce) {
+    ViolationDeduper dedup(cp);
+    CLEANM_RETURN_NOT_OK(exec.RunPipelined(
+        cp.plan, std::max<size_t>(1, options_.morsel_rows),
+        [&](size_t, engine::Partition&& morsel) {
+          for (const auto& row : morsel) {
+            const Value& v = PhysicalTupleOf(row);
+            if (dedup.ShouldEmit(v)) result.violations.push_back(v);
+          }
+          return Status::OK();
+        }));
+  } else {
+    Value out;
+    if (options_.pipeline) {
+      CLEANM_ASSIGN_OR_RETURN(
+          out, exec.RunToValuePipelined(cp.plan,
+                                        std::max<size_t>(1, options_.morsel_rows)));
+    } else {
+      CLEANM_ASSIGN_OR_RETURN(out, exec.RunToValue(cp.plan));
+    }
+    CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&result](const Value& v) {
+      result.violations.push_back(v);
+      return Status::OK();
+    }));
+  }
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

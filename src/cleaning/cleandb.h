@@ -51,6 +51,17 @@ struct CleanDBOptions {
   /// Byte budget of the session partition cache (cached scans / wrapped
   /// scans / Nest outputs, LRU-evicted). 0 = unbounded.
   size_t partition_cache_bytes = size_t{256} << 20;
+  /// Operator-level pipelining (morsel-driven execution below the sink).
+  /// When true (default), plans stream fixed-size morsels from resident
+  /// sources through Select/Unnest chains to the violation sink, breaking
+  /// the pipeline only at Nest/Reduce/shuffle boundaries; peak transient
+  /// memory scales with morsel_rows instead of the largest intermediate.
+  /// false restores the materialize-first execution. Overridable per call
+  /// via ExecOptions::pipeline.
+  bool pipeline = true;
+  /// Rows per morsel on the pipelined path (ExecOptions::morsel_rows
+  /// overrides per call).
+  size_t morsel_rows = 4096;
 };
 
 /// Output of one cleaning operation.

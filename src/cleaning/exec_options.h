@@ -28,6 +28,20 @@ struct ExecOptions {
   std::optional<double> shuffle_ns_per_byte;
   std::optional<double> shuffle_ns_per_batch;
   std::optional<size_t> shuffle_batch_rows;
+
+  /// Operator-level pipelining below the sink: plans execute as
+  /// MorselSource → Transform* → SinkDriver chains moving fixed-size row
+  /// batches, with pipeline breakers only at Nest/Reduce/shuffle
+  /// boundaries, and violations stream to the sink as each morsel
+  /// completes. false = the materialize-first A/B baseline (every
+  /// operator's whole output exists before its consumer runs). Violation
+  /// sets are bit-identical either way (CI-gated).
+  std::optional<bool> pipeline;
+
+  /// Rows per morsel on the pipelined path (session default 4096; clamped
+  /// to ≥ 1). Smaller morsels bound memory tighter at more per-batch
+  /// overhead.
+  std::optional<size_t> morsel_rows;
 };
 
 }  // namespace cleanm

@@ -6,20 +6,24 @@
 
 namespace cleanm {
 
+bool ViolationDeduper::ShouldEmit(const Value& v) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  bool projected = false;
+  for (const auto& var : cp_->entity_vars) {
+    auto field = v.GetField(var);
+    if (field.ok()) {
+      h = HashCombine(h, field.value().Hash());
+      projected = true;
+    }
+  }
+  return !projected || seen_.insert(h).second;
+}
+
 Status ForEachDedupedViolation(const Value& plan_output, const CleaningPlan& cp,
                                const std::function<Status(const Value&)>& emit) {
-  std::unordered_set<uint64_t> seen;
+  ViolationDeduper dedup(cp);
   for (const auto& v : plan_output.AsList()) {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    bool projected = false;
-    for (const auto& var : cp.entity_vars) {
-      auto field = v.GetField(var);
-      if (field.ok()) {
-        h = HashCombine(h, field.value().Hash());
-        projected = true;
-      }
-    }
-    if (projected && !seen.insert(h).second) continue;  // duplicate projection
+    if (!dedup.ShouldEmit(v)) continue;  // duplicate projection
     CLEANM_RETURN_NOT_OK(emit(v));
   }
   return Status::OK();

@@ -29,6 +29,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "algebra/algebra.h"
@@ -79,14 +80,33 @@ Result<CleaningPlan> BuildTermValidationPlan(
 ExprPtr FdComprehension(const std::string& table, const std::string& var,
                         const FdClause& fd);
 
+/// \brief Streaming-capable entity-projection dedup: filtering monoids
+/// assign one record to several groups (one per shared token / center), so
+/// the same violating pair can surface once per shared group, and only its
+/// first occurrence must reach the sink.
+///
+/// The seen-set persists across calls, so the morsel-at-a-time pipelined
+/// path and the whole-output materializing path apply the identical dedup
+/// — morsel boundaries cannot change which violations are emitted.
+class ViolationDeduper {
+ public:
+  explicit ViolationDeduper(const CleaningPlan& cp) : cp_(&cp) {}
+
+  /// True when `v` is the first occurrence of its entity projection (or
+  /// projects onto no entity var at all) and should be emitted.
+  bool ShouldEmit(const Value& v);
+
+ private:
+  const CleaningPlan* cp_;
+  std::unordered_set<uint64_t> seen_;
+};
+
 /// Walks a cleaning plan's output (a list Value of tuples), deduplicated
-/// on the operation's entity projection: filtering monoids assign one
-/// record to several groups (one per shared token / center), so the same
-/// violating pair can surface once per shared group. Calls `emit` for each
-/// kept violation; a non-OK status from `emit` stops the walk and is
-/// returned. Shared by the materializing (RunCleaningPlan) and streaming
-/// (ExecutePrepared) consumption paths so the dedup semantics cannot
-/// diverge.
+/// on the operation's entity projection via ViolationDeduper. Calls `emit`
+/// for each kept violation; a non-OK status from `emit` stops the walk and
+/// is returned. Shared by the materializing (RunCleaningPlan) and
+/// streaming (ExecutePrepared) consumption paths so the dedup semantics
+/// cannot diverge.
 Status ForEachDedupedViolation(const Value& plan_output, const CleaningPlan& cp,
                                const std::function<Status(const Value&)>& emit);
 

@@ -1,8 +1,10 @@
 #include "cleaning/prepared_query.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "cleaning/select_builder.h"
+#include "physical/tuple.h"
 
 namespace cleanm {
 
@@ -353,15 +355,20 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   };
   std::unordered_map<Value, std::vector<std::string>, ValueHash, ValueEq> entities;
 
+  const bool pipeline = opts.pipeline.value_or(options_.pipeline);
+  const size_t morsel_rows =
+      std::max<size_t>(1, opts.morsel_rows.value_or(options_.morsel_rows));
+
   for (size_t i = 0; i < pq.plans_.size(); i++) {
     const CleaningPlan& cp = pq.plans_[i];
     Timer op_timer;
     const AlgOpPtr& root = unify ? pq.unified_roots_[i] : cp.plan;
-    CLEANM_ASSIGN_OR_RETURN(Value out, exec.RunToValue(root));
 
     CLEANM_RETURN_NOT_OK(sink.OnOpBegin(cp.op_name));
     size_t emitted = 0;
-    CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&](const Value& v) {
+    ViolationDeduper dedup(cp);
+    auto emit_violation = [&](const Value& v) -> Status {
+      if (!dedup.ShouldEmit(v)) return Status::OK();
       CLEANM_RETURN_NOT_OK(sink.OnViolation(cp.op_name, v));
       emitted++;
       for (const auto& var : cp.entity_vars) {
@@ -379,7 +386,36 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
         }
       }
       return Status::OK();
-    }));
+    };
+
+    if (pipeline && root->kind != AlgKind::kReduce) {
+      // Operator-level pipelining below the sink: violations reach the
+      // sink as each morsel completes, so a sink error (early abort) stops
+      // the plan mid-morsel and no whole operator output is ever
+      // materialized driver-side.
+      CLEANM_RETURN_NOT_OK(exec.RunPipelined(
+          root, morsel_rows, [&](size_t, engine::Partition&& morsel) -> Status {
+            for (const auto& row : morsel) {
+              CLEANM_RETURN_NOT_OK(emit_violation(PhysicalTupleOf(row)));
+            }
+            return Status::OK();
+          }));
+    } else {
+      // Reduce roots fold to one value (the query's actual result — e.g. a
+      // user GROUP BY projection), so the pipelined gain is on the input
+      // side only; the materialize-first baseline takes this branch for
+      // every root kind.
+      Value out;
+      if (pipeline) {
+        CLEANM_ASSIGN_OR_RETURN(out, exec.RunToValuePipelined(root, morsel_rows));
+      } else {
+        CLEANM_ASSIGN_OR_RETURN(out, exec.RunToValue(root));
+      }
+      for (const auto& v : out.AsList()) {
+        CLEANM_RETURN_NOT_OK(emit_violation(v));
+      }
+    }
+
     OpSummary op_summary;
     op_summary.op_name = cp.op_name;
     op_summary.violations = emitted;

@@ -9,7 +9,9 @@ std::string MetricsCounters::ToString() const {
   os << "rows_shuffled=" << rows_shuffled << " bytes_shuffled=" << bytes_shuffled
      << " shuffle_batches=" << shuffle_batches << " comparisons=" << comparisons
      << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built
-     << " udf_calls=" << udf_calls << " repairs_applied=" << repairs_applied;
+     << " udf_calls=" << udf_calls << " repairs_applied=" << repairs_applied
+     << " peak_bytes_materialized=" << peak_bytes_materialized
+     << " morsels_processed=" << morsels_processed;
   return os.str();
 }
 

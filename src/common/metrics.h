@@ -29,6 +29,17 @@ struct MetricsCounters {
   uint64_t udf_calls = 0;
   /// Cells overwritten by the repair applier (src/repair/).
   uint64_t repairs_applied = 0;
+  /// High-water mark of *logical* bytes (RowByteSize, the same accounting
+  /// the shuffle meter and the partition cache use) held in transient
+  /// operator-output buffers at any instant of the execution: whole
+  /// materialized operator outputs on the materialize-first path, in-flight
+  /// morsels on the pipelined path. Cache-resident partitionings (scans,
+  /// shared Nest outputs) and breaker-internal state (aggregation hash
+  /// tables, shuffle buffers) are identical on both paths and excluded.
+  uint64_t peak_bytes_materialized = 0;
+  /// Morsels flushed through the pipelined execution path (0 on the
+  /// materialize-first path).
+  uint64_t morsels_processed = 0;
 
   std::string ToString() const;
 
@@ -38,7 +49,9 @@ struct MetricsCounters {
            a.shuffle_batches == b.shuffle_batches &&
            a.comparisons == b.comparisons && a.rows_scanned == b.rows_scanned &&
            a.groups_built == b.groups_built && a.udf_calls == b.udf_calls &&
-           a.repairs_applied == b.repairs_applied;
+           a.repairs_applied == b.repairs_applied &&
+           a.peak_bytes_materialized == b.peak_bytes_materialized &&
+           a.morsels_processed == b.morsels_processed;
   }
   friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
     return !(a == b);
@@ -58,6 +71,26 @@ struct QueryMetrics {
   std::atomic<uint64_t> udf_calls{0};
   /// Cells overwritten by the repair applier.
   std::atomic<uint64_t> repairs_applied{0};
+  /// Live transient operator-output bytes right now (gauge); see
+  /// MetricsCounters::peak_bytes_materialized for what counts.
+  std::atomic<uint64_t> bytes_materialized_now{0};
+  std::atomic<uint64_t> peak_bytes_materialized{0};
+  std::atomic<uint64_t> morsels_processed{0};
+
+  /// Adds `bytes` of transient buffer to the gauge and folds the new level
+  /// into the peak. Thread-safe (workers charge in-flight morsels).
+  void ChargeMaterialized(uint64_t bytes) {
+    const uint64_t now = bytes_materialized_now.fetch_add(bytes) + bytes;
+    uint64_t peak = peak_bytes_materialized.load();
+    while (now > peak &&
+           !peak_bytes_materialized.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  /// Removes a buffer charged by ChargeMaterialized from the gauge.
+  void ReleaseMaterialized(uint64_t bytes) {
+    bytes_materialized_now.fetch_sub(bytes);
+  }
 
   void Reset() {
     rows_shuffled = 0;
@@ -68,6 +101,9 @@ struct QueryMetrics {
     groups_built = 0;
     udf_calls = 0;
     repairs_applied = 0;
+    bytes_materialized_now = 0;
+    peak_bytes_materialized = 0;
+    morsels_processed = 0;
   }
 
   MetricsCounters Snapshot() const {
@@ -80,6 +116,8 @@ struct QueryMetrics {
     s.groups_built = groups_built.load();
     s.udf_calls = udf_calls.load();
     s.repairs_applied = repairs_applied.load();
+    s.peak_bytes_materialized = peak_bytes_materialized.load();
+    s.morsels_processed = morsels_processed.load();
     return s;
   }
 

@@ -53,27 +53,25 @@ Value DistinctAccMerge(Value a, const Value& b) {
 
 namespace {
 
-/// Hash map keyed by Value (deep hash/equality).
-struct ValueHash {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
-struct ValueEq {
-  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
-};
-using AccMap = std::unordered_map<Value, Value, ValueHash, ValueEq>;
-
-/// Aggregates one partition's rows into an accumulator map.
-AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec) {
-  AccMap accs;
+/// Folds rows into an accumulator map in row order (shared by the
+/// whole-partition and morsel-fed paths, so their fold sequences — and the
+/// map's growth/iteration order — cannot diverge).
+void AccumulateRows(AccMap* accs, const Partition& rows, const AggregateSpec& spec) {
   for (const auto& row : rows) {
     Value key = spec.key(row);
-    auto it = accs.find(key);
-    if (it == accs.end()) {
-      accs.emplace(std::move(key), spec.init(row));
+    auto it = accs->find(key);
+    if (it == accs->end()) {
+      accs->emplace(std::move(key), spec.init(row));
     } else {
       it->second = spec.merge(std::move(it->second), spec.init(row));
     }
   }
+}
+
+/// Aggregates one partition's rows into an accumulator map.
+AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec) {
+  AccMap accs;
+  AccumulateRows(&accs, rows, spec);
   return accs;
 }
 
@@ -95,19 +93,10 @@ Row EncodePartial(const Value& key, Value acc) {
   return Row{key, std::move(acc)};
 }
 
-/// CleanDB strategy: local combine → shuffle partials → merge → finalize.
-Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
-                            const AggregateSpec& spec, LoadReport* load) {
-  // Phases 1+2 in one dispatch: node-local aggregation (no data movement)
-  // immediately encoded as shuffle-ready partials, one row per (node, key).
-  Partitioned partials(cluster.num_nodes());
-  cluster.RunOnNodes([&](size_t n) {
-    AccMap local = LocalAggregate(in[n], spec);
-    partials[n].reserve(local.size());
-    for (auto& [key, acc] : local) {
-      partials[n].push_back(EncodePartial(key, std::move(acc)));
-    }
-  });
+/// The local-combine tail shared with MorselAggregator::Finish: shuffle the
+/// encoded partials by key hash, merge per key, finalize.
+Partitioned CombinePartialsAndFinalize(Cluster& cluster, const Partitioned& partials,
+                                       const AggregateSpec& spec, LoadReport* load) {
   Partitioned routed =
       cluster.Shuffle(partials, [](const Row& r) { return r[0].Hash(); });
   if (load != nullptr) *load = cluster.Load(routed);
@@ -125,6 +114,22 @@ Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
     }
   });
   return FinalizePerNode(cluster, merged, spec);
+}
+
+/// CleanDB strategy: local combine → shuffle partials → merge → finalize.
+Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
+                            const AggregateSpec& spec, LoadReport* load) {
+  // Phases 1+2 in one dispatch: node-local aggregation (no data movement)
+  // immediately encoded as shuffle-ready partials, one row per (node, key).
+  Partitioned partials(cluster.num_nodes());
+  cluster.RunOnNodes([&](size_t n) {
+    AccMap local = LocalAggregate(in[n], spec);
+    partials[n].reserve(local.size());
+    for (auto& [key, acc] : local) {
+      partials[n].push_back(EncodePartial(key, std::move(acc)));
+    }
+  });
+  return CombinePartialsAndFinalize(cluster, partials, spec, load);
 }
 
 /// Spark SQL strategy: sample key quantiles, range-partition all raw rows
@@ -202,6 +207,47 @@ Partitioned AggregateByKey(Cluster& cluster, const Partitioned& in,
   }
   CLEANM_CHECK(false);
   return {};
+}
+
+MorselAggregator::MorselAggregator(Cluster& cluster, AggregateSpec spec,
+                                   AggregateStrategy strategy)
+    : cluster_(cluster), spec_(std::move(spec)), strategy_(strategy) {
+  CLEANM_CHECK(spec_.key && spec_.init && spec_.merge && spec_.finalize);
+  if (strategy_ == AggregateStrategy::kLocalCombine) {
+    per_node_.resize(cluster_.num_nodes());
+  } else {
+    buffered_.resize(cluster_.num_nodes());
+  }
+}
+
+void MorselAggregator::Accumulate(size_t node, Partition rows) {
+  if (strategy_ == AggregateStrategy::kLocalCombine) {
+    AccumulateRows(&per_node_[node], rows, spec_);
+    return;
+  }
+  // The shuffle-all-rows baselines route every raw row: nothing to fold
+  // until all rows are present, so buffer (the materializing behavior the
+  // strategy implies anyway) — splicing the handed-over morsel, not
+  // copying it.
+  buffered_[node].insert(buffered_[node].end(),
+                         std::make_move_iterator(rows.begin()),
+                         std::make_move_iterator(rows.end()));
+}
+
+Partitioned MorselAggregator::Finish(LoadReport* load) {
+  if (strategy_ != AggregateStrategy::kLocalCombine) {
+    return AggregateByKey(cluster_, buffered_, spec_, strategy_, load);
+  }
+  // Encode the partials exactly as RunLocalCombine's phase 2 does — same
+  // map iteration order, since the per-node fold sequence was identical.
+  Partitioned partials(cluster_.num_nodes());
+  cluster_.RunOnNodes([&](size_t n) {
+    partials[n].reserve(per_node_[n].size());
+    for (auto& [key, acc] : per_node_[n]) {
+      partials[n].push_back(EncodePartial(key, std::move(acc)));
+    }
+  });
+  return CombinePartialsAndFinalize(cluster_, partials, spec_, load);
 }
 
 }  // namespace cleanm::engine

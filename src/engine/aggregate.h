@@ -22,6 +22,8 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
+#include <vector>
 
 #include "engine/cluster.h"
 
@@ -68,5 +70,52 @@ Value DistinctAccMerge(Value a, const Value& b);
 Partitioned AggregateByKey(Cluster& cluster, const Partitioned& in,
                            const AggregateSpec& spec, AggregateStrategy strategy,
                            LoadReport* load = nullptr);
+
+/// Deep-hash map from group key to accumulator (node-local aggregation
+/// state).
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEqual {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+using AccMap = std::unordered_map<Value, Value, ValueHasher, ValueEqual>;
+
+/// \brief Morsel-fed variant of AggregateByKey: the pipeline breaker at a
+/// Nest boundary.
+///
+/// Each node folds its input morsels into node-local state as they stream
+/// in (Accumulate, called from that node's worker), so the keyed input is
+/// never materialized as a whole Partitioned; Finish then runs the same
+/// shuffle/merge/finalize machinery as AggregateByKey, producing a
+/// bit-identical result as long as each node sees its rows in the same
+/// order (morsel boundaries never change the fold, by monoid
+/// associativity — and the accumulator map's growth sequence, hence its
+/// partial-encoding order, depends only on the per-node key sequence).
+///
+/// kLocalCombine folds incrementally; the shuffle-all-rows baseline
+/// strategies (sort/hash) inherently need every raw row and therefore
+/// buffer them, degenerating to the materializing path.
+class MorselAggregator {
+ public:
+  MorselAggregator(Cluster& cluster, AggregateSpec spec, AggregateStrategy strategy);
+
+  /// Folds one morsel of node `node`'s rows (by value: callers hand over
+  /// morsels they own, so the buffering baselines splice without copying).
+  /// Thread-safe across distinct nodes; per node, morsels must arrive in
+  /// row order.
+  void Accumulate(size_t node, Partition rows);
+
+  /// Shuffles the partial accumulators, merges, finalizes. Driver-only;
+  /// call at most once.
+  Partitioned Finish(LoadReport* load = nullptr);
+
+ private:
+  Cluster& cluster_;
+  AggregateSpec spec_;
+  AggregateStrategy strategy_;
+  std::vector<AccMap> per_node_;  ///< kLocalCombine state
+  Partitioned buffered_;          ///< raw rows for the shuffle-all baselines
+};
 
 }  // namespace cleanm::engine

@@ -67,6 +67,18 @@ void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+uint64_t PartitionLogicalBytes(const Partition& rows) {
+  uint64_t bytes = 0;
+  for (const auto& row : rows) bytes += RowByteSize(row);
+  return bytes;
+}
+
+uint64_t PartitionedLogicalBytes(const Partitioned& data) {
+  uint64_t bytes = 0;
+  for (const auto& partition : data) bytes += PartitionLogicalBytes(partition);
+  return bytes;
+}
+
 Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
   Partitioned out(active_nodes_);
   const size_t per_node = rows.size() / active_nodes_ + 1;

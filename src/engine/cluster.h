@@ -26,6 +26,29 @@ using Partition = std::vector<Row>;
 /// A distributed collection: element i lives on node i.
 using Partitioned = std::vector<Partition>;
 
+/// Morsel-pump parameters (see Cluster::PumpToDriver / PumpOnWorkers).
+struct MorselSpec {
+  /// Rows accumulated per output morsel before it is flushed. A single
+  /// input row that expands past the target (an Unnest blow-up) still
+  /// flushes as one morsel, so the bound is morsel_rows plus one row's
+  /// expansion, never a whole operator output.
+  size_t morsel_rows = 4096;
+  /// Flushed morsels a producing node may buffer ahead of the consumer
+  /// (PumpToDriver only). Total in-flight pipeline memory is bounded by
+  /// nodes × queue_window × morsel bytes.
+  size_t queue_window = 4;
+};
+
+/// Per-row expansion applied on the producing worker: appends zero or more
+/// output rows for one input row of node `node`.
+using MorselExpand = std::function<void(size_t node, const Row&, Partition*)>;
+
+/// Logical footprint (RowByteSize) of a partition / a whole partitioning —
+/// the one accounting shared by the shuffle meter, the partition cache,
+/// and the peak_bytes_materialized gauge.
+uint64_t PartitionLogicalBytes(const Partition& rows);
+uint64_t PartitionedLogicalBytes(const Partitioned& data);
+
 struct ClusterOptions {
   /// Number of virtual worker nodes (the paper uses 10).
   size_t num_nodes = 10;
@@ -127,6 +150,33 @@ class Cluster {
   /// Replicates every row of `in` to all nodes (broadcast); traffic is
   /// charged once per (row, receiving node), concurrently per sending node.
   Partition BroadcastAll(const Partitioned& in);
+
+  // ---- Morsel-driven pipelining (operator-level streaming) ----
+  //
+  // Both pumps stream `source` through `expand` in fixed-size morsels on
+  // the persistent workers instead of materializing a whole transformed
+  // Partitioned. They meter morsels_processed and charge each in-flight
+  // morsel's logical bytes to the peak_bytes_materialized gauge.
+
+  /// Workers expand their own node's rows concurrently; the *calling
+  /// thread* consumes the transformed morsels in deterministic node-major
+  /// order (node 0's morsels in row order, then node 1's, ...), exactly the
+  /// order Collect() would deliver. Producers run ahead of the consumer by
+  /// at most `spec.queue_window` morsels per node. A non-OK status from
+  /// `consume` aborts the producers early and is returned; worker
+  /// exceptions rethrow on the caller.
+  Status PumpToDriver(const Partitioned& source, const MorselSpec& spec,
+                      const MorselExpand& expand,
+                      const std::function<Status(size_t node, Partition&&)>& consume);
+
+  /// Same production loop, but each node's morsels are consumed on that
+  /// node's own worker thread with no cross-node ordering — the shape
+  /// pipeline *breakers* want (fold each morsel straight into node-local
+  /// aggregation state). `consume` must tolerate concurrent calls for
+  /// distinct nodes; per node, calls arrive in row order.
+  void PumpOnWorkers(const Partitioned& source, const MorselSpec& spec,
+                     const MorselExpand& expand,
+                     const std::function<void(size_t node, Partition&&)>& consume) const;
 
  private:
   ClusterOptions options_;

@@ -49,13 +49,15 @@ const engine::Partitioned* PartitionCache::FindScan(const std::string& table,
   return Find(Key{Kind::kScan, nullptr, table, "", generation, nodes});
 }
 
-void PartitionCache::PutScan(const std::string& table, uint64_t generation,
-                             size_t nodes, engine::Partitioned data) {
+const engine::Partitioned* PartitionCache::PutScan(const std::string& table,
+                                                   uint64_t generation, size_t nodes,
+                                                   engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
   entry.data = std::move(data);
   entry.deps = {{table, generation}};
-  Put(Key{Kind::kScan, nullptr, table, "", generation, nodes}, std::move(entry));
+  return Put(Key{Kind::kScan, nullptr, table, "", generation, nodes},
+             std::move(entry));
 }
 
 const engine::Partitioned* PartitionCache::FindWrap(const std::string& table,
@@ -64,14 +66,16 @@ const engine::Partitioned* PartitionCache::FindWrap(const std::string& table,
   return Find(Key{Kind::kWrap, nullptr, table, var, generation, nodes});
 }
 
-void PartitionCache::PutWrap(const std::string& table, const std::string& var,
-                             uint64_t generation, size_t nodes,
-                             engine::Partitioned data) {
+const engine::Partitioned* PartitionCache::PutWrap(const std::string& table,
+                                                   const std::string& var,
+                                                   uint64_t generation, size_t nodes,
+                                                   engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
   entry.data = std::move(data);
   entry.deps = {{table, generation}};
-  Put(Key{Kind::kWrap, nullptr, table, var, generation, nodes}, std::move(entry));
+  return Put(Key{Kind::kWrap, nullptr, table, var, generation, nodes},
+             std::move(entry));
 }
 
 const engine::Partitioned* PartitionCache::FindNest(
@@ -98,26 +102,29 @@ const engine::Partitioned* PartitionCache::FindNest(
   return &it->second.data;
 }
 
-void PartitionCache::PutNest(const AlgOpPtr& node, size_t nodes,
-                             std::vector<std::pair<std::string, uint64_t>> deps,
-                             engine::Partitioned data) {
+const engine::Partitioned* PartitionCache::PutNest(
+    const AlgOpPtr& node, size_t nodes,
+    std::vector<std::pair<std::string, uint64_t>> deps, engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
   entry.data = std::move(data);
   entry.deps = std::move(deps);
   entry.pinned = node;
-  Put(Key{Kind::kNest, node.get(), "", "", 0, nodes}, std::move(entry));
+  return Put(Key{Kind::kNest, node.get(), "", "", 0, nodes}, std::move(entry));
 }
 
-void PartitionCache::Put(Key key, Entry entry) {
+const engine::Partitioned* PartitionCache::Put(Key key, Entry entry) {
   auto it = entries_.find(key);
   if (it != entries_.end()) Erase(it, nullptr);  // replace, re-accounting bytes
   entry.last_used = ++tick_;
   resident_bytes_ += entry.bytes;
-  entries_.emplace(key, std::move(entry));
+  auto placed = entries_.emplace(key, std::move(entry)).first;
   stats_.resident_bytes = resident_bytes_;
   stats_.resident_entries = entries_.size();
   if (byte_budget_ > 0) EvictToBudget(key);
+  // EvictToBudget never evicts the entry being admitted, so `placed` is
+  // still valid (std::map iterators survive other erasures).
+  return &placed->second.data;
 }
 
 void PartitionCache::Erase(std::map<Key, Entry>::iterator it, uint64_t* counter) {

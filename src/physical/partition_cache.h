@@ -67,15 +67,18 @@ class PartitionCache {
 
   const engine::Partitioned* FindScan(const std::string& table, uint64_t generation,
                                       size_t nodes);
-  void PutScan(const std::string& table, uint64_t generation, size_t nodes,
-               engine::Partitioned data);
+  /// Returns the resident entry (valid until the next cache mutation).
+  const engine::Partitioned* PutScan(const std::string& table, uint64_t generation,
+                                     size_t nodes, engine::Partitioned data);
 
   // ---- Wrapped scans (the {var: record} tuple wrap of a scan) ----
 
   const engine::Partitioned* FindWrap(const std::string& table, const std::string& var,
                                       uint64_t generation, size_t nodes);
-  void PutWrap(const std::string& table, const std::string& var, uint64_t generation,
-               size_t nodes, engine::Partitioned data);
+  /// Returns the resident entry (valid until the next cache mutation).
+  const engine::Partitioned* PutWrap(const std::string& table, const std::string& var,
+                                     uint64_t generation, size_t nodes,
+                                     engine::Partitioned data);
 
   // ---- Nest outputs (keyed by node identity; the node is pinned) ----
 
@@ -86,10 +89,13 @@ class PartitionCache {
       const std::function<uint64_t(const std::string&)>& generation_of);
   /// `node` is retained (shared ownership) while the entry lives, so a
   /// recycled heap address can never alias a cached result. `deps` lists
-  /// every (table, generation) the Nest's input subtree read.
-  void PutNest(const AlgOpPtr& node, size_t nodes,
-               std::vector<std::pair<std::string, uint64_t>> deps,
-               engine::Partitioned data);
+  /// every (table, generation) the Nest's input subtree read. Returns the
+  /// resident entry (the admitted entry is never evicted by its own
+  /// budget pass), so the pipelined executor can stream from it without
+  /// copying; the pointer is valid until the next cache mutation.
+  const engine::Partitioned* PutNest(const AlgOpPtr& node, size_t nodes,
+                                     std::vector<std::pair<std::string, uint64_t>> deps,
+                                     engine::Partitioned data);
 
   /// Records a scan served from cache (wrap or base) / a Parallelize run.
   /// Exposed so the executor can count wrap-cache hits as scan hits.
@@ -121,7 +127,7 @@ class PartitionCache {
   };
 
   const engine::Partitioned* Find(const Key& key);
-  void Put(Key key, Entry entry);
+  const engine::Partitioned* Put(Key key, Entry entry);
   void Erase(std::map<Key, Entry>::iterator it, uint64_t* counter);
   void EvictToBudget(const Key& keep);
 

@@ -1,0 +1,322 @@
+// Pipelined (morsel-driven) execution of physical plans.
+//
+// The materialize-first path (planner.cc) produces every operator's whole
+// output as a Partitioned before its consumer runs, so peak memory scales
+// with the largest intermediate — for cleaning plans, the keyed Nest
+// expansion or an Unnest pair blow-up, i.e. the dirtiest table, not the
+// result. This file implements the streaming alternative:
+//
+//   MorselSource → Transform* → SinkDriver
+//
+// A plan decomposes from the root downward: Select / Unnest stages compose
+// into one per-row expansion (no intermediate buffers at all), and the walk
+// stops at a pipeline *breaker* — Scan (resident in the session cache),
+// Nest (aggregation; consumes its own input morsel-wise via
+// engine::MorselAggregator, so even the keyed expansion never
+// materializes), Join (shuffle-backed; its inputs and output materialize as
+// breaker state, but stream onward). Morsels of ExecOptions::morsel_rows
+// rows then flow across the persistent WorkerPool to the consumer
+// (engine::Cluster::PumpToDriver / PumpOnWorkers).
+//
+// Equivalence contract (CI-gated): per-node row order, per-node fold order,
+// and node-major delivery all match the materializing path, so violation
+// sets are bit-identical between ExecOptions::pipeline = true and false.
+#include <atomic>
+
+#include "algebra/algebra_eval.h"
+#include "engine/aggregate.h"
+#include "functions/function_registry.h"
+#include "monoid/monoid.h"
+#include "physical/planner.h"
+#include "physical/tuple.h"
+
+namespace cleanm {
+
+namespace {
+
+using engine::Partition;
+using engine::Partitioned;
+
+using engine::PartitionedLogicalBytes;
+
+/// Continuation consuming one tuple of a transform stage.
+using TupleCont = Executor::TupleSink;
+
+/// Composes the root-first transform chain into a single per-row expansion:
+/// data flows source → chain.back() → ... → chain.front() → terminal, so
+/// the continuation is built from the top down. Select filters; Unnest
+/// expands with the exact padding/branching of the materializing executor.
+Result<engine::MorselExpand> CompileChain(const std::vector<const AlgOp*>& chain,
+                                          const std::vector<AlgOpPtr>& chain_inputs,
+                                          const CompileEnv& env, TupleCont terminal) {
+  TupleCont k = std::move(terminal);
+  if (!k) {
+    k = [](Value t, Partition* out) {
+      out->push_back(MakePhysicalTuple(std::move(t)));
+    };
+  }
+  for (size_t i = 0; i < chain.size(); i++) {  // i = 0 is the root stage
+    const AlgOp* op = chain[i];
+    const TupleLayout layout = CollectVars(chain_inputs[i]);
+    TupleCont inner = std::move(k);
+    if (op->kind == AlgKind::kSelect) {
+      CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(op->pred, layout, env));
+      k = [pred, inner](Value t, Partition* out) {
+        if (pred(t)) inner(std::move(t), out);
+      };
+    } else {  // kUnnest / kOuterUnnest
+      CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(op->path, layout, env));
+      const std::string var = op->path_var;
+      const bool outer = op->kind == AlgKind::kOuterUnnest;
+      k = [path, var, outer, inner](Value t, Partition* out) {
+        const Value coll = path(t);
+        auto pad = [&](Value element) {
+          ValueStruct padded = t.AsStruct();
+          padded.emplace_back(var, std::move(element));
+          inner(Value(std::move(padded)), out);
+        };
+        if (coll.is_null() ||
+            (coll.type() == ValueType::kList && coll.AsList().empty())) {
+          if (outer) pad(Value::Null());
+          return;
+        }
+        if (coll.type() != ValueType::kList) {
+          pad(coll);  // scalar behaves as singleton (XML-style nesting)
+          return;
+        }
+        for (const auto& element : coll.AsList()) pad(element);
+      };
+    }
+  }
+  TupleCont final_k = std::move(k);
+  return engine::MorselExpand([final_k](size_t, const Row& r, Partition* out) {
+    final_k(PhysicalTupleOf(r), out);
+  });
+}
+
+bool IsTransform(AlgKind kind) {
+  return kind == AlgKind::kSelect || kind == AlgKind::kUnnest ||
+         kind == AlgKind::kOuterUnnest;
+}
+
+/// Resolves a join input: when the sub-plan is a bare breaker/scan the
+/// resident partitioning is borrowed outright; otherwise its transform
+/// chain streams morsel-wise into an owned buffer (still no per-operator
+/// intermediates below the join).
+Result<Executor::PipelineSegment> CollectInput(Executor* ex, const AlgOpPtr& plan,
+                                               size_t morsel_rows) {
+  CLEANM_ASSIGN_OR_RETURN(Executor::PipelineSegment seg,
+                          ex->BuildSegment(plan, morsel_rows));
+  if (seg.identity) return seg;
+  Executor::PipelineSegment out;
+  out.owned.resize(ex->cluster->num_nodes());
+  engine::MorselSpec spec;
+  spec.morsel_rows = morsel_rows;
+  ex->cluster->PumpOnWorkers(seg.data(), spec, seg.expand,
+                             [&out](size_t n, Partition&& morsel) {
+                               auto& dst = out.owned[n];
+                               dst.insert(dst.end(),
+                                          std::make_move_iterator(morsel.begin()),
+                                          std::make_move_iterator(morsel.end()));
+                             });
+  out.owned_bytes = PartitionedLogicalBytes(out.owned);
+  out.gauge = &ex->cluster->metrics();
+  out.gauge->ChargeMaterialized(out.owned_bytes);
+  out.identity = true;
+  return out;
+}
+
+}  // namespace
+
+Result<const engine::Partitioned*> Executor::PipelinedNest(const AlgOpPtr& plan,
+                                                           size_t morsel_rows) {
+  const size_t nodes = cluster->num_nodes();
+  if (!persist_nests) {
+    auto local = local_nests.find(plan.get());
+    if (local != local_nests.end()) return &local->second;
+  } else {
+    const Catalog& cat = *catalog;
+    if (const Partitioned* cached = cache->FindNest(
+            plan.get(), nodes,
+            [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
+      return cached;
+    }
+  }
+
+  CLEANM_ASSIGN_OR_RETURN(CompiledNest compiled, CompileNestStage(plan));
+  // The breaker consumes its input morsel-wise: each worker expands its own
+  // rows through the segment's transforms *fused with* the keyed expansion
+  // (passed as the chain's terminal continuation, so no per-row
+  // intermediate buffer exists), then folds the (key, tuple) pairs
+  // straight into node-local aggregation state — the keyed Partitioned of
+  // the materializing path never exists.
+  auto nest_expand = compiled.expand;
+  CLEANM_ASSIGN_OR_RETURN(
+      PipelineSegment seg,
+      BuildSegment(plan->input, morsel_rows,
+                   [nest_expand](Value t, Partition* out) {
+                     nest_expand(t, out);
+                   }));
+  engine::MorselAggregator agg(*cluster, compiled.spec, options.aggregate_strategy);
+  engine::MorselSpec spec;
+  spec.morsel_rows = morsel_rows;
+  cluster->PumpOnWorkers(seg.data(), spec, seg.expand,
+                         [&agg](size_t n, Partition&& morsel) {
+                           agg.Accumulate(n, std::move(morsel));
+                         });
+  seg.ReleaseNow();
+  Partitioned result = agg.Finish();
+
+  if (!persist_nests) {
+    auto placed = local_nests.emplace(plan.get(), std::move(result)).first;
+    return &placed->second;
+  }
+  std::vector<std::pair<std::string, uint64_t>> deps;
+  CollectScanDeps(plan, *catalog, &deps);
+  return cache->PutNest(plan, nodes, std::move(deps), std::move(result));
+}
+
+Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
+                                                         size_t morsel_rows,
+                                                         TupleSink terminal) {
+  if (!plan) return Status::Internal("null physical plan");
+  if (!cache) return Status::Internal("Executor has no partition cache");
+
+  std::vector<const AlgOp*> chain;        // root-first transform stages
+  std::vector<AlgOpPtr> chain_inputs;     // their inputs (layout anchors)
+  const AlgOpPtr* cur = &plan;
+  while (IsTransform((*cur)->kind)) {
+    chain.push_back(cur->get());
+    chain_inputs.push_back((*cur)->input);
+    cur = &(*cur)->input;
+  }
+  const AlgOpPtr& source = *cur;
+
+  PipelineSegment seg;
+  switch (source->kind) {
+    case AlgKind::kScan: {
+      CLEANM_ASSIGN_OR_RETURN(seg.borrowed, WrappedScan(*source));
+      break;
+    }
+    case AlgKind::kNest: {
+      CLEANM_ASSIGN_OR_RETURN(seg.borrowed, PipelinedNest(source, morsel_rows));
+      break;
+    }
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin: {
+      CLEANM_ASSIGN_OR_RETURN(PipelineSegment left,
+                              CollectInput(this, source->input, morsel_rows));
+      // Resolving the right side may mutate the cache (its Nest build
+      // Put-inserts, and an insert can LRU-evict the entry the left side
+      // borrows under a byte budget) — detach a borrowed left into owned
+      // storage first. Row copies share nested Value storage, and the
+      // materialize-first path pays (and meters) the same copy.
+      if (left.borrowed) {
+        left.owned = *left.borrowed;
+        left.borrowed = nullptr;
+        left.owned_bytes = PartitionedLogicalBytes(left.owned);
+        left.gauge = &cluster->metrics();
+        left.gauge->ChargeMaterialized(left.owned_bytes);
+      }
+      CLEANM_ASSIGN_OR_RETURN(PipelineSegment right,
+                              CollectInput(this, source->right, morsel_rows));
+      CLEANM_ASSIGN_OR_RETURN(seg.owned, ExecJoin(source, left.data(), right.data()));
+      seg.owned_bytes = PartitionedLogicalBytes(seg.owned);
+      seg.gauge = &cluster->metrics();
+      seg.gauge->ChargeMaterialized(seg.owned_bytes);
+      break;
+    }
+    case AlgKind::kReduce:
+      return Status::InvalidArgument("Reduce cannot feed a pipeline segment");
+    default:
+      return Status::Internal("unhandled pipeline source kind");
+  }
+
+  if (chain.empty() && !terminal) {
+    seg.identity = true;
+    seg.expand = [](size_t, const Row& r, Partition* out) { out->push_back(r); };
+    return seg;
+  }
+  if (chain.empty()) {
+    // Terminal only: apply the consumer's continuation to each source row.
+    TupleSink sink = std::move(terminal);
+    seg.expand = [sink](size_t, const Row& r, Partition* out) {
+      sink(PhysicalTupleOf(r), out);
+    };
+    return seg;
+  }
+  CLEANM_ASSIGN_OR_RETURN(
+      seg.expand, CompileChain(chain, chain_inputs, Env(), std::move(terminal)));
+  return seg;
+}
+
+Status Executor::RunPipelined(
+    const AlgOpPtr& plan, size_t morsel_rows,
+    const std::function<Status(size_t node, engine::Partition&&)>& consume) {
+  if (!plan) return Status::Internal("null physical plan");
+  if (plan->kind == AlgKind::kReduce) {
+    return Status::InvalidArgument("Reduce root must go through RunToValuePipelined");
+  }
+  CLEANM_ASSIGN_OR_RETURN(PipelineSegment seg, BuildSegment(plan, morsel_rows));
+  engine::MorselSpec spec;
+  spec.morsel_rows = morsel_rows;
+  return cluster->PumpToDriver(seg.data(), spec, seg.expand, consume);
+}
+
+Result<Value> Executor::RunToValuePipelined(const AlgOpPtr& plan, size_t morsel_rows) {
+  if (!plan) return Status::Internal("null physical plan");
+  if (plan->kind != AlgKind::kReduce) {
+    ValueList out;
+    uint64_t list_bytes = 0;
+    CLEANM_RETURN_NOT_OK(RunPipelined(
+        plan, morsel_rows, [&out, &list_bytes](size_t, Partition&& morsel) {
+          for (const auto& row : morsel) {
+            list_bytes += PhysicalTupleOf(row).ByteSize();
+            out.push_back(PhysicalTupleOf(row));
+          }
+          return Status::OK();
+        }));
+    // The collected result is driver-side materialization, exactly as on
+    // the materializing RunToValue: fold it into the peak, then stop
+    // tracking (the returned Value is the caller's).
+    cluster->metrics().ChargeMaterialized(list_bytes);
+    cluster->metrics().ReleaseMaterialized(list_bytes);
+    return Value(std::move(out));
+  }
+
+  const AggregateFunction* udf = nullptr;
+  CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
+                          ResolveAggregateMonoid(functions, plan->monoid, &udf));
+  CLEANM_ASSIGN_OR_RETURN(PipelineSegment seg, BuildSegment(plan->input, morsel_rows));
+  const TupleLayout layout = CollectVars(plan->input);
+  CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout, Env()));
+
+  // Morsel-fed per-node fold, merged on the driver — the same
+  // fold-then-merge shape (and order) as the materializing RunToValue.
+  // One *fresh* zero per node: Value copies share nested storage, so a
+  // vector(n, zero) fill would alias one accumulator across all nodes and
+  // every in-place fold would land in the same shared list.
+  std::vector<Value> partials;
+  partials.reserve(cluster->num_nodes());
+  for (size_t n = 0; n < cluster->num_nodes(); n++) partials.push_back(monoid->zero());
+  std::atomic<uint64_t> rows_folded{0};
+  engine::MorselSpec spec;
+  spec.morsel_rows = morsel_rows;
+  cluster->PumpOnWorkers(seg.data(), spec, seg.expand,
+                         [&](size_t n, Partition&& morsel) {
+                           Value acc = std::move(partials[n]);
+                           for (const auto& row : morsel) {
+                             acc = monoid->Accumulate(std::move(acc),
+                                                      head(PhysicalTupleOf(row)));
+                           }
+                           partials[n] = std::move(acc);
+                           rows_folded += morsel.size();
+                         });
+  Value acc = monoid->zero();
+  for (auto& p : partials) acc = monoid->Merge(std::move(acc), p);
+  if (udf) cluster->metrics().udf_calls += rows_folded.load();
+  if (udf && udf->finalize) return udf->finalize({acc});
+  return acc;
+}
+
+}  // namespace cleanm

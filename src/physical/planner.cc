@@ -4,6 +4,7 @@
 
 #include "functions/function_registry.h"
 #include "monoid/monoid.h"
+#include "physical/tuple.h"
 
 namespace cleanm {
 
@@ -11,20 +12,20 @@ namespace {
 
 using engine::Partition;
 using engine::Partitioned;
+using engine::PartitionedLogicalBytes;
 
-/// Physical tuples are single-Value rows holding the tuple struct.
-Row MakeTupleRow(Value tuple) { return Row{std::move(tuple)}; }
-const Value& TupleOf(const Row& row) { return row[0]; }
+/// Releases a tracked buffer's gauge charge when the owning scope ends
+/// (including error paths).
+struct GaugeRelease {
+  QueryMetrics* metrics;
+  uint64_t bytes = 0;
+  ~GaugeRelease() {
+    if (bytes) metrics->ReleaseMaterialized(bytes);
+  }
+};
 
-Value MergeTuples(const Value& a, const Value& b) {
-  ValueStruct merged = a.AsStruct();
-  const auto& bs = b.AsStruct();
-  merged.insert(merged.end(), bs.begin(), bs.end());
-  return Value(std::move(merged));
-}
+}  // namespace
 
-/// Every table scanned under `plan`, with the catalog's current generation
-/// — the dependency set recorded on cached Nest outputs.
 void CollectScanDeps(const AlgOpPtr& plan, const Catalog& catalog,
                      std::vector<std::pair<std::string, uint64_t>>* deps) {
   if (!plan) return;
@@ -39,125 +40,281 @@ void CollectScanDeps(const AlgOpPtr& plan, const Catalog& catalog,
   CollectScanDeps(plan->right, catalog, deps);
 }
 
-}  // namespace
+Result<const engine::Partitioned*> Executor::WrappedScan(const AlgOp& scan) {
+  const uint64_t generation = catalog->GenerationOf(scan.table);
+  const size_t nodes = cluster->num_nodes();
+  if (const Partitioned* wrapped =
+          cache->FindWrap(scan.table, scan.var, generation, nodes)) {
+    cache->CountScanHit();
+    return wrapped;
+  }
+
+  const Partitioned* base = cache->FindScan(scan.table, generation, nodes);
+  if (base) {
+    cache->CountScanHit();
+  } else {
+    CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(scan.table));
+    std::vector<Row> rows;
+    rows.reserve(table->num_rows());
+    for (const auto& row : table->rows()) {
+      rows.push_back(MakePhysicalTuple(RowToRecord(table->schema(), row)));
+    }
+    Partitioned scanned = cluster->Parallelize(rows);
+    cache->CountScanMiss();
+    base = cache->PutScan(scan.table, generation, nodes, std::move(scanned));
+  }
+  // Wrap each record into the {var: record} tuple.
+  const std::string var = scan.var;
+  Partitioned wrapped = cluster->Map(*base, [var](const Row& r) {
+    return MakePhysicalTuple(Value(ValueStruct{{var, PhysicalTupleOf(r)}}));
+  });
+  // PutWrap may evict the base-scan entry under the byte budget; `base` is
+  // dead after this point.
+  return cache->PutWrap(scan.table, scan.var, generation, nodes, std::move(wrapped));
+}
+
+Result<engine::Partitioned> Executor::ExecJoin(const AlgOpPtr& plan,
+                                               const engine::Partitioned& left,
+                                               const engine::Partitioned& right) {
+  const TupleLayout left_layout = CollectVars(plan->input);
+  const TupleLayout right_layout = CollectVars(plan->right);
+  TupleLayout both = left_layout;
+  both.insert(both.end(), right_layout.begin(), right_layout.end());
+
+  auto emit = [](const Row& l, const Row& r) {
+    return MakePhysicalTuple(MergePhysicalTuples(PhysicalTupleOf(l), PhysicalTupleOf(r)));
+  };
+
+  if (plan->left_key) {
+    CLEANM_ASSIGN_OR_RETURN(CompiledExpr lk, CompileExpr(plan->left_key, left_layout, Env()));
+    CLEANM_ASSIGN_OR_RETURN(CompiledExpr rk,
+                            CompileExpr(plan->right_key, right_layout, Env()));
+    auto lkey = [lk](const Row& r) { return lk(PhysicalTupleOf(r)); };
+    auto rkey = [rk](const Row& r) { return rk(PhysicalTupleOf(r)); };
+    std::function<bool(const Value&)> residual;
+    if (plan->pred) {
+      CLEANM_ASSIGN_OR_RETURN(residual, CompilePredicate(plan->pred, both, Env()));
+    }
+    Partitioned joined;
+    if (plan->kind == AlgKind::kOuterJoin) {
+      const TupleLayout right_vars = right_layout;
+      joined = engine::HashLeftOuterJoin(
+          *cluster, left, right, lkey, rkey, emit, [right_vars](const Row& l) {
+            ValueStruct padded = PhysicalTupleOf(l).AsStruct();
+            for (const auto& v : right_vars) padded.emplace_back(v, Value::Null());
+            return MakePhysicalTuple(Value(std::move(padded)));
+          });
+    } else {
+      joined = engine::HashEquiJoin(*cluster, left, right, lkey, rkey, emit);
+    }
+    if (residual) {
+      joined = cluster->Filter(
+          joined, [residual](const Row& r) { return residual(PhysicalTupleOf(r)); });
+    }
+    return joined;
+  }
+
+  // Theta join (or cross product when pred is null).
+  if (plan->kind == AlgKind::kOuterJoin) {
+    return Status::NotImplemented("outer theta joins are not supported");
+  }
+  std::function<bool(const Row&, const Row&)> pred;
+  if (plan->pred) {
+    CLEANM_ASSIGN_OR_RETURN(auto compiled, CompilePredicate(plan->pred, both, Env()));
+    pred = [compiled](const Row& l, const Row& r) {
+      return compiled(MergePhysicalTuples(PhysicalTupleOf(l), PhysicalTupleOf(r)));
+    };
+  } else {
+    pred = [](const Row&, const Row&) { return true; };
+  }
+  engine::ThetaJoinOptions theta;
+  theta.algo = options.theta_algo;
+  return engine::ThetaJoin(*cluster, left, right, pred, emit, theta);
+}
+
+Result<Executor::CompiledNest> Executor::CompileNestStage(const AlgOpPtr& plan) {
+  const TupleLayout layout = CollectVars(plan->input);
+
+  // Keyed expansion: each input tuple becomes (key, tuple) pairs. Exact
+  // grouping emits one pair; grouping monoids may emit several.
+  CLEANM_ASSIGN_OR_RETURN(CompiledExpr term, CompileExpr(plan->group.term, layout, Env()));
+  const GroupSpec group = plan->group;
+  if (group.algo == FilteringAlgo::kKMeans && group.centers.empty()) {
+    return Status::InvalidArgument("k-means Nest executed without sampled centers");
+  }
+  CompiledNest compiled;
+  compiled.expand = [term, group](const Value& tuple, Partition* out) {
+    const Value t = term(tuple);
+    switch (group.algo) {
+      case FilteringAlgo::kExactKey:
+        out->push_back(Row{t, tuple});
+        return;
+      case FilteringAlgo::kTokenFiltering: {
+        if (t.type() != ValueType::kString) return;  // dirty value: skip
+        auto grams = QGrams(t.AsString(), group.q);
+        std::sort(grams.begin(), grams.end());
+        grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+        for (auto& g : grams) {
+          out->push_back(Row{Value(std::move(g)), tuple});
+        }
+        return;
+      }
+      case FilteringAlgo::kKMeans: {
+        if (t.type() != ValueType::kString) return;
+        SinglePassKMeans km(group.centers.size(), group.delta, 0);
+        for (const auto& a : km.Assign({t.AsString()}, group.centers)) {
+          out->push_back(Row{Value(a.key), tuple});
+        }
+        return;
+      }
+    }
+  };
+
+  // Monoid aggregation spec. Aggregation names resolve against the session
+  // registry first, so a registered (monoid-annotated) UDF aggregate
+  // distributes exactly like a built-in: units fold locally, partial
+  // accumulators merge across nodes, and its optional finalize maps each
+  // group's merged accumulator to the reported value before `having` sees
+  // it.
+  std::vector<const Monoid*> monoids;
+  std::vector<CompiledExpr> agg_exprs;
+  std::vector<UserFn> finalizers(plan->aggs.size());
+  size_t udf_aggs = 0;
+  for (size_t a = 0; a < plan->aggs.size(); a++) {
+    const NestAgg& agg = plan->aggs[a];
+    const AggregateFunction* udf = nullptr;
+    CLEANM_ASSIGN_OR_RETURN(const Monoid* m,
+                            ResolveAggregateMonoid(functions, agg.monoid, &udf));
+    monoids.push_back(m);
+    if (udf) {
+      finalizers[a] = udf->finalize;
+      udf_aggs++;
+    }
+    CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(agg.expr, layout, Env()));
+    agg_exprs.push_back(std::move(c));
+  }
+  const std::string key_name = plan->key_name;
+  const std::vector<NestAgg> aggs = plan->aggs;
+
+  std::function<bool(const Value&)> having;
+  if (plan->having) {
+    TupleLayout out_layout{key_name};
+    for (const auto& agg : aggs) out_layout.push_back(agg.name);
+    CLEANM_ASSIGN_OR_RETURN(having, CompilePredicate(plan->having, out_layout, Env()));
+  }
+
+  engine::AggregateSpec spec;
+  spec.key = [](const Row& r) { return r[0]; };
+  QueryMetrics* metrics = &cluster->metrics();
+  spec.init = [monoids, agg_exprs, metrics, udf_aggs](const Row& r) {
+    ValueList accs;
+    accs.reserve(monoids.size());
+    for (size_t a = 0; a < monoids.size(); a++) {
+      accs.push_back(monoids[a]->Unit(agg_exprs[a](r[1])));
+    }
+    if (udf_aggs) metrics->udf_calls += udf_aggs;
+    return Value(std::move(accs));
+  };
+  spec.merge = [monoids](Value a, const Value& b) {
+    auto& accs = a.MutableList();
+    const auto& other = b.AsList();
+    for (size_t i = 0; i < accs.size(); i++) {
+      accs[i] = monoids[i]->Merge(std::move(accs[i]), other[i]);
+    }
+    return a;
+  };
+  spec.finalize = [key_name, aggs, having, finalizers](const Value& key,
+                                                       const Value& acc,
+                                                       Partition* out) {
+    ValueStruct tuple;
+    tuple.emplace_back(key_name, key);
+    const auto& accs = acc.AsList();
+    for (size_t a = 0; a < aggs.size(); a++) {
+      if (finalizers[a]) {
+        // UDF finalize errors null-propagate (engine convention for
+        // per-row/-group data errors).
+        auto finalized = finalizers[a]({accs[a]});
+        tuple.emplace_back(aggs[a].name,
+                           finalized.ok() ? finalized.MoveValue() : Value::Null());
+        continue;
+      }
+      tuple.emplace_back(aggs[a].name, accs[a]);
+    }
+    Value result(std::move(tuple));
+    if (having && !having(result)) return;
+    out->push_back(MakePhysicalTuple(std::move(result)));
+  };
+  compiled.spec = std::move(spec);
+  return compiled;
+}
 
 Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
+  uint64_t bytes = 0;
+  Result<Partitioned> out = RunTracked(plan, &bytes);
+  // The caller owns the buffer now; this entry point stops tracking it
+  // (the peak already folded it in).
+  if (out.ok() && bytes) cluster->metrics().ReleaseMaterialized(bytes);
+  return out;
+}
+
+Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
+                                                 uint64_t* out_bytes) {
+  *out_bytes = 0;
   if (!plan) return Status::Internal("null physical plan");
   if (!cache) return Status::Internal("Executor has no partition cache");
+  QueryMetrics& metrics = cluster->metrics();
+  auto charge = [&metrics, out_bytes](const Partitioned& data) {
+    *out_bytes = PartitionedLogicalBytes(data);
+    metrics.ChargeMaterialized(*out_bytes);
+  };
   switch (plan->kind) {
     case AlgKind::kScan: {
-      const uint64_t generation = catalog->GenerationOf(plan->table);
-      const size_t nodes = cluster->num_nodes();
-      if (const Partitioned* wrapped =
-              cache->FindWrap(plan->table, plan->var, generation, nodes)) {
-        cache->CountScanHit();
-        return *wrapped;
-      }
-
-      Partitioned base;
-      if (const Partitioned* scanned = cache->FindScan(plan->table, generation, nodes)) {
-        cache->CountScanHit();
-        base = *scanned;
-      } else {
-        CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(plan->table));
-        std::vector<Row> rows;
-        rows.reserve(table->num_rows());
-        for (const auto& row : table->rows()) {
-          rows.push_back(MakeTupleRow(RowToRecord(table->schema(), row)));
-        }
-        base = cluster->Parallelize(rows);
-        cache->CountScanMiss();
-        cache->PutScan(plan->table, generation, nodes, base);
-      }
-      // Wrap each record into the {var: record} tuple.
-      const std::string var = plan->var;
-      Partitioned result = cluster->Map(base, [var](const Row& r) {
-        return MakeTupleRow(Value(ValueStruct{{var, TupleOf(r)}}));
-      });
-      cache->PutWrap(plan->table, plan->var, generation, nodes, result);
-      return result;
+      CLEANM_ASSIGN_OR_RETURN(const Partitioned* wrapped, WrappedScan(*plan));
+      // The materialize-first copy of the cache-resident wrap — precisely
+      // the buffer the pipelined path streams from instead.
+      Partitioned out = *wrapped;
+      charge(out);
+      return out;
     }
 
     case AlgKind::kSelect: {
-      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+      GaugeRelease in_release{&metrics};
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
       const TupleLayout layout = CollectVars(plan->input);
       CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(plan->pred, layout, Env()));
-      return cluster->Filter(in, [pred](const Row& r) { return pred(TupleOf(r)); });
+      Partitioned out =
+          cluster->Filter(in, [pred](const Row& r) { return pred(PhysicalTupleOf(r)); });
+      charge(out);
+      return out;
     }
 
     case AlgKind::kJoin:
     case AlgKind::kOuterJoin: {
-      CLEANM_ASSIGN_OR_RETURN(Partitioned left, Run(plan->input));
-      CLEANM_ASSIGN_OR_RETURN(Partitioned right, Run(plan->right));
-      const TupleLayout left_layout = CollectVars(plan->input);
-      const TupleLayout right_layout = CollectVars(plan->right);
-      TupleLayout both = left_layout;
-      both.insert(both.end(), right_layout.begin(), right_layout.end());
-
-      auto emit = [](const Row& l, const Row& r) {
-        return MakeTupleRow(MergeTuples(TupleOf(l), TupleOf(r)));
-      };
-
-      if (plan->left_key) {
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr lk, CompileExpr(plan->left_key, left_layout, Env()));
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr rk,
-                                CompileExpr(plan->right_key, right_layout, Env()));
-        auto lkey = [lk](const Row& r) { return lk(TupleOf(r)); };
-        auto rkey = [rk](const Row& r) { return rk(TupleOf(r)); };
-        std::function<bool(const Value&)> residual;
-        if (plan->pred) {
-          CLEANM_ASSIGN_OR_RETURN(residual, CompilePredicate(plan->pred, both, Env()));
-        }
-        Partitioned joined;
-        if (plan->kind == AlgKind::kOuterJoin) {
-          const TupleLayout right_vars = right_layout;
-          joined = engine::HashLeftOuterJoin(
-              *cluster, left, right, lkey, rkey, emit, [right_vars](const Row& l) {
-                ValueStruct padded = TupleOf(l).AsStruct();
-                for (const auto& v : right_vars) padded.emplace_back(v, Value::Null());
-                return MakeTupleRow(Value(std::move(padded)));
-              });
-        } else {
-          joined = engine::HashEquiJoin(*cluster, left, right, lkey, rkey, emit);
-        }
-        if (residual) {
-          joined = cluster->Filter(
-              joined, [residual](const Row& r) { return residual(TupleOf(r)); });
-        }
-        return joined;
-      }
-
-      // Theta join (or cross product when pred is null).
-      if (plan->kind == AlgKind::kOuterJoin) {
-        return Status::NotImplemented("outer theta joins are not supported");
-      }
-      std::function<bool(const Row&, const Row&)> pred;
-      if (plan->pred) {
-        CLEANM_ASSIGN_OR_RETURN(auto compiled, CompilePredicate(plan->pred, both, Env()));
-        pred = [compiled](const Row& l, const Row& r) {
-          return compiled(MergeTuples(TupleOf(l), TupleOf(r)));
-        };
-      } else {
-        pred = [](const Row&, const Row&) { return true; };
-      }
-      engine::ThetaJoinOptions theta;
-      theta.algo = options.theta_algo;
-      return engine::ThetaJoin(*cluster, left, right, pred, emit, theta);
+      GaugeRelease left_release{&metrics}, right_release{&metrics};
+      CLEANM_ASSIGN_OR_RETURN(Partitioned left,
+                              RunTracked(plan->input, &left_release.bytes));
+      CLEANM_ASSIGN_OR_RETURN(Partitioned right,
+                              RunTracked(plan->right, &right_release.bytes));
+      CLEANM_ASSIGN_OR_RETURN(Partitioned out, ExecJoin(plan, left, right));
+      charge(out);
+      return out;
     }
 
     case AlgKind::kUnnest:
     case AlgKind::kOuterUnnest: {
-      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+      GaugeRelease in_release{&metrics};
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
       const TupleLayout layout = CollectVars(plan->input);
       CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(plan->path, layout, Env()));
       const std::string var = plan->path_var;
       const bool outer = plan->kind == AlgKind::kOuterUnnest;
-      return cluster->FlatMap(in, [path, var, outer](const Row& r, Partition* out) {
-        const Value coll = path(TupleOf(r));
+      Partitioned out = cluster->FlatMap(in, [path, var, outer](const Row& r,
+                                                                Partition* dst) {
+        const Value coll = path(PhysicalTupleOf(r));
         auto pad = [&](Value element) {
-          ValueStruct padded = TupleOf(r).AsStruct();
+          ValueStruct padded = PhysicalTupleOf(r).AsStruct();
           padded.emplace_back(var, std::move(element));
-          out->push_back(MakeTupleRow(Value(std::move(padded))));
+          dst->push_back(MakePhysicalTuple(Value(std::move(padded))));
         };
         if (coll.is_null() || (coll.type() == ValueType::kList && coll.AsList().empty())) {
           if (outer) pad(Value::Null());
@@ -169,136 +326,48 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
         }
         for (const auto& element : coll.AsList()) pad(element);
       });
+      charge(out);
+      return out;
     }
 
     case AlgKind::kNest: {
       const size_t nodes = cluster->num_nodes();
       if (!persist_nests) {
         auto local = local_nests.find(plan.get());
-        if (local != local_nests.end()) return local->second;
+        if (local != local_nests.end()) {
+          Partitioned out = local->second;
+          charge(out);
+          return out;
+        }
       } else {
         const Catalog& cat = *catalog;
         if (const Partitioned* cached = cache->FindNest(
                 plan.get(), nodes,
                 [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
-          return *cached;
+          Partitioned out = *cached;
+          charge(out);
+          return out;
         }
       }
 
-      CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
-      const TupleLayout layout = CollectVars(plan->input);
+      CLEANM_ASSIGN_OR_RETURN(CompiledNest compiled, CompileNestStage(plan));
+      GaugeRelease in_release{&metrics};
+      CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
 
-      // Phase 1: expand each tuple into (key, tuple) pairs. Exact grouping
-      // emits one pair; grouping monoids may emit several.
-      CLEANM_ASSIGN_OR_RETURN(CompiledExpr term, CompileExpr(plan->group.term, layout, Env()));
-      const GroupSpec group = plan->group;
-      if (group.algo == FilteringAlgo::kKMeans && group.centers.empty()) {
-        return Status::InvalidArgument(
-            "k-means Nest executed without sampled centers");
-      }
-      Partitioned keyed = cluster->FlatMap(in, [term, group](const Row& r,
-                                                             Partition* out) {
-        const Value t = term(TupleOf(r));
-        switch (group.algo) {
-          case FilteringAlgo::kExactKey:
-            out->push_back(Row{t, TupleOf(r)});
-            return;
-          case FilteringAlgo::kTokenFiltering: {
-            if (t.type() != ValueType::kString) return;  // dirty value: skip
-            auto grams = QGrams(t.AsString(), group.q);
-            std::sort(grams.begin(), grams.end());
-            grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
-            for (auto& g : grams) out->push_back(Row{Value(std::move(g)), TupleOf(r)});
-            return;
-          }
-          case FilteringAlgo::kKMeans: {
-            if (t.type() != ValueType::kString) return;
-            SinglePassKMeans km(group.centers.size(), group.delta, 0);
-            for (const auto& a : km.Assign({t.AsString()}, group.centers)) {
-              out->push_back(Row{Value(a.key), TupleOf(r)});
-            }
-            return;
-          }
-        }
+      // Phase 1 (materialize-first): the whole keyed expansion exists as a
+      // Partitioned before aggregation — the buffer the pipelined Nest
+      // folds away morsel by morsel.
+      auto nest_expand = compiled.expand;
+      Partitioned keyed = cluster->FlatMap(in, [nest_expand](const Row& r, Partition* out) {
+        nest_expand(PhysicalTupleOf(r), out);
       });
+      GaugeRelease keyed_release{&metrics, PartitionedLogicalBytes(keyed)};
+      metrics.ChargeMaterialized(keyed_release.bytes);
 
       // Phase 2: monoid aggregation under the configured shuffle strategy.
-      // Aggregation names resolve against the session registry first, so a
-      // registered (monoid-annotated) UDF aggregate distributes exactly
-      // like a built-in: units fold locally, partial accumulators merge
-      // across nodes, and its optional finalize maps each group's merged
-      // accumulator to the reported value before `having` sees it.
-      std::vector<const Monoid*> monoids;
-      std::vector<CompiledExpr> agg_exprs;
-      std::vector<UserFn> finalizers(plan->aggs.size());
-      size_t udf_aggs = 0;
-      for (size_t a = 0; a < plan->aggs.size(); a++) {
-        const NestAgg& agg = plan->aggs[a];
-        const AggregateFunction* udf = nullptr;
-        CLEANM_ASSIGN_OR_RETURN(const Monoid* m,
-                                ResolveAggregateMonoid(functions, agg.monoid, &udf));
-        monoids.push_back(m);
-        if (udf) {
-          finalizers[a] = udf->finalize;
-          udf_aggs++;
-        }
-        CLEANM_ASSIGN_OR_RETURN(CompiledExpr c, CompileExpr(agg.expr, layout, Env()));
-        agg_exprs.push_back(std::move(c));
-      }
-      const std::string key_name = plan->key_name;
-      const std::vector<NestAgg> aggs = plan->aggs;
-
-      std::function<bool(const Value&)> having;
-      if (plan->having) {
-        TupleLayout out_layout{key_name};
-        for (const auto& agg : aggs) out_layout.push_back(agg.name);
-        CLEANM_ASSIGN_OR_RETURN(having, CompilePredicate(plan->having, out_layout, Env()));
-      }
-
-      engine::AggregateSpec spec;
-      spec.key = [](const Row& r) { return r[0]; };
-      QueryMetrics* metrics = &cluster->metrics();
-      spec.init = [monoids, agg_exprs, metrics, udf_aggs](const Row& r) {
-        ValueList accs;
-        accs.reserve(monoids.size());
-        for (size_t a = 0; a < monoids.size(); a++) {
-          accs.push_back(monoids[a]->Unit(agg_exprs[a](r[1])));
-        }
-        if (udf_aggs) metrics->udf_calls += udf_aggs;
-        return Value(std::move(accs));
-      };
-      spec.merge = [monoids](Value a, const Value& b) {
-        auto& accs = a.MutableList();
-        const auto& other = b.AsList();
-        for (size_t i = 0; i < accs.size(); i++) {
-          accs[i] = monoids[i]->Merge(std::move(accs[i]), other[i]);
-        }
-        return a;
-      };
-      spec.finalize = [key_name, aggs, having, finalizers](const Value& key,
-                                                           const Value& acc,
-                                                           Partition* out) {
-        ValueStruct tuple;
-        tuple.emplace_back(key_name, key);
-        const auto& accs = acc.AsList();
-        for (size_t a = 0; a < aggs.size(); a++) {
-          if (finalizers[a]) {
-            // UDF finalize errors null-propagate (engine convention for
-            // per-row/-group data errors).
-            auto finalized = finalizers[a]({accs[a]});
-            tuple.emplace_back(aggs[a].name,
-                               finalized.ok() ? finalized.MoveValue() : Value::Null());
-            continue;
-          }
-          tuple.emplace_back(aggs[a].name, accs[a]);
-        }
-        Value result(std::move(tuple));
-        if (having && !having(result)) return;
-        out->push_back(MakeTupleRow(std::move(result)));
-      };
-
-      Partitioned result = engine::AggregateByKey(*cluster, keyed, spec,
+      Partitioned result = engine::AggregateByKey(*cluster, keyed, compiled.spec,
                                                   options.aggregate_strategy);
+      charge(result);
       if (!persist_nests) {
         local_nests.emplace(plan.get(), result);
       } else {
@@ -317,18 +386,30 @@ Result<engine::Partitioned> Executor::Run(const AlgOpPtr& plan) {
 
 Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
   if (!plan) return Status::Internal("null physical plan");
+  QueryMetrics& metrics = cluster->metrics();
   if (plan->kind != AlgKind::kReduce) {
-    CLEANM_ASSIGN_OR_RETURN(Partitioned tuples, Run(plan));
+    GaugeRelease root_release{&metrics};
+    CLEANM_ASSIGN_OR_RETURN(Partitioned tuples, RunTracked(plan, &root_release.bytes));
     ValueList out;
+    uint64_t list_bytes = 0;
     for (const auto& p : tuples) {
-      for (const auto& row : p) out.push_back(TupleOf(row));
+      for (const auto& row : p) {
+        list_bytes += PhysicalTupleOf(row).ByteSize();
+        out.push_back(PhysicalTupleOf(row));
+      }
     }
+    // The driver-side result list coexists with the root buffer here; fold
+    // that high-water point into the peak, then stop tracking (the Value
+    // returned is the caller's).
+    GaugeRelease list_release{&metrics, list_bytes};
+    metrics.ChargeMaterialized(list_bytes);
     return Value(std::move(out));
   }
   const AggregateFunction* udf = nullptr;
   CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
                           ResolveAggregateMonoid(functions, plan->monoid, &udf));
-  CLEANM_ASSIGN_OR_RETURN(Partitioned in, Run(plan->input));
+  GaugeRelease in_release{&metrics};
+  CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
   const TupleLayout layout = CollectVars(plan->input);
   CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout, Env()));
   // Fold locally per node, then merge the partials on the driver — legal
@@ -338,7 +419,7 @@ Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
   cluster->RunOnNodes([&](size_t n) {
     Value acc = monoid->zero();
     for (const auto& row : in[n]) {
-      acc = monoid->Accumulate(std::move(acc), head(TupleOf(row)));
+      acc = monoid->Accumulate(std::move(acc), head(PhysicalTupleOf(row)));
     }
     partials[n] = std::move(acc);
   });

@@ -83,13 +83,135 @@ struct Executor {
   CompileEnv Env() const { return {functions, &cluster->metrics()}; }
 
   /// Executes a plan (any root except Reduce), returning distributed
-  /// tuples. Tuple layout matches CollectVars(plan).
+  /// tuples. Tuple layout matches CollectVars(plan). This is the
+  /// *materialize-first* path: every operator's full output exists as a
+  /// Partitioned before its consumer runs (kept as the
+  /// ExecOptions::pipeline=false baseline; each such buffer is charged to
+  /// the peak_bytes_materialized gauge).
   Result<engine::Partitioned> Run(const AlgOpPtr& plan);
 
   /// Executes a full plan; Reduce roots fold to a single Value, other
   /// roots collect their tuples into a list Value (same convention as the
   /// reference evaluator).
   Result<Value> RunToValue(const AlgOpPtr& plan);
+
+  // ---- Pipelined execution (operator-level streaming; pipeline.cc) ----
+  //
+  // The plan decomposes into MorselSource → Transform* chains: Select /
+  // Unnest stages stream fixed-size morsels from a resident source (a
+  // cached scan, a Nest output, a Join output) without materializing any
+  // intermediate operator output; pipeline *breakers* sit only at
+  // Nest / Reduce / shuffle (join) boundaries, and a Nest consumes its own
+  // input morsel-wise (engine::MorselAggregator), so the keyed expansion
+  // is never materialized either. Results are bit-identical to Run /
+  // RunToValue: per-node row order, fold order, and node-major delivery all
+  // match the materializing path.
+
+  /// Streams the plan's output tuples (layout CollectVars(plan)) to
+  /// `consume` in node-major order, `morsel_rows` rows at a time. A non-OK
+  /// status from `consume` aborts the execution early and is returned.
+  /// The root must not be a Reduce (use RunToValuePipelined).
+  Status RunPipelined(const AlgOpPtr& plan, size_t morsel_rows,
+                      const std::function<Status(size_t node, engine::Partition&&)>&
+                          consume);
+
+  /// Pipelined counterpart of RunToValue: Reduce roots fold morsel-fed
+  /// per-node partials; other roots collect their streamed tuples.
+  Result<Value> RunToValuePipelined(const AlgOpPtr& plan, size_t morsel_rows);
+
+  // ---- Internals shared by planner.cc and pipeline.cc ----
+
+  /// A compiled pipeline segment: the resident source partitioning plus the
+  /// composed row-wise transform chain above it. Owned (breaker-output)
+  /// storage is charged to the peak_bytes_materialized gauge for the
+  /// segment's lifetime.
+  struct PipelineSegment {
+    PipelineSegment() = default;
+    PipelineSegment(PipelineSegment&& o) noexcept { *this = std::move(o); }
+    PipelineSegment& operator=(PipelineSegment&& o) noexcept {
+      ReleaseNow();
+      borrowed = o.borrowed;
+      owned = std::move(o.owned);
+      owned_bytes = o.owned_bytes;
+      gauge = o.gauge;
+      expand = std::move(o.expand);
+      identity = o.identity;
+      o.borrowed = nullptr;
+      o.owned_bytes = 0;
+      o.gauge = nullptr;
+      return *this;
+    }
+    PipelineSegment(const PipelineSegment&) = delete;
+    PipelineSegment& operator=(const PipelineSegment&) = delete;
+    ~PipelineSegment() { ReleaseNow(); }
+
+    void ReleaseNow() {
+      if (gauge && owned_bytes) {
+        gauge->ReleaseMaterialized(owned_bytes);
+        owned_bytes = 0;
+      }
+    }
+    const engine::Partitioned& data() const {
+      return borrowed ? *borrowed : owned;
+    }
+
+    const engine::Partitioned* borrowed = nullptr;  ///< cache-resident source
+    engine::Partitioned owned;     ///< breaker output owned by the segment
+    uint64_t owned_bytes = 0;      ///< `owned`'s charge on the gauge
+    QueryMetrics* gauge = nullptr;
+    engine::MorselExpand expand;   ///< source row → output tuples
+    bool identity = false;         ///< no transforms: source rows pass through
+  };
+
+  /// A Nest stage compiled to physical form: the keyed expansion feeding
+  /// the aggregation (tuple-level, so the pipelined path fuses it as a
+  /// chain terminal without re-wrapping rows), and the monoid
+  /// AggregateSpec.
+  struct CompiledNest {
+    std::function<void(const Value& tuple, engine::Partition*)> expand;
+    engine::AggregateSpec spec;
+  };
+
+  /// `Run` with materialization accounting: the returned buffer's logical
+  /// bytes stay charged on the gauge and are reported via `out_bytes`; the
+  /// caller releases them when the buffer dies (cache-resident results
+  /// report 0).
+  Result<engine::Partitioned> RunTracked(const AlgOpPtr& plan, uint64_t* out_bytes);
+
+  /// The {var: record} wrapped scan, resolved through (and resident in)
+  /// the session cache.
+  Result<const engine::Partitioned*> WrappedScan(const AlgOp& scan);
+
+  /// Executes a join node over already-resolved inputs.
+  Result<engine::Partitioned> ExecJoin(const AlgOpPtr& plan,
+                                       const engine::Partitioned& left,
+                                       const engine::Partitioned& right);
+
+  /// Compiles a Nest node's grouping expansion + aggregation spec.
+  Result<CompiledNest> CompileNestStage(const AlgOpPtr& plan);
+
+  /// Terminal continuation of a compiled transform chain: consumes each
+  /// produced tuple (pipeline.cc; defaults to "append as a physical row").
+  using TupleSink = std::function<void(Value, engine::Partition*)>;
+
+  /// Decomposes `plan` into a pipeline segment (pipeline.cc). A custom
+  /// `terminal` fuses the consumer into the chain — breakers use it to
+  /// fold expansions without an intermediate per-row buffer.
+  Result<PipelineSegment> BuildSegment(const AlgOpPtr& plan, size_t morsel_rows,
+                                       TupleSink terminal = nullptr);
+
+  /// The Nest breaker on the pipelined path: cache lookup, else morsel-fed
+  /// aggregation over the input segment; the result is resident (session
+  /// cache or local_nests), never copied out.
+  Result<const engine::Partitioned*> PipelinedNest(const AlgOpPtr& plan,
+                                                   size_t morsel_rows);
 };
+
+/// Every table scanned under `plan`, with the catalog's current generation
+/// — the dependency set recorded on cached Nest outputs. Shared by the
+/// materializing (planner.cc) and pipelined (pipeline.cc) paths: the two
+/// must record identical dep sets or cache invalidation diverges.
+void CollectScanDeps(const AlgOpPtr& plan, const Catalog& catalog,
+                     std::vector<std::pair<std::string, uint64_t>>* deps);
 
 }  // namespace cleanm

@@ -538,5 +538,249 @@ TEST(E2EGroupByTest, GroupByPlanSurvivesRewriterAndMatchesReference) {
   EXPECT_EQ(engine_result.AsList().size(), 3u);  // 60, 10, 100 all > 9
 }
 
+// ---- Scenario 8: operator-level pipelining (morsel-driven execution) ----
+//
+// ExecOptions::pipeline = true must be observationally *bit-identical* to
+// the materialize-first baseline — the same violation tuples, in the same
+// order, per operation, at any morsel size — while really streaming
+// (morsels metered) and holding peak transient memory at or below the
+// baseline. These are the equivalence guarantees the bench gate
+// (bench_unified_cleaning --check) enforces at scale.
+
+Dataset PipelineCustomers() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 300;
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 6;
+  copts.fd_violation_fraction = 0.08;
+  return datagen::MakeCustomer(copts);
+}
+
+/// Violations of every operation rendered in emission order — the
+/// bit-exact comparison key (no canonicalization: order and structure both
+/// count).
+std::vector<std::string> RenderedViolations(const QueryResult& result) {
+  std::vector<std::string> out;
+  for (const auto& op : result.ops) {
+    for (const auto& v : op.violations) {
+      out.push_back(op.op_name + "|" + v.ToString());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RenderedDirtyEntities(const QueryResult& result) {
+  std::vector<std::string> out;
+  for (const auto& [entity, ops] : result.dirty_entities) {
+    std::string line = entity.ToString() + "|";
+    for (const auto& op : ops) line += op + ",";
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+/// One cold execution on a fresh session under the given pipeline config.
+QueryResult ExecutePipelineConfig(const Dataset& data, const std::string& query,
+                                  bool pipeline, size_t morsel_rows) {
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("customer", data);
+  auto prepared = db.Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ExecOptions opts;
+  opts.pipeline = pipeline;
+  opts.morsel_rows = morsel_rows;
+  return prepared.value().Execute(opts).ValueOrDie();
+}
+
+TEST(E2EMorselPipelineTest, FdAndDedupBitIdenticalAcrossMorselSizes) {
+  const char* query = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, LD, 0.8, c.address)
+  )";
+  const Dataset data = PipelineCustomers();
+  const QueryResult baseline = ExecutePipelineConfig(data, query, false, 4096);
+  const auto baseline_violations = RenderedViolations(baseline);
+  const auto baseline_entities = RenderedDirtyEntities(baseline);
+  ASSERT_GT(baseline_violations.size(), 0u);
+  EXPECT_EQ(baseline.metrics.morsels_processed, 0u);
+
+  // Morsel boundaries must never change results: a degenerate 1-row morsel,
+  // a prime size that straddles every partition, and the 4096 default.
+  for (size_t morsel_rows : {size_t{1}, size_t{7}, size_t{4096}}) {
+    const QueryResult piped = ExecutePipelineConfig(data, query, true, morsel_rows);
+    EXPECT_EQ(RenderedViolations(piped), baseline_violations)
+        << "violations diverged at morsel_rows=" << morsel_rows;
+    EXPECT_EQ(RenderedDirtyEntities(piped), baseline_entities)
+        << "dirty entities diverged at morsel_rows=" << morsel_rows;
+    EXPECT_GT(piped.metrics.morsels_processed, 0u);
+  }
+}
+
+TEST(E2EMorselPipelineTest, TermValidationBitIdenticalAcrossMorselSizes) {
+  // Data and dictionary share the column name so the CLUSTER BY clause
+  // binds both sides.
+  Dataset dict = datagen::MakeAuthorDictionary(40);
+  Dataset data(Schema{{"name", ValueType::kString}});
+  Rng rng(11);
+  for (size_t i = 0; i < dict.num_rows(); i++) {
+    const std::string clean = dict.row(i)[0].AsString();
+    data.Append({Value(clean)});
+    if (i % 3 == 0) data.Append({Value(datagen::AddNoise(clean, 0.15, &rng))});
+  }
+  Dataset named_dict(Schema{{"name", ValueType::kString}});
+  for (const auto& row : dict.rows()) named_dict.Append(row);
+
+  const char* query = "SELECT * FROM data c, dict d CLUSTER BY(tf, LD, 0.8, c.name)";
+  auto run = [&](bool pipeline, size_t morsel_rows) {
+    CleanDB db(FastCleanDBOptions());
+    db.RegisterTable("data", data);
+    db.RegisterTable("dict", named_dict);
+    auto prepared = db.Prepare(query);
+    EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ExecOptions opts;
+    opts.pipeline = pipeline;
+    opts.morsel_rows = morsel_rows;
+    return prepared.value().Execute(opts).ValueOrDie();
+  };
+  const auto baseline = RenderedViolations(run(false, 4096));
+  ASSERT_GT(baseline.size(), 0u);  // the noised variants are flagged
+  for (size_t morsel_rows : {size_t{1}, size_t{7}, size_t{4096}}) {
+    EXPECT_EQ(RenderedViolations(run(true, morsel_rows)), baseline)
+        << "term validation diverged at morsel_rows=" << morsel_rows;
+  }
+}
+
+TEST(E2EMorselPipelineTest, JoinOverNestsSurvivesTinyCacheBudget) {
+  // Term validation joins two Nest outputs. Under a byte budget small
+  // enough that admitting the second Nest's output evicts the first's,
+  // the pipelined join must not stream from the evicted entry (regression
+  // test: borrowed cache pointers are detached before the other side may
+  // mutate the cache).
+  Dataset dict(Schema{{"name", ValueType::kString}});
+  dict.Append({Value("jonathan smith")});
+  dict.Append({Value("mary jones")});
+  Dataset data(Schema{{"name", ValueType::kString}});
+  data.Append({Value("jonathan smyth")});
+  data.Append({Value("mary jones")});
+  data.Append({Value("jonathan smith")});
+
+  const char* query = "SELECT * FROM data c, dict d CLUSTER BY(tf, LD, 0.8, c.name)";
+  auto run = [&](size_t cache_bytes, bool pipeline) {
+    CleanDBOptions opts = FastCleanDBOptions();
+    opts.partition_cache_bytes = cache_bytes;
+    CleanDB db(opts);
+    db.RegisterTable("data", data);
+    db.RegisterTable("dict", dict);
+    auto prepared = db.Prepare(query);
+    EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ExecOptions eo;
+    eo.pipeline = pipeline;
+    eo.morsel_rows = 1;
+    return prepared.value().Execute(eo).ValueOrDie();
+  };
+  const auto unbounded = RenderedViolations(run(0, true));
+  EXPECT_EQ(RenderedViolations(run(1, true)), unbounded);  // evicts every Put
+  EXPECT_EQ(RenderedViolations(run(1, false)), unbounded);
+}
+
+TEST(E2EMorselPipelineTest, DenialConstraintBitIdenticalAcrossMorselSizes) {
+  const Dataset data = PipelineCustomers();
+  auto run = [&](bool pipeline, size_t morsel_rows) {
+    CleanDB db(FastCleanDBOptions());
+    db.RegisterTable("customer", data);
+    auto prepared = db.PrepareDenialConstraint(
+        "customer",
+        ParseCleanMExpr("t1.address = t2.address AND t1.custkey < t2.custkey "
+                        "AND t1.nationkey <> t2.nationkey")
+            .ValueOrDie());
+    EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ExecOptions opts;
+    opts.pipeline = pipeline;
+    opts.morsel_rows = morsel_rows;
+    return prepared.value().Execute(opts).ValueOrDie();
+  };
+  const auto baseline = RenderedViolations(run(false, 4096));
+  ASSERT_GT(baseline.size(), 0u);
+  for (size_t morsel_rows : {size_t{1}, size_t{7}, size_t{4096}}) {
+    EXPECT_EQ(RenderedViolations(run(true, morsel_rows)), baseline)
+        << "denial constraint diverged at morsel_rows=" << morsel_rows;
+  }
+}
+
+TEST(E2EMorselPipelineTest, SinkAbortsMidMorselAndStopsTheStream) {
+  class AbortingSink : public ViolationSink {
+   public:
+    Status OnViolation(const std::string&, const Value&) override {
+      seen++;
+      if (seen >= 3) return Status::IOError("sink full after 3 violations");
+      return Status::OK();
+    }
+    Status OnDirtyEntity(const Value&, const std::vector<std::string>&) override {
+      ADD_FAILURE() << "aborted execution must not reach the entity join";
+      return Status::OK();
+    }
+    int seen = 0;
+  };
+
+  CleanDB db(FastCleanDBOptions());
+  db.RegisterTable("customer", PipelineCustomers());
+  auto prepared = db.Prepare("SELECT * FROM customer c DEDUP(exact, c.address)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  // morsel_rows = 7 with the abort on the 3rd violation: the sink dies in
+  // the middle of a morsel, and the pipeline must stop there — not finish
+  // the morsel, not finish the operator.
+  AbortingSink sink;
+  ExecOptions opts;
+  opts.pipeline = true;
+  opts.morsel_rows = 7;
+  auto status = prepared.value().ExecuteInto(sink, opts);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(sink.seen, 3);
+}
+
+TEST(E2EMorselPipelineTest, MetricsMonotonicity) {
+  const char* query = R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    DEDUP(exact, LD, 0.8, c.address)
+  )";
+  const Dataset data = PipelineCustomers();
+  const QueryResult materialized = ExecutePipelineConfig(data, query, false, 4096);
+  const QueryResult piped_fine = ExecutePipelineConfig(data, query, true, 7);
+  const QueryResult piped_coarse = ExecutePipelineConfig(data, query, true, 4096);
+
+  // The materialize-first path never streams; the pipelined path always
+  // does, and finer morsels mean strictly more of them.
+  EXPECT_EQ(materialized.metrics.morsels_processed, 0u);
+  EXPECT_GT(piped_coarse.metrics.morsels_processed, 0u);
+  EXPECT_GT(piped_fine.metrics.morsels_processed,
+            piped_coarse.metrics.morsels_processed);
+
+  // Peak transient memory: nonzero on both paths (real work happened), and
+  // the pipelined peak never exceeds the materialize-first peak.
+  EXPECT_GT(materialized.metrics.peak_bytes_materialized, 0u);
+  EXPECT_GT(piped_fine.metrics.peak_bytes_materialized, 0u);
+  EXPECT_LE(piped_fine.metrics.peak_bytes_materialized,
+            materialized.metrics.peak_bytes_materialized);
+  EXPECT_LE(piped_coarse.metrics.peak_bytes_materialized,
+            materialized.metrics.peak_bytes_materialized);
+
+  // Identical work otherwise: the shuffle/scan/group counters agree across
+  // all three configurations (only the pipelining counters may differ).
+  auto without_pipelining_counters = [](MetricsSnapshot m) {
+    m.peak_bytes_materialized = 0;
+    m.morsels_processed = 0;
+    return m;
+  };
+  EXPECT_TRUE(SnapshotsEqual(without_pipelining_counters(materialized.metrics),
+                             without_pipelining_counters(piped_fine.metrics)));
+  EXPECT_TRUE(SnapshotsEqual(without_pipelining_counters(piped_fine.metrics),
+                             without_pipelining_counters(piped_coarse.metrics)));
+}
+
 }  // namespace
 }  // namespace cleanm

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate BENCH_cluster.json: schema + regression vs the checked-in file.
+
+Stdlib-only. Two jobs, both fatal on failure (exit 1):
+
+1. Schema: every gate section the benches merge into the file must be
+   present with the expected numeric fields, so a bench that silently stops
+   writing its section can't pass CI on a stale file.
+2. Regression: each gate metric is compared against the checked-in baseline
+   (the repo's BENCH_cluster.json). A metric that moved more than its
+   tolerance in the *bad* direction fails; improvements are always fine
+   (CI prints a note so the baseline can be refreshed). Deterministic
+   metrics (byte counts — pipeline.reduction) use --tolerance (default
+   20%); wall-clock-derived ratios (dispatch.speedup,
+   prepared_reexec.speedup, udf_vs_builtin_ratio) use the looser
+   --timing-tolerance (default 50%), because the baseline is measured on a
+   developer machine and CI runs on noisy shared runners — same-machine
+   run-to-run swings of ~10% are normal, so 20% would fail spuriously.
+
+Usage:
+    check_bench_json.py <measured.json> [--baseline BENCH_cluster.json]
+                        [--tolerance 0.20] [--timing-tolerance 0.50]
+"""
+
+import argparse
+import json
+import sys
+
+# section -> field -> None (informational) or (direction, kind):
+# direction "higher"/"lower" = which way is better; kind "timing" metrics
+# derive from wall-clock ratios (loose tolerance), "exact" metrics from
+# deterministic byte/row counts (strict tolerance).
+SCHEMA = {
+    "dispatch": {
+        "spawn_per_call_ns": None,  # informational, no direction gated
+        "worker_pool_ns": None,
+        "speedup": ("higher", "timing"),
+    },
+    "prepared_reexec": {
+        "cold_execute_s": None,
+        "prepared_reexec_s": None,
+        "speedup": ("higher", "timing"),
+        "reexec_repartitions": None,
+    },
+    "udf_repair": {
+        "builtin_agg_s": None,
+        "udf_agg_s": None,
+        "udf_vs_builtin_ratio": ("lower", "timing"),
+        "repairs_applied": None,
+    },
+    "pipeline": {
+        "peak_materialized_bytes": None,
+        "peak_pipelined_bytes": None,
+        "reduction": ("higher", "exact"),
+        "morsels": None,
+        "violations_identical": None,
+    },
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"check_bench_json: {path}: file not found")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench_json: {path}: invalid JSON: {e}")
+
+
+def check_schema(doc, path):
+    errors = []
+    for section, fields in SCHEMA.items():
+        if section not in doc:
+            errors.append(f"missing section {section!r}")
+            continue
+        if not isinstance(doc[section], dict):
+            errors.append(f"section {section!r} is not an object")
+            continue
+        for field in fields:
+            value = doc[section].get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{section}.{field} missing or non-numeric: {value!r}")
+    if errors:
+        for e in errors:
+            print(f"check_bench_json: {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def check_regressions(measured, baseline, tolerance, timing_tolerance):
+    """Fails when a gated metric is >tolerance worse than the baseline."""
+    failures = []
+    for section, fields in SCHEMA.items():
+        base_section = baseline.get(section)
+        if not isinstance(base_section, dict):
+            # Baseline predates this section (first run after a new gate
+            # lands): nothing to regress against yet.
+            print(f"check_bench_json: note: baseline has no {section!r} section; "
+                  "regression check skipped for it")
+            continue
+        for field, gate in fields.items():
+            if gate is None:
+                continue
+            direction, kind = gate
+            field_tolerance = timing_tolerance if kind == "timing" else tolerance
+            new = measured[section][field]
+            old = base_section.get(field)
+            if not isinstance(old, (int, float)) or isinstance(old, bool) or old <= 0:
+                continue
+            ratio = new / old
+            if direction == "higher" and ratio < 1.0 - field_tolerance:
+                failures.append(
+                    f"{section}.{field} regressed: {new:.4g} vs baseline "
+                    f"{old:.4g} ({(1.0 - ratio) * 100:.1f}% worse, "
+                    f"tolerance {field_tolerance * 100:.0f}%)")
+            elif direction == "lower" and ratio > 1.0 + field_tolerance:
+                failures.append(
+                    f"{section}.{field} regressed: {new:.4g} vs baseline "
+                    f"{old:.4g} ({(ratio - 1.0) * 100:.1f}% worse, "
+                    f"tolerance {field_tolerance * 100:.0f}%)")
+            elif (direction == "higher" and ratio > 1.0 + field_tolerance) or (
+                    direction == "lower" and ratio < 1.0 - field_tolerance):
+                print(f"check_bench_json: note: {section}.{field} improved "
+                      f"({old:.4g} -> {new:.4g}); consider refreshing the "
+                      "checked-in baseline")
+    if failures:
+        for f in failures:
+            print(f"check_bench_json: FAILED: {f}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="freshly written BENCH_cluster.json")
+    parser.add_argument("--baseline", default="BENCH_cluster.json",
+                        help="checked-in baseline to diff against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression for deterministic "
+                             "gate metrics (byte counts)")
+    parser.add_argument("--timing-tolerance", type=float, default=0.50,
+                        help="allowed fractional regression for "
+                             "wall-clock-derived gate metrics")
+    args = parser.parse_args()
+
+    measured = load(args.measured)
+    check_schema(measured, args.measured)
+    baseline = load(args.baseline)
+    check_regressions(measured, baseline, args.tolerance, args.timing_tolerance)
+    print(f"check_bench_json: OK ({args.measured}: schema valid, no gate "
+          f"metric >{args.tolerance * 100:.0f}% worse than {args.baseline})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,37 +1,71 @@
 #!/usr/bin/env bash
-# CI driver: configure → build → test for the release and asan presets.
-# Any configure, build, or test failure fails the script.
+# CI driver: configure → build → test for the release, asan, and ubsan
+# presets, then the perf/memory regression gates.
+#
+# Env knobs:
+#   JOBS=<n>              parallelism (default: nproc)
+#   CI_SKIP_CONFIGURE=1   skip `cmake --preset` for build dirs that are
+#                         already configured — local iteration stays
+#                         incremental instead of reconfiguring from scratch
+#                         every run. Fresh/unconfigured dirs still configure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+CI_SKIP_CONFIGURE="${CI_SKIP_CONFIGURE:-0}"
 
-for preset in release asan; do
+configure() {
+  local preset="$1"
+  if [[ "$CI_SKIP_CONFIGURE" == "1" && -f "build-$preset/CMakeCache.txt" ]]; then
+    echo "=== [$preset] configure skipped (CI_SKIP_CONFIGURE=1, cache present) ==="
+    return
+  fi
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
+}
+
+for preset in release asan ubsan; do
+  configure "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] ctest ==="
+  # The ubsan test preset excludes LABELS slow cases (bench/example smokes)
+  # via CMakePresets.json — UB coverage comes from the unit/e2e suites, and
+  # the slow cases already run under release and asan.
   ctest --preset "$preset" -j "$JOBS"
 done
+
+# Gate commands run under `set -x` so a CI failure log shows the exact
+# invocation to reproduce locally.
+set -x
 
 # Perf regression gate: the worker-pool dispatch path must stay clearly
 # faster than spawn-per-call (--check exits non-zero past a generous
 # threshold), so the pool can't silently regress back to thread-per-operator.
-echo "=== [release] cluster-primitives dispatch gate ==="
-./build-release/bench_cluster_primitives --smoke --check \
+# Full (non-smoke) scale: the checked-in BENCH_cluster.json baseline is
+# measured at full scale, so the regression diff below compares like with
+# like.
+./build-release/bench_cluster_primitives --check \
   --out build-release/BENCH_cluster.json
 
-# Prepared-query + UDF regression gates: re-executing a PreparedQuery on a
-# warm session must stay ≥2× faster than a cold one-shot Execute on the
-# 8-FD unified plan (pure compute), with zero re-partitioning, AND a
-# registered (monoid-annotated) UDF aggregate must stay within 1.3× of the
-# equivalent built-in on a GROUP BY, with the registered repair loop
-# computing the same cell set as a hand-rolled traversal. The measured
-# numbers land in BENCH_cluster.json next to the dispatch gate's.
-echo "=== [release] prepared-query re-execution + UDF aggregate gates ==="
-./build-release/bench_unified_cleaning --smoke --nonet --check \
+# Prepared-query + UDF + pipeline gates on the 8-FD unified plan (pure
+# compute): re-executing a PreparedQuery on a warm session must stay ≥2×
+# over a cold one-shot Execute with zero re-partitioning; a registered
+# (monoid-annotated) UDF aggregate must stay within 1.3× of the built-in;
+# the registered repair loop must match the hand-rolled cell set; and the
+# morsel-driven pipeline must hold peak transient memory ≥4× below the
+# materialize-first path with bit-identical violation sets. Measured
+# numbers merge into BENCH_cluster.json next to the dispatch gate's.
+./build-release/bench_unified_cleaning --nonet --check \
   --out build-release/BENCH_cluster.json
 
-echo "CI OK: release + asan presets built and tested clean; dispatch, prepared-reexec, and UDF-aggregate gates passed."
+# Schema + regression check of the freshly measured BENCH_cluster.json
+# against the checked-in baseline: a deterministic (byte-count) gate metric
+# >20% worse fails; wall-clock-derived ratios get a looser 50% band for
+# shared-runner noise.
+python3 tools/check_bench_json.py build-release/BENCH_cluster.json \
+  --baseline BENCH_cluster.json
+
+set +x
+echo "CI OK: release + asan + ubsan presets built and tested clean; dispatch, prepared-reexec, UDF-aggregate, and pipeline gates passed; bench JSON validated."

@@ -22,46 +22,105 @@ CleanDB::CleanDB(CleanDBOptions options)
 }
 
 void CleanDB::RegisterTable(const std::string& name, Dataset dataset) {
-  tables_[name] = std::move(dataset);
-  generations_[name]++;
+  auto table = std::make_shared<const Dataset>(std::move(dataset));
+  {
+    std::unique_lock<std::shared_mutex> lock(table_mu_);
+    tables_[name] = std::move(table);
+    generations_[name]++;
+  }
+  // Invalidation happens after the lock drops (cache has its own mutex).
+  // In the window between, the bumped generation is already visible and
+  // cache keys embed generations, so a new snapshot can only miss on the
+  // doomed entries — while an old snapshot may still legitimately hit
+  // entries of the generation it bound.
   cache_.InvalidateTable(name);
 }
 
 void CleanDB::UnregisterTable(const std::string& name) {
-  if (tables_.erase(name) == 0) return;
-  generations_[name]++;
+  {
+    std::unique_lock<std::shared_mutex> lock(table_mu_);
+    if (tables_.erase(name) == 0) return;
+    generations_[name]++;
+  }
   cache_.InvalidateTable(name);
 }
 
 uint64_t CleanDB::TableGeneration(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   auto it = generations_.find(name);
   return it == generations_.end() ? 0 : it->second;
 }
 
 Result<const Dataset*> CleanDB::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::KeyError("unknown table '" + name + "'");
-  return &it->second;
+  return it->second.get();
 }
 
-Catalog CleanDB::MakeCatalog() const {
-  Catalog catalog;
-  for (const auto& [name, dataset] : tables_) catalog.tables[name] = &dataset;
-  catalog.generations = generations_;
-  catalog.functions = &functions_;
-  return catalog;
+Result<std::shared_ptr<const Dataset>> CleanDB::GetTableShared(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::KeyError("unknown table '" + name + "'");
+  return it->second;
+}
+
+CleanDB::TableSnapshot CleanDB::SnapshotTables() const {
+  TableSnapshot snapshot;
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  snapshot.leases.reserve(tables_.size());
+  for (const auto& [name, dataset] : tables_) {
+    snapshot.catalog.tables[name] = dataset.get();
+    snapshot.leases.push_back(dataset);
+  }
+  snapshot.catalog.generations = generations_;
+  snapshot.catalog.functions = &functions_;
+  return snapshot;
+}
+
+uint64_t CleanDB::AdmitExecution(uint64_t estimated_bytes) {
+  const uint64_t budget = options_.max_inflight_bytes;
+  if (budget == 0) return 0;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  // FIFO fairness: tickets serve strictly in arrival order, so a stream of
+  // small queries can never starve a large one already waiting.
+  const uint64_t ticket = admission_next_ticket_++;
+  admission_cv_.wait(lock, [&] {
+    if (ticket != admission_serve_ticket_) return false;
+    return admission_inflight_bytes_ + estimated_bytes <= budget ||
+           admission_inflight_count_ == 0;  // oversized: admitted alone
+  });
+  admission_serve_ticket_++;
+  admission_inflight_bytes_ += estimated_bytes;
+  admission_inflight_count_++;
+  lock.unlock();
+  // Wake the next ticket: it may also fit within the remaining budget.
+  admission_cv_.notify_all();
+  return estimated_bytes;
+}
+
+void CleanDB::ReleaseExecution(uint64_t charged_bytes) {
+  if (options_.max_inflight_bytes == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admission_inflight_bytes_ -= charged_bytes;
+    admission_inflight_count_--;
+  }
+  admission_cv_.notify_all();
 }
 
 std::vector<std::string> CleanDB::SampleCenters(const std::string& table,
                                                 const std::string& attr,
                                                 size_t k) const {
-  auto t = GetTable(table);
+  auto t = GetTableShared(table);
   if (!t.ok()) return {};
-  auto idx = t.value()->schema().IndexOf(attr);
+  const Dataset& dataset = *t.value();  // lease: safe across re-registration
+  auto idx = dataset.schema().IndexOf(attr);
   if (!idx.ok()) return {};
   std::vector<std::string> values;
-  values.reserve(t.value()->num_rows());
-  for (const auto& row : t.value()->rows()) {
+  values.reserve(dataset.num_rows());
+  for (const auto& row : dataset.rows()) {
     const Value& v = row[idx.value()];
     if (v.type() == ValueType::kString) values.push_back(v.AsString());
   }
@@ -104,6 +163,25 @@ Result<OpResult> CleanDB::RunCleaningPlan(Executor& exec, const CleaningPlan& cp
   return result;
 }
 
+Result<OpResult> CleanDB::RunProgrammaticOp(const CleaningPlan& cp) {
+  TableSnapshot snapshot = SnapshotTables();
+  // Programmatic ops always run under the session cluster configuration;
+  // the shared lock keeps a concurrent ExecutePrepared carrying cluster
+  // overrides (which holds it exclusively) from reconfiguring mid-run.
+  std::shared_lock<std::shared_mutex> config(config_mu_);
+  // Per-op metrics scope: workers charge into op_metrics (the engine
+  // re-installs the scope on its threads), folded into the session totals
+  // when the op completes.
+  QueryMetrics op_metrics;
+  engine::MetricsScope metrics_scope(&op_metrics);
+  // Transient plan: its nodes are never seen again, so nests stay local.
+  Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
+                /*persist_nests_in=*/false};
+  auto result = RunCleaningPlan(exec, cp);
+  cluster_->session_metrics().Accumulate(op_metrics.Snapshot());
+  return result;
+}
+
 Result<QueryResult> CleanDB::Execute(const std::string& query_text) {
   CLEANM_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(query_text));
   pq.persist_cache_ = false;  // one-shot: the plans die with this call
@@ -119,12 +197,7 @@ Result<QueryResult> CleanDB::ExecuteQuery(const CleanMQuery& query) {
 Result<OpResult> CleanDB::CheckFd(const std::string& table, const std::string& var,
                                   const FdClause& fd) {
   CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(table, var, fd));
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
-  // Transient plan: its nodes are never seen again, so nests stay local.
-  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
-                /*persist_nests_in=*/false};
-  return RunCleaningPlan(exec, cp);
+  return RunProgrammaticOp(cp);
 }
 
 Result<OpResult> CleanDB::CheckDenialConstraint(const std::string& table, ExprPtr pred,
@@ -136,12 +209,7 @@ Result<OpResult> CleanDB::CheckDenialConstraint(const std::string& table, ExprPt
   cp.op_name = "DC";
   cp.plan = std::move(join);
   cp.entity_vars = {"t1", "t2"};
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
-  // Transient plan: its nodes are never seen again, so nests stay local.
-  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
-                /*persist_nests_in=*/false};
-  return RunCleaningPlan(exec, cp);
+  return RunProgrammaticOp(cp);
 }
 
 Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::string& var,
@@ -155,12 +223,7 @@ Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::strin
   }
   CLEANM_ASSIGN_OR_RETURN(
       CleaningPlan cp, BuildDedupPlan(table, var, dedup, fopts, std::move(centers)));
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
-  // Transient plan: its nodes are never seen again, so nests stay local.
-  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
-                /*persist_nests_in=*/false};
-  return RunCleaningPlan(exec, cp);
+  return RunProgrammaticOp(cp);
 }
 
 Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
@@ -172,8 +235,10 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
     return Status::InvalidArgument("term must be a column reference");
   }
   const std::string term_attr = cb.term->name;
-  CLEANM_ASSIGN_OR_RETURN(const Dataset* data, GetTable(data_table));
-  CLEANM_ASSIGN_OR_RETURN(const Dataset* dict, GetTable(dict_table));
+  CLEANM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> data,
+                          GetTableShared(data_table));
+  CLEANM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> dict,
+                          GetTableShared(dict_table));
 
   // Pre-filter: terms appearing verbatim in the dictionary are clean; only
   // unknown terms go through grouping + similarity (this is what makes the
@@ -193,7 +258,10 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
       dirty.Append(row);
     }
   }
-  const std::string tmp_name = "__dirty_" + data_table;
+  // Unique per call: concurrent ValidateTerms over the same data table must
+  // not clobber each other's (or shadow a user's) registration.
+  const std::string tmp_name = "__dirty_" + data_table + "_" +
+                               std::to_string(temp_table_seq_.fetch_add(1));
   RegisterTable(tmp_name, std::move(dirty));
 
   FilteringOptions fopts = options_.filtering;
@@ -202,23 +270,21 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
   if (cb.op == FilteringAlgo::kKMeans) {
     centers = SampleCenters(dict_table, dict_attr, fopts.k);
   }
-  CLEANM_ASSIGN_OR_RETURN(
-      CleaningPlan cp,
-      BuildTermValidationPlan(tmp_name, data_var, dict_table, "d", dict_attr, cb, fopts,
-                              std::move(centers)));
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
-  // Transient plan: its nodes are never seen again, so nests stay local.
-  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
-                /*persist_nests_in=*/false};
-  auto result = RunCleaningPlan(exec, cp);
+  auto build = BuildTermValidationPlan(tmp_name, data_var, dict_table, "d", dict_attr,
+                                       cb, fopts, std::move(centers));
+  if (!build.ok()) {
+    UnregisterTable(tmp_name);
+    return build.status();
+  }
+  auto result = RunProgrammaticOp(build.value());
   UnregisterTable(tmp_name);
   return result;
 }
 
 Result<Dataset> CleanDB::Transform(const std::string& table, const TransformSpec& spec,
                                    bool one_pass) {
-  CLEANM_ASSIGN_OR_RETURN(const Dataset* input, GetTable(table));
+  CLEANM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> input,
+                          GetTableShared(table));
   const Schema& schema = input->schema();
 
   auto split_idx = spec.split_date_column.empty()

@@ -14,8 +14,12 @@
 // one-shot convenience — it is exactly Prepare + a single Execute.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +66,13 @@ struct CleanDBOptions {
   /// Rows per morsel on the pipelined path (ExecOptions::morsel_rows
   /// overrides per call).
   size_t morsel_rows = 4096;
+  /// Admission control for concurrent executions: bound on the summed
+  /// admission charges (logical input bytes, or the per-call
+  /// ExecOptions::admission_bytes override) of in-flight
+  /// PreparedQuery executions. Executions over the bound queue FIFO; an
+  /// oversized execution is admitted once it is alone. 0 = unlimited (no
+  /// queueing, the default).
+  uint64_t max_inflight_bytes = 0;
 };
 
 /// Output of one cleaning operation.
@@ -92,20 +103,47 @@ struct QueryResult {
 
 /// \brief The CleanDB engine. Register tables, then Prepare/Execute CleanM
 /// queries or call the programmatic cleaning APIs (used by the benchmarks).
+///
+/// Thread model (DESIGN.md, "Threading & session concurrency"): one CleanDB
+/// may serve N driver threads concurrently executing PreparedQuerys and
+/// programmatic ops over the shared worker pool. Registrations are guarded
+/// by a reader/writer lock and every execution binds a *snapshot* of the
+/// tables visible when it starts: re-registering a table (RegisterTable,
+/// repair Commit) bumps the generation for executions that start later,
+/// while in-flight executions keep reading the datasets they snapshotted
+/// (shared-ownership leases keep them alive). Cluster-reconfiguring
+/// ExecOptions (max_nodes, shuffle_*) take the session's config lock
+/// exclusively and so run alone; plain executions share it.
 class CleanDB {
  public:
   explicit CleanDB(CleanDBOptions options = {});
 
   /// Registers (or replaces) a named table. Replacing bumps the table's
   /// generation and invalidates every cached partitioning derived from it,
-  /// so no later execution can be served stale data.
+  /// so no execution that starts afterwards can be served stale data.
+  /// Thread-safe; executions already in flight keep their snapshot.
   void RegisterTable(const std::string& name, Dataset dataset);
   /// Drops a table (and its cached partitionings). No-op when absent.
   void UnregisterTable(const std::string& name);
+  /// Borrowed pointer into the current registration. Stable only until the
+  /// next RegisterTable/UnregisterTable of `name` — callers that may race a
+  /// re-registration use GetTableShared.
   Result<const Dataset*> GetTable(const std::string& name) const;
+  /// Shared-ownership lease on the current registration: the dataset stays
+  /// alive for the lease's lifetime even if the name is re-registered.
+  Result<std::shared_ptr<const Dataset>> GetTableShared(
+      const std::string& name) const;
   /// Current generation of `name` (bumped by every RegisterTable /
   /// UnregisterTable); 0 = never registered.
   uint64_t TableGeneration(const std::string& name) const;
+
+  /// Serializes table read-modify-write commits (repair Commit): holding
+  /// the returned lock guarantees no other committer replaces the table
+  /// between reading it and re-registering the modified copy. Plain
+  /// RegisterTable calls are atomic on their own and need not take it.
+  std::unique_lock<std::mutex> LockCommits() const {
+    return std::unique_lock<std::mutex>(commit_mu_);
+  }
 
   // ---- Query lifecycle ----
 
@@ -190,7 +228,22 @@ class CleanDB {
  private:
   friend class PreparedQuery;
 
+  /// A point-in-time view of the table registrations. `catalog` holds raw
+  /// Dataset pointers (the form the executor binds); `leases` co-own those
+  /// datasets so a concurrent re-registration can never free data an
+  /// in-flight execution still reads — the snapshot-visibility rule: a new
+  /// generation is seen only by executions that snapshot after it.
+  struct TableSnapshot {
+    Catalog catalog;
+    std::vector<std::shared_ptr<const Dataset>> leases;
+  };
+  TableSnapshot SnapshotTables() const;
+
   Result<OpResult> RunCleaningPlan(Executor& exec, const CleaningPlan& cp);
+  /// Shared execution wrapper of the programmatic ops: snapshots the
+  /// catalog, takes the config lock shared, scopes per-op metrics, and runs
+  /// `cp` with a transient executor.
+  Result<OpResult> RunProgrammaticOp(const CleaningPlan& cp);
   /// Shared Prepare body; `query_text` (when available) positions the
   /// kKeyError of an unknown function / arity mismatch at the recorded
   /// call offset. Defined in prepared_query.cc.
@@ -201,13 +254,49 @@ class CleanDB {
   /// `*summary` when non-null. Defined in prepared_query.cc.
   Status ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts,
                          ViolationSink& sink, QueryResult* summary);
-  Catalog MakeCatalog() const;
+
+  /// FIFO admission against options_.max_inflight_bytes: blocks until
+  /// `estimated_bytes` fits next to the already-admitted executions (an
+  /// oversized request is admitted once it runs alone). Returns the charge
+  /// ReleaseExecution must give back. No-op returning 0 when the budget is
+  /// unlimited.
+  uint64_t AdmitExecution(uint64_t estimated_bytes);
+  void ReleaseExecution(uint64_t charged_bytes);
 
   CleanDBOptions options_;
   std::unique_ptr<engine::Cluster> cluster_;
-  std::map<std::string, Dataset> tables_;
+
+  /// Guards tables_ and generations_ (shared: lookups/snapshots; exclusive:
+  /// registrations). Ordered before the cache's internal mutex and never
+  /// held while executing.
+  mutable std::shared_mutex table_mu_;
+  /// Datasets are shared-owned so snapshot leases survive re-registration.
+  std::map<std::string, std::shared_ptr<const Dataset>> tables_;
   /// Per-table registration counters backing the cache's staleness keys.
   std::map<std::string, uint64_t> generations_;
+
+  /// Read-modify-write commit serialization (see LockCommits). Ordered
+  /// before table_mu_.
+  mutable std::mutex commit_mu_;
+
+  /// Cluster-configuration lock: executions that apply cluster-mutating
+  /// ExecOptions hold it exclusively for their whole run; every other
+  /// execution holds it shared, so the shared cluster's knobs never change
+  /// under a running plan.
+  mutable std::shared_mutex config_mu_;
+
+  // Admission-control state (see AdmitExecution).
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  uint64_t admission_inflight_bytes_ = 0;
+  size_t admission_inflight_count_ = 0;
+  uint64_t admission_next_ticket_ = 0;
+  uint64_t admission_serve_ticket_ = 0;
+
+  /// Suffix counter making concurrently-running ValidateTerms calls' temp
+  /// table names unique.
+  std::atomic<uint64_t> temp_table_seq_{0};
+
   /// Session-owned partition cache shared by every execution.
   PartitionCache cache_;
   /// Session-owned function registry (user scalar/aggregate/repair

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 namespace cleanm {
@@ -42,6 +43,14 @@ struct ExecOptions {
   /// to ≥ 1). Smaller morsels bound memory tighter at more per-batch
   /// overhead.
   std::optional<size_t> morsel_rows;
+
+  /// Admission-control charge for this execution, in logical bytes —
+  /// overrides the default estimate (the summed ByteSize of every table the
+  /// plans scan, the same RowByteSize accounting the
+  /// peak_bytes_materialized gauge uses). Counted against
+  /// CleanDBOptions::max_inflight_bytes; ignored when the session has no
+  /// in-flight budget.
+  std::optional<uint64_t> admission_bytes;
 };
 
 }  // namespace cleanm

@@ -1,6 +1,8 @@
 #include "cleaning/prepared_query.h"
 
 #include <algorithm>
+#include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "cleaning/select_builder.h"
@@ -41,6 +43,34 @@ class ScopedClusterConfig {
   size_t saved_active_;
 };
 
+/// True when `opts` carries any override that mutates the shared cluster —
+/// exactly the fields ScopedClusterConfig applies. Such an execution must
+/// run alone (it takes the session config lock exclusively).
+bool ReconfiguresCluster(const ExecOptions& opts) {
+  return opts.max_nodes.has_value() || opts.shuffle_ns_per_byte.has_value() ||
+         opts.shuffle_ns_per_batch.has_value() ||
+         opts.shuffle_batch_rows.has_value();
+}
+
+/// Default admission charge of an execution: the summed logical ByteSize of
+/// every distinct table the plans scan — the same RowByteSize accounting
+/// that backs the peak_bytes_materialized gauge, so the in-flight budget
+/// and the materialization meter speak one unit.
+uint64_t EstimateAdmissionBytes(const std::vector<CleaningPlan>& plans,
+                                const Catalog& catalog) {
+  std::vector<std::pair<std::string, uint64_t>> deps;
+  for (const auto& cp : plans) CollectScanDeps(cp.plan, catalog, &deps);
+  std::set<std::string> seen;
+  uint64_t bytes = 0;
+  for (const auto& [table, generation] : deps) {
+    (void)generation;
+    if (!seen.insert(table).second) continue;
+    auto it = catalog.tables.find(table);
+    if (it != catalog.tables.end()) bytes += it->second->ByteSize();
+  }
+  return bytes;
+}
+
 /// True for a plain `alias.column` reference bound to `alias`; sets *column.
 bool IsColumnOf(const ExprPtr& e, const std::string& alias, std::string* column) {
   if (!e || e->kind != ExprKind::kField) return false;
@@ -60,7 +90,9 @@ bool IsColumnOf(const ExprPtr& e, const std::string& alias, std::string* column)
 Status ValidateClauses(const CleanDB& db, const CleanMQuery& query) {
   if (query.from.empty()) return Status::InvalidArgument("query has no FROM table");
   const TableRef& base = query.from[0];
-  auto base_table = db.GetTable(base.table);
+  // Leases, not borrowed pointers: Prepare may race a RegisterTable on
+  // another driver thread.
+  auto base_table = db.GetTableShared(base.table);
 
   auto check_column = [](const Dataset* table, const std::string& table_name,
                          const std::string& column, bool needs_string) -> Status {
@@ -85,7 +117,7 @@ Status ValidateClauses(const CleanDB& db, const CleanMQuery& query) {
         for (const auto& e : *side) {
           if (IsColumnOf(e, base.alias, &column)) {
             CLEANM_RETURN_NOT_OK(
-                check_column(base_table.value(), base.table, column, false));
+                check_column(base_table.value().get(), base.table, column, false));
           }
         }
       }
@@ -100,24 +132,24 @@ Status ValidateClauses(const CleanDB& db, const CleanMQuery& query) {
           // single-attribute form.
           const bool needs_string = grouping_monoid && dedup.attributes.size() == 1;
           CLEANM_RETURN_NOT_OK(
-              check_column(base_table.value(), base.table, column, needs_string));
+              check_column(base_table.value().get(), base.table, column, needs_string));
         }
       }
     }
     for (const auto& cb : query.cluster_bys) {
       if (IsColumnOf(cb.term, base.alias, &column)) {
-        CLEANM_RETURN_NOT_OK(check_column(base_table.value(), base.table, column,
+        CLEANM_RETURN_NOT_OK(check_column(base_table.value().get(), base.table, column,
                                           /*needs_string=*/true));
       }
     }
   }
   if (!query.cluster_bys.empty() && query.from.size() >= 2) {
     const TableRef& dict = query.from[1];
-    auto dict_table = db.GetTable(dict.table);
+    auto dict_table = db.GetTableShared(dict.table);
     if (dict_table.ok()) {
       for (const auto& cb : query.cluster_bys) {
         if (cb.term && cb.term->kind == ExprKind::kField) {
-          CLEANM_RETURN_NOT_OK(check_column(dict_table.value(), dict.table,
+          CLEANM_RETURN_NOT_OK(check_column(dict_table.value().get(), dict.table,
                                             cb.term->name, /*needs_string=*/true));
         }
       }
@@ -337,12 +369,46 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   if (!pq.db_) return Status::Internal("PreparedQuery is not bound to a CleanDB");
   const bool unify = opts.unify_operations.value_or(options_.unify_operations);
 
+  // Registration snapshot: the catalog binds the tables and generations
+  // visible right now, and the snapshot's leases keep those datasets alive
+  // even if a concurrent RegisterTable / repair Commit replaces them
+  // mid-execution (the re-registration is visible only to executions that
+  // snapshot after it).
+  TableSnapshot snapshot = SnapshotTables();
+
+  // FIFO admission against the session's in-flight byte budget (no-op when
+  // unlimited). Charged before any engine work starts; released on every
+  // exit path.
+  const uint64_t admitted = AdmitExecution(opts.admission_bytes.value_or(
+      EstimateAdmissionBytes(pq.plans_, snapshot.catalog)));
+  struct AdmissionRelease {
+    CleanDB* db;
+    uint64_t bytes;
+    ~AdmissionRelease() { db->ReleaseExecution(bytes); }
+  } release{this, admitted};
+
   Timer total;
-  ScopedClusterConfig config(cluster_.get(), opts);
-  Catalog catalog = MakeCatalog();
-  cluster_->metrics().Reset();
+  // Plain executions run under the session cluster configuration and share
+  // the config lock; an execution carrying cluster overrides mutates the
+  // shared cluster, so it takes the lock exclusively and runs alone (the
+  // override is applied after the lock and restored before it drops).
+  std::shared_lock<std::shared_mutex> shared_config(config_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive_config(config_mu_, std::defer_lock);
+  std::optional<ScopedClusterConfig> config;
+  if (ReconfiguresCluster(opts)) {
+    exclusive_config.lock();
+    config.emplace(cluster_.get(), opts);
+  } else {
+    shared_config.lock();
+  }
+
+  // Per-execution metrics: the scope travels with this execution's engine
+  // calls (workers re-install it), so concurrent executions never mix
+  // counters; the session totals accumulate on completion below.
+  QueryMetrics exec_metrics;
+  engine::MetricsScope metrics_scope(&exec_metrics);
   const PartitionCache::Stats cache_before = cache_.stats();
-  Executor exec{cluster_.get(), &catalog, options_.physical, &cache_,
+  Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
                 pq.persist_cache_};
 
   // The unified violation report: entity → operations it violates (the
@@ -430,9 +496,15 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   if (summary) {
     summary->nests_coalesced = unify ? pq.nests_coalesced_ : 0;
     summary->total_seconds = total.ElapsedSeconds();
-    summary->metrics = cluster_->metrics().Snapshot();
+    summary->metrics = exec_metrics.Snapshot();
+    // The cache is shared, so under concurrent executions this delta also
+    // counts their hits/misses — it is a session-activity window, not a
+    // per-execution attribution (the engine counters above are).
     summary->cache = cache_.stats().Since(cache_before);
   }
+  // Fold this execution's counters into the session-cumulative totals
+  // (counts add; the materialization peak folds as a running max).
+  cluster_->session_metrics().Accumulate(exec_metrics.Snapshot());
   return Status::OK();
 }
 

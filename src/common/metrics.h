@@ -92,6 +92,27 @@ struct QueryMetrics {
     bytes_materialized_now.fetch_sub(bytes);
   }
 
+  /// Folds one completed execution's counters into a cumulative total:
+  /// counts add, while the materialization high-water mark folds as a
+  /// running maximum (concurrent executions each report their own peak —
+  /// summing them would claim memory that was never live at once).
+  void Accumulate(const MetricsCounters& s) {
+    rows_shuffled += s.rows_shuffled;
+    bytes_shuffled += s.bytes_shuffled;
+    shuffle_batches += s.shuffle_batches;
+    comparisons += s.comparisons;
+    rows_scanned += s.rows_scanned;
+    groups_built += s.groups_built;
+    udf_calls += s.udf_calls;
+    repairs_applied += s.repairs_applied;
+    morsels_processed += s.morsels_processed;
+    uint64_t peak = peak_bytes_materialized.load();
+    while (s.peak_bytes_materialized > peak &&
+           !peak_bytes_materialized.compare_exchange_weak(
+               peak, s.peak_bytes_materialized)) {
+    }
+  }
+
   void Reset() {
     rows_shuffled = 0;
     bytes_shuffled = 0;

@@ -6,6 +6,24 @@
 
 namespace cleanm::engine {
 
+namespace {
+/// Per-thread metrics destination installed by MetricsScope; nullptr means
+/// "charge the cluster's session-cumulative counters".
+thread_local QueryMetrics* tls_metrics = nullptr;
+}  // namespace
+
+MetricsScope::MetricsScope(QueryMetrics* metrics) : prev_(tls_metrics) {
+  tls_metrics = metrics;
+}
+
+MetricsScope::~MetricsScope() { tls_metrics = prev_; }
+
+QueryMetrics* MetricsScope::Current() { return tls_metrics; }
+
+QueryMetrics& Cluster::metrics() const {
+  return tls_metrics ? *tls_metrics : metrics_;
+}
+
 Cluster::Cluster(ClusterOptions options)
     : options_(options), active_nodes_(options.num_nodes) {
   CLEANM_CHECK(options_.num_nodes > 0);
@@ -34,29 +52,39 @@ void Cluster::SetShuffleBatchRows(size_t rows) {
 
 void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
   const size_t active = active_nodes_;
-  if (pool_) {
-    if (active == pool_->size()) {
-      pool_->Run(fn);
-    } else {
-      // Node cap in force: workers above the cap idle through the epoch.
-      pool_->Run([&fn, active](size_t n) {
-        if (n < active) fn(n);
-      });
-    }
+  // Workers (and legacy spawned threads) run the dispatching driver's
+  // closures, so they must charge that driver's per-execution metrics, not
+  // whatever the worker thread last saw.
+  QueryMetrics* driver_metrics = MetricsScope::Current();
+  const auto task = [&fn, active, driver_metrics](size_t n) {
+    MetricsScope scope(driver_metrics);
+    if (n < active) fn(n);
+  };
+  if (pool_ && (pool_->OnWorkerThread() || pool_->TryAcquireDriver())) {
+    // On a worker thread this is a nested dispatch (runs inline inside
+    // Run); otherwise this session just became the pool's driver.
+    pool_->Run(task);
     return;
   }
-  // Legacy spawn-per-call model (use_worker_pool = false): one fresh thread
-  // per node per operator call. Kept as the A/B baseline for the
-  // dispatch-latency microbenchmark and the CI regression gate. Exceptions
-  // propagate to the caller, matching the pool's contract.
+  // Spawn-per-call: one fresh thread per node per operator call. Two users:
+  //  * the legacy execution model (use_worker_pool = false), kept as the
+  //    A/B baseline for the dispatch-latency microbenchmark and CI gate;
+  //  * a driver session that lost the pool to another session. Spawning
+  //    (instead of queueing behind the owner, or running the node loop
+  //    sequentially inline) keeps concurrent sessions independent AND keeps
+  //    their per-node work parallel — without it, each non-owner execution
+  //    serializes its own simulated-network sleeps and the sessions gain
+  //    nothing from overlapping. Engine operators are deterministic under
+  //    any node scheduling, so results are identical on either substrate.
+  // Exceptions propagate to the caller, matching the pool's contract.
   std::mutex error_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> workers;
   workers.reserve(active);
   for (size_t n = 0; n < active; n++) {
-    workers.emplace_back([&fn, &error_mu, &first_error, n] {
+    workers.emplace_back([&task, &error_mu, &first_error, n] {
       try {
-        fn(n);
+        task(n);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -86,7 +114,7 @@ Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
   for (size_t i = 0; i < rows.size(); i++) {
     out[i % active_nodes_].push_back(rows[i]);
   }
-  metrics_.rows_scanned += rows.size();
+  metrics().rows_scanned += rows.size();
   return out;
 }
 
@@ -185,8 +213,8 @@ Partitioned Cluster::Shuffle(const Partitioned& in,
       ShuffleBuffer& b = buffers[dst];
       if (b.rows.empty()) return;
       if (dst != src) {
-        metrics_.bytes_shuffled += b.bytes;
-        metrics_.shuffle_batches += 1;
+        metrics().bytes_shuffled += b.bytes;
+        metrics().shuffle_batches += 1;
         ChargeNetwork(b.bytes, 1);
       }
       staged[src][dst].push_back(std::move(b.rows));
@@ -204,7 +232,7 @@ Partitioned Cluster::Shuffle(const Partitioned& in,
       if (b.rows.size() >= batch_rows) flush(dst);
     }
     for (size_t dst = 0; dst < n_nodes; dst++) flush(dst);
-    metrics_.rows_shuffled += rows_sent;
+    metrics().rows_shuffled += rows_sent;
   });
 
   Partitioned result(n_nodes);
@@ -248,9 +276,9 @@ Partition Cluster::BroadcastAll(const Partitioned& in) {
       const uint64_t batches_per_receiver =
           (in[src].size() + options_.shuffle_batch_rows - 1) /
           options_.shuffle_batch_rows;
-      metrics_.rows_shuffled += in[src].size() * receivers;
-      metrics_.bytes_shuffled += bytes * receivers;
-      metrics_.shuffle_batches += batches_per_receiver * receivers;
+      metrics().rows_shuffled += in[src].size() * receivers;
+      metrics().bytes_shuffled += bytes * receivers;
+      metrics().shuffle_batches += batches_per_receiver * receivers;
       ChargeNetwork(bytes * receivers, batches_per_receiver * receivers);
     }
   });

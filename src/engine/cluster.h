@@ -49,6 +49,31 @@ using MorselExpand = std::function<void(size_t node, const Row&, Partition*)>;
 uint64_t PartitionLogicalBytes(const Partition& rows);
 uint64_t PartitionedLogicalBytes(const Partitioned& data);
 
+/// \brief RAII: routes Cluster::metrics() on the calling thread to a
+/// per-execution QueryMetrics for the scope's lifetime.
+///
+/// Concurrent executions share one Cluster; without a scope they would
+/// interleave their counters in the session-cumulative QueryMetrics. A
+/// driver thread installs its execution's metrics here; every Cluster
+/// fan-out (RunOnNodes, the morsel pumps) re-installs the dispatching
+/// driver's override on the workers running its closures, so counters
+/// charged from worker code land in the right execution. Passing nullptr
+/// (or using no scope) resolves metrics() to the Cluster's own counters.
+class MetricsScope {
+ public:
+  explicit MetricsScope(QueryMetrics* metrics);
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  /// The calling thread's active override (nullptr when none) — what a
+  /// fan-out captures on the driver to re-install on its workers.
+  static QueryMetrics* Current();
+
+ private:
+  QueryMetrics* prev_;
+};
+
 struct ClusterOptions {
   /// Number of virtual worker nodes (the paper uses 10).
   size_t num_nodes = 10;
@@ -86,7 +111,15 @@ class Cluster {
   /// Physical pool width, fixed at construction.
   size_t max_nodes() const { return options_.num_nodes; }
   const ClusterOptions& options() const { return options_; }
-  QueryMetrics& metrics() { return metrics_; }
+
+  /// The calling thread's metrics destination: the MetricsScope override
+  /// when one is installed (per-execution counters), else the cluster's
+  /// session-cumulative counters.
+  QueryMetrics& metrics() const;
+
+  /// The session-cumulative counters, bypassing any MetricsScope override —
+  /// where completed executions fold their per-execution totals.
+  QueryMetrics& session_metrics() const { return metrics_; }
 
   // ---- Per-execution reconfiguration (the session API's ExecOptions) ----
   //

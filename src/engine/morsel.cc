@@ -98,12 +98,12 @@ void Cluster::PumpOnWorkers(
     if (n >= source.size()) return;
     ProduceNode(source[n], morsel_rows, expand, n, &stats[n], nullptr,
                 [&](Partition* buf) {
-                  metrics_.morsels_processed += 1;
+                  metrics().morsels_processed += 1;
                   consume(n, std::move(*buf));
                   return true;
                 });
   });
-  ChargeInFlightBound(metrics_, stats, /*slots_per_node=*/1);
+  ChargeInFlightBound(metrics(), stats, /*slots_per_node=*/1);
 }
 
 Status Cluster::PumpToDriver(
@@ -116,18 +116,21 @@ Status Cluster::PumpToDriver(
 
   // Nested invocation (an operator running inside a worker task): drive the
   // pipeline inline on the calling thread, interleaving produce and consume
-  // per morsel — same order, no concurrency.
+  // per morsel — same order, no concurrency. Only the truly-nested case runs
+  // inline; a driver that merely lost the pool to another session falls
+  // through to spawned producer threads below, so its pipeline stays
+  // parallel instead of serializing every node on the calling thread.
   if (pool_ && pool_->OnWorkerThread()) {
     Status status = Status::OK();
     for (size_t n = 0; n < n_nodes && n < source.size() && status.ok(); n++) {
       ProduceNode(source[n], morsel_rows, expand, n, &stats[n], nullptr,
                   [&](Partition* buf) {
-                    metrics_.morsels_processed += 1;
+                    metrics().morsels_processed += 1;
                     status = consume(n, std::move(*buf));
                     return status.ok();
                   });
     }
-    ChargeInFlightBound(metrics_, stats, /*slots_per_node=*/1);
+    ChargeInFlightBound(metrics(), stats, /*slots_per_node=*/1);
     return status;
   }
 
@@ -139,7 +142,11 @@ Status Cluster::PumpToDriver(
   // the producers' row loops.
   std::atomic<bool> abort{false};
 
-  auto produce = [&](size_t n) {
+  // Producers run on pool workers (or legacy threads) but charge the
+  // dispatching driver's per-execution metrics.
+  QueryMetrics* driver_metrics = MetricsScope::Current();
+  auto produce = [&, driver_metrics](size_t n) {
+    MetricsScope metrics_scope(driver_metrics);
     if (n >= n_nodes) return;
     auto mark_done = [&] {
       std::lock_guard<std::mutex> lock(mu);
@@ -155,7 +162,7 @@ Status Cluster::PumpToDriver(
                         return queues[n].morsels.size() < window || abort;
                       });
                       if (abort) return false;
-                      metrics_.morsels_processed += 1;
+                      metrics().morsels_processed += 1;
                       queues[n].morsels.push_back(std::move(*buf));
                       cv_data.notify_all();
                       return true;
@@ -168,12 +175,14 @@ Status Cluster::PumpToDriver(
     }
   };
 
-  // Launch the producers: one epoch on the pool, or (legacy model) one
-  // fresh thread per node with the same exception contract.
+  // Launch the producers: one epoch on the pool when this session owns the
+  // driver slot, otherwise (legacy model, or the pool is busy with another
+  // session) one fresh thread per node with the same exception contract.
+  const bool own_pool = pool_ && pool_->TryAcquireDriver();
   std::vector<std::thread> legacy_threads;
   std::mutex legacy_error_mu;
   std::exception_ptr legacy_error;
-  if (pool_) {
+  if (own_pool) {
     pool_->Dispatch(produce);
   } else {
     legacy_threads.reserve(n_nodes);
@@ -195,7 +204,7 @@ Status Cluster::PumpToDriver(
     cv_space.notify_all();
   };
   auto join_producers = [&] {
-    if (pool_) {
+    if (own_pool) {
       pool_->Wait();
     } else {
       for (auto& t : legacy_threads) t.join();
@@ -243,7 +252,7 @@ Status Cluster::PumpToDriver(
   // Worst case in flight: every node's largest morsel at every slot — the
   // queue window plus the one being built — plus the one crossing to the
   // driver.
-  ChargeInFlightBound(metrics_, stats, /*slots_per_node=*/window + 2);
+  ChargeInFlightBound(metrics(), stats, /*slots_per_node=*/window + 2);
   return status;
 }
 

@@ -8,6 +8,11 @@ namespace {
 /// Set for the duration of each worker's life; lets Run() detect calls made
 /// from inside a task of the same pool and fall back to inline execution.
 thread_local const WorkerPool* tls_current_pool = nullptr;
+
+/// First exception of a nested inline Dispatch made from a worker thread.
+/// The nested run must not touch the outer epoch's completion latch or
+/// first_error_ slot, so its error parks here until the paired Wait().
+thread_local std::exception_ptr tls_nested_error = nullptr;
 }  // namespace
 
 WorkerPool::WorkerPool(size_t num_workers) {
@@ -54,8 +59,54 @@ void WorkerPool::WorkerLoop(size_t id) {
   }
 }
 
+void WorkerPool::AcquireDriver() {
+  const auto me = std::this_thread::get_id();
+  std::unique_lock<std::mutex> lock(driver_mu_);
+  if (driver_held_ && driver_owner_ == me) return;
+  driver_cv_.wait(lock, [&] { return !driver_held_; });
+  driver_held_ = true;
+  driver_owner_ = me;
+}
+
+bool WorkerPool::TryAcquireDriver() {
+  const auto me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(driver_mu_);
+  if (driver_held_) return driver_owner_ == me;
+  driver_held_ = true;
+  driver_owner_ = me;
+  return true;
+}
+
+void WorkerPool::ReleaseDriver() {
+  {
+    std::lock_guard<std::mutex> lock(driver_mu_);
+    if (!driver_held_ || driver_owner_ != std::this_thread::get_id()) return;
+    driver_held_ = false;
+  }
+  driver_cv_.notify_one();
+}
+
 void WorkerPool::Dispatch(std::function<void(size_t)> fn) {
   CLEANM_CHECK(fn != nullptr);
+  if (OnWorkerThread()) {
+    // Nested dispatch from one of our own tasks: the pool is busy running
+    // the enclosing epoch, so execute inline on the calling thread. The
+    // completion latch belongs to the outer epoch and must not be touched;
+    // the first exception parks in the thread-local slot for Wait().
+    // Starting a new nested dispatch discards any error a previous,
+    // never-waited-for nested dispatch abandoned — mirroring how the driver
+    // path resets first_error_ per epoch.
+    tls_nested_error = nullptr;
+    for (size_t id = 0; id < workers_.size(); id++) {
+      try {
+        fn(id);
+      } catch (...) {
+        if (!tls_nested_error) tls_nested_error = std::current_exception();
+      }
+    }
+    return;
+  }
+  AcquireDriver();
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });  // serialize epochs
@@ -68,6 +119,14 @@ void WorkerPool::Dispatch(std::function<void(size_t)> fn) {
 }
 
 void WorkerPool::Wait() {
+  if (OnWorkerThread()) {
+    // Completing a nested inline Dispatch: surface its parked error to the
+    // enclosing task (which the outer epoch then captures as usual).
+    std::exception_ptr error = tls_nested_error;
+    tls_nested_error = nullptr;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -75,18 +134,13 @@ void WorkerPool::Wait() {
     error = first_error_;
     first_error_ = nullptr;
   }
+  ReleaseDriver();
   if (error) std::rethrow_exception(error);
 }
 
 bool WorkerPool::OnWorkerThread() const { return tls_current_pool == this; }
 
 void WorkerPool::Run(const std::function<void(size_t)>& fn) {
-  if (OnWorkerThread()) {
-    // Nested dispatch from one of our own tasks: the pool is busy running
-    // the enclosing epoch, so execute inline on the calling thread.
-    for (size_t id = 0; id < workers_.size(); id++) fn(id);
-    return;
-  }
   Dispatch(fn);
   Wait();
 }

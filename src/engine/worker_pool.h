@@ -24,9 +24,19 @@ namespace cleanm::engine {
 /// waits for it to drain. Exceptions thrown by workers are captured and the
 /// first one is rethrown on the driver in Wait()/Run().
 ///
-/// Re-entrancy: Run() called from inside one of this pool's own workers
-/// (an operator nested in a task) executes the closure inline on the calling
-/// thread for all worker ids instead of deadlocking on the busy pool.
+/// Multi-driver safety: the pool serves one driver thread at a time. A
+/// Dispatch from a thread that does not hold driver ownership first acquires
+/// it (blocking until the current owner's Wait() releases), so two sessions
+/// can never adopt each other's epoch, completion latch, or captured error.
+/// TryAcquireDriver() lets callers probe for ownership without blocking and
+/// fall back to running the closure inline on their own thread.
+///
+/// Re-entrancy: Dispatch()/Run() called from inside one of this pool's own
+/// workers (an operator nested in a task) executes the closure inline on the
+/// calling thread for all worker ids instead of deadlocking on the busy
+/// pool. The inline run never touches the outer epoch's completion latch;
+/// its first exception parks in a thread-local slot that the paired Wait()
+/// rethrows, so the enclosing task surfaces it like any other worker error.
 class WorkerPool {
  public:
   explicit WorkerPool(size_t num_workers);
@@ -45,18 +55,26 @@ class WorkerPool {
   void Run(const std::function<void(size_t)>& fn);
 
   /// Publishes fn as the next epoch without waiting for completion (blocks
-  /// only until any *previous* epoch drains). Pair with Wait().
+  /// only until any *previous* epoch drains). Acquires driver ownership if
+  /// the calling thread does not hold it. Pair with Wait().
   void Dispatch(std::function<void(size_t)> fn);
 
   /// Blocks until the in-flight epoch (if any) completes; rethrows the
-  /// first captured worker exception.
+  /// first captured worker exception and releases driver ownership.
   void Wait();
+
+  /// Non-blocking probe for driver ownership: true when the calling thread
+  /// now owns (or already owned) the driver slot. On success the caller
+  /// must reach a Wait() (e.g. via Dispatch+Wait or Run) to release it.
+  bool TryAcquireDriver();
 
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
  private:
   void WorkerLoop(size_t id);
+  void AcquireDriver();
+  void ReleaseDriver();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: a new epoch is published
@@ -67,6 +85,12 @@ class WorkerPool {
   bool stop_ = false;
   std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
+
+  /// Driver-ownership lock: which external thread may publish epochs.
+  mutable std::mutex driver_mu_;
+  std::condition_variable driver_cv_;
+  bool driver_held_ = false;
+  std::thread::id driver_owner_;
 };
 
 }  // namespace cleanm::engine

@@ -1,5 +1,7 @@
 #include "functions/function_registry.h"
 
+#include <mutex>
+
 #include "monoid/eval.h"
 
 namespace cleanm {
@@ -22,6 +24,7 @@ Status FunctionRegistry::CheckName(const std::string& name) const {
 
 Status FunctionRegistry::RegisterScalar(const std::string& name, int arity,
                                         UserFn fn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   CLEANM_RETURN_NOT_OK(CheckName(name));
   if (!fn) return Status::InvalidArgument("function '" + name + "' has no body");
   scalars_.emplace(name, ScalarFunction{name, arity, std::move(fn), false});
@@ -30,6 +33,7 @@ Status FunctionRegistry::RegisterScalar(const std::string& name, int arity,
 
 Status FunctionRegistry::RegisterRepair(const std::string& name, int arity,
                                         UserFn fn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   CLEANM_RETURN_NOT_OK(CheckName(name));
   if (!fn) return Status::InvalidArgument("function '" + name + "' has no body");
   scalars_.emplace(name, ScalarFunction{name, arity, std::move(fn), true});
@@ -41,6 +45,7 @@ Status FunctionRegistry::RegisterAggregate(const std::string& name, Value zero,
                                            std::function<Value(Value, const Value&)> merge,
                                            UserFn finalize, bool commutative,
                                            bool idempotent) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   CLEANM_RETURN_NOT_OK(CheckName(name));
   if (!unit || !merge) {
     return Status::InvalidArgument("aggregate '" + name +
@@ -54,14 +59,28 @@ Status FunctionRegistry::RegisterAggregate(const std::string& name, Value zero,
 }
 
 const ScalarFunction* FunctionRegistry::FindScalar(const std::string& name) const {
+  // The returned pointer outlives the lock: map nodes are stable and never
+  // erased (see the class doc).
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = scalars_.find(name);
   return it == scalars_.end() ? nullptr : &it->second;
 }
 
 const AggregateFunction* FunctionRegistry::FindAggregate(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = aggregates_.find(name);
   return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+size_t FunctionRegistry::num_scalars() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return scalars_.size();
+}
+
+size_t FunctionRegistry::num_aggregates() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return aggregates_.size();
 }
 
 bool FunctionRegistry::IsRepair(const std::string& name) const {

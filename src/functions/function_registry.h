@@ -39,6 +39,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,12 @@ struct AggregateFunction {
 /// \brief Per-session function registry. Owned by CleanDB; consulted by
 /// Prepare-time validation, the physical expression compiler, the Nest/
 /// Reduce planners, and the reference evaluator.
+///
+/// Thread-safe: registrations take an exclusive lock, lookups a shared one.
+/// Returned ScalarFunction/AggregateFunction pointers stay valid for the
+/// registry's lifetime — entries live in node-stable maps and are never
+/// erased — so compiled plans may hold them across concurrent
+/// registrations; a registration is visible to queries prepared after it.
 class FunctionRegistry {
  public:
   /// Registers a scalar function. `arity` -1 = variadic. Fails with
@@ -114,12 +121,14 @@ class FunctionRegistry {
   /// scalar/repair, registered aggregate — matches the argument count.
   Status ValidateCall(const std::string& name, size_t num_args) const;
 
-  size_t num_scalars() const { return scalars_.size(); }
-  size_t num_aggregates() const { return aggregates_.size(); }
+  size_t num_scalars() const;
+  size_t num_aggregates() const;
 
  private:
+  /// Expects mu_ held (exclusively) by the calling Register*.
   Status CheckName(const std::string& name) const;
 
+  mutable std::shared_mutex mu_;
   std::map<std::string, ScalarFunction> scalars_;  // includes repairs
   std::map<std::string, AggregateFunction> aggregates_;
 };

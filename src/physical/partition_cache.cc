@@ -37,51 +37,71 @@ std::string PartitionCache::Stats::ToString() const {
   return out.str();
 }
 
-const engine::Partitioned* PartitionCache::Find(const Key& key) {
+PartitionCache::Stats PartitionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PartitionCache::CountScanHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.scan_hits++;
+}
+
+void PartitionCache::CountScanMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.scan_misses++;
+}
+
+PartitionPin PartitionCache::FindLocked(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   it->second.last_used = ++tick_;
-  return &it->second.data;
+  return it->second.data;
 }
 
-const engine::Partitioned* PartitionCache::FindScan(const std::string& table,
-                                                    uint64_t generation, size_t nodes) {
-  return Find(Key{Kind::kScan, nullptr, table, "", generation, nodes});
+PartitionPin PartitionCache::FindScan(const std::string& table,
+                                      uint64_t generation, size_t nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(Key{Kind::kScan, nullptr, table, "", generation, nodes});
 }
 
-const engine::Partitioned* PartitionCache::PutScan(const std::string& table,
-                                                   uint64_t generation, size_t nodes,
-                                                   engine::Partitioned data) {
+PartitionPin PartitionCache::PutScan(const std::string& table,
+                                     uint64_t generation, size_t nodes,
+                                     engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
-  entry.data = std::move(data);
+  entry.data = std::make_shared<const engine::Partitioned>(std::move(data));
   entry.deps = {{table, generation}};
-  return Put(Key{Kind::kScan, nullptr, table, "", generation, nodes},
-             std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(Key{Kind::kScan, nullptr, table, "", generation, nodes},
+                   std::move(entry));
 }
 
-const engine::Partitioned* PartitionCache::FindWrap(const std::string& table,
-                                                    const std::string& var,
-                                                    uint64_t generation, size_t nodes) {
-  return Find(Key{Kind::kWrap, nullptr, table, var, generation, nodes});
+PartitionPin PartitionCache::FindWrap(const std::string& table,
+                                      const std::string& var,
+                                      uint64_t generation, size_t nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(Key{Kind::kWrap, nullptr, table, var, generation, nodes});
 }
 
-const engine::Partitioned* PartitionCache::PutWrap(const std::string& table,
-                                                   const std::string& var,
-                                                   uint64_t generation, size_t nodes,
-                                                   engine::Partitioned data) {
+PartitionPin PartitionCache::PutWrap(const std::string& table,
+                                     const std::string& var,
+                                     uint64_t generation, size_t nodes,
+                                     engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
-  entry.data = std::move(data);
+  entry.data = std::make_shared<const engine::Partitioned>(std::move(data));
   entry.deps = {{table, generation}};
-  return Put(Key{Kind::kWrap, nullptr, table, var, generation, nodes},
-             std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(Key{Kind::kWrap, nullptr, table, var, generation, nodes},
+                   std::move(entry));
 }
 
-const engine::Partitioned* PartitionCache::FindNest(
+PartitionPin PartitionCache::FindNest(
     const AlgOp* node, size_t nodes,
     const std::function<uint64_t(const std::string&)>& generation_of) {
   const Key key{Kind::kNest, node, "", "", 0, nodes};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     stats_.nest_misses++;
@@ -92,42 +112,46 @@ const engine::Partitioned* PartitionCache::FindNest(
   // unreachable even if an invalidation path is ever missed.
   for (const auto& [table, generation] : it->second.deps) {
     if (generation_of(table) != generation) {
-      Erase(it, &stats_.invalidations);
+      EraseLocked(it, &stats_.invalidations);
       stats_.nest_misses++;
       return nullptr;
     }
   }
   stats_.nest_hits++;
   it->second.last_used = ++tick_;
-  return &it->second.data;
+  return it->second.data;
 }
 
-const engine::Partitioned* PartitionCache::PutNest(
+PartitionPin PartitionCache::PutNest(
     const AlgOpPtr& node, size_t nodes,
     std::vector<std::pair<std::string, uint64_t>> deps, engine::Partitioned data) {
   Entry entry;
   entry.bytes = PartitionedBytes(data);
-  entry.data = std::move(data);
+  entry.data = std::make_shared<const engine::Partitioned>(std::move(data));
   entry.deps = std::move(deps);
   entry.pinned = node;
-  return Put(Key{Kind::kNest, node.get(), "", "", 0, nodes}, std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(Key{Kind::kNest, node.get(), "", "", 0, nodes},
+                   std::move(entry));
 }
 
-const engine::Partitioned* PartitionCache::Put(Key key, Entry entry) {
+PartitionPin PartitionCache::PutLocked(Key key, Entry entry) {
   auto it = entries_.find(key);
-  if (it != entries_.end()) Erase(it, nullptr);  // replace, re-accounting bytes
+  if (it != entries_.end()) EraseLocked(it, nullptr);  // replace, re-accounting
   entry.last_used = ++tick_;
   resident_bytes_ += entry.bytes;
   auto placed = entries_.emplace(key, std::move(entry)).first;
   stats_.resident_bytes = resident_bytes_;
   stats_.resident_entries = entries_.size();
-  if (byte_budget_ > 0) EvictToBudget(key);
-  // EvictToBudget never evicts the entry being admitted, so `placed` is
-  // still valid (std::map iterators survive other erasures).
-  return &placed->second.data;
+  if (byte_budget_ > 0) EvictToBudgetLocked(key);
+  // EvictToBudgetLocked never evicts the entry being admitted, so `placed`
+  // is still valid (std::map iterators survive other erasures).
+  return placed->second.data;
 }
 
-void PartitionCache::Erase(std::map<Key, Entry>::iterator it, uint64_t* counter) {
+void PartitionCache::EraseLocked(std::map<Key, Entry>::iterator it,
+                                 uint64_t* counter) {
+  // Drops only the cache's reference: readers holding a pin keep the data.
   resident_bytes_ -= it->second.bytes;
   entries_.erase(it);
   if (counter) (*counter)++;
@@ -135,7 +159,7 @@ void PartitionCache::Erase(std::map<Key, Entry>::iterator it, uint64_t* counter)
   stats_.resident_entries = entries_.size();
 }
 
-void PartitionCache::EvictToBudget(const Key& keep) {
+void PartitionCache::EvictToBudgetLocked(const Key& keep) {
   while (resident_bytes_ > byte_budget_ && entries_.size() > 1) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -145,11 +169,12 @@ void PartitionCache::EvictToBudget(const Key& keep) {
       }
     }
     if (victim == entries_.end()) return;
-    Erase(victim, &stats_.evictions);
+    EraseLocked(victim, &stats_.evictions);
   }
 }
 
 void PartitionCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool depends = false;
     for (const auto& [dep_table, generation] : it->second.deps) {
@@ -161,7 +186,7 @@ void PartitionCache::InvalidateTable(const std::string& table) {
     }
     if (depends) {
       auto doomed = it++;
-      Erase(doomed, &stats_.invalidations);
+      EraseLocked(doomed, &stats_.invalidations);
     } else {
       ++it;
     }
@@ -169,6 +194,7 @@ void PartitionCache::InvalidateTable(const std::string& table) {
 }
 
 void PartitionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.invalidations += entries_.size();
   entries_.clear();
   resident_bytes_ = 0;

@@ -19,14 +19,22 @@
 // A single entry larger than the whole budget is admitted alone (evicting
 // everything else); refusing it would livelock large-table sessions.
 //
-// Thread model: executions are driver-serial (the cluster parallelizes
-// *inside* operator calls), so the cache is not locked. Do not share one
-// cache between concurrently executing sessions.
+// Thread model: every operation takes the cache's internal mutex, and
+// Find/Put hand out shared-ownership pins (PartitionPin) instead of raw
+// pointers. The pin keeps the partitioning alive for as long as the caller
+// streams from it; eviction, invalidation, and Clear merely drop the
+// cache's own reference, so a concurrent reader can never dangle. Pins are
+// snapshots: a pinned partitioning may no longer be resident (or even
+// current) by the time it is read — generation keys guarantee a *stale*
+// one is never handed out at Find time, which is the visibility rule the
+// session layer documents (DESIGN.md, "Threading & session concurrency").
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -35,6 +43,10 @@
 #include "engine/cluster.h"
 
 namespace cleanm {
+
+/// Shared-ownership pin on a cached partitioning: holding it keeps the data
+/// alive across evictions/invalidations. Null = miss.
+using PartitionPin = std::shared_ptr<const engine::Partitioned>;
 
 class PartitionCache {
  public:
@@ -65,51 +77,54 @@ class PartitionCache {
 
   // ---- Scans (a table parallelized across `nodes` partitions) ----
 
-  const engine::Partitioned* FindScan(const std::string& table, uint64_t generation,
-                                      size_t nodes);
-  /// Returns the resident entry (valid until the next cache mutation).
-  const engine::Partitioned* PutScan(const std::string& table, uint64_t generation,
-                                     size_t nodes, engine::Partitioned data);
+  PartitionPin FindScan(const std::string& table, uint64_t generation,
+                        size_t nodes);
+  /// Returns a pin on the admitted entry.
+  PartitionPin PutScan(const std::string& table, uint64_t generation,
+                       size_t nodes, engine::Partitioned data);
 
   // ---- Wrapped scans (the {var: record} tuple wrap of a scan) ----
 
-  const engine::Partitioned* FindWrap(const std::string& table, const std::string& var,
-                                      uint64_t generation, size_t nodes);
-  /// Returns the resident entry (valid until the next cache mutation).
-  const engine::Partitioned* PutWrap(const std::string& table, const std::string& var,
-                                     uint64_t generation, size_t nodes,
-                                     engine::Partitioned data);
+  PartitionPin FindWrap(const std::string& table, const std::string& var,
+                        uint64_t generation, size_t nodes);
+  /// Returns a pin on the admitted entry.
+  PartitionPin PutWrap(const std::string& table, const std::string& var,
+                       uint64_t generation, size_t nodes,
+                       engine::Partitioned data);
 
   // ---- Nest outputs (keyed by node identity; the node is pinned) ----
 
   /// `generation_of` resolves a table name to its current generation; a hit
-  /// requires every recorded dependency to still match.
-  const engine::Partitioned* FindNest(
+  /// requires every recorded dependency to still match. `generation_of` is
+  /// called while the cache lock is held — it must not call back into the
+  /// cache (resolving against a Catalog snapshot satisfies this).
+  PartitionPin FindNest(
       const AlgOp* node, size_t nodes,
       const std::function<uint64_t(const std::string&)>& generation_of);
   /// `node` is retained (shared ownership) while the entry lives, so a
   /// recycled heap address can never alias a cached result. `deps` lists
-  /// every (table, generation) the Nest's input subtree read. Returns the
-  /// resident entry (the admitted entry is never evicted by its own
-  /// budget pass), so the pipelined executor can stream from it without
-  /// copying; the pointer is valid until the next cache mutation.
-  const engine::Partitioned* PutNest(const AlgOpPtr& node, size_t nodes,
-                                     std::vector<std::pair<std::string, uint64_t>> deps,
-                                     engine::Partitioned data);
+  /// every (table, generation) the Nest's input subtree read. Returns a pin
+  /// on the admitted entry (never evicted by its own budget pass), so the
+  /// pipelined executor can stream from it without copying.
+  PartitionPin PutNest(const AlgOpPtr& node, size_t nodes,
+                       std::vector<std::pair<std::string, uint64_t>> deps,
+                       engine::Partitioned data);
 
   /// Records a scan served from cache (wrap or base) / a Parallelize run.
   /// Exposed so the executor can count wrap-cache hits as scan hits.
-  void CountScanHit() { stats_.scan_hits++; }
-  void CountScanMiss() { stats_.scan_misses++; }
+  void CountScanHit();
+  void CountScanMiss();
 
   /// Drops every entry that read `table` (any generation). Called by
-  /// RegisterTable/UnregisterTable.
+  /// RegisterTable/UnregisterTable. Readers holding pins are unaffected.
   void InvalidateTable(const std::string& table);
 
   void Clear();
 
   size_t byte_budget() const { return byte_budget_; }
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of the counters (by value: the live struct changes
+  /// under concurrent executions).
+  Stats stats() const;
 
  private:
   enum class Kind { kScan, kWrap, kNest };
@@ -117,7 +132,7 @@ class PartitionCache {
   using Key = std::tuple<Kind, const AlgOp*, std::string, std::string, uint64_t, size_t>;
 
   struct Entry {
-    engine::Partitioned data;
+    PartitionPin data;
     uint64_t bytes = 0;
     uint64_t last_used = 0;
     /// Tables (with the generations seen) this entry depends on.
@@ -126,12 +141,15 @@ class PartitionCache {
     AlgOpPtr pinned;
   };
 
-  const engine::Partitioned* Find(const Key& key);
-  const engine::Partitioned* Put(Key key, Entry entry);
-  void Erase(std::map<Key, Entry>::iterator it, uint64_t* counter);
-  void EvictToBudget(const Key& keep);
+  // All private helpers expect mu_ held by the caller.
+  PartitionPin FindLocked(const Key& key);
+  PartitionPin PutLocked(Key key, Entry entry);
+  void EraseLocked(std::map<Key, Entry>::iterator it, uint64_t* counter);
+  void EvictToBudgetLocked(const Key& keep);
 
   size_t byte_budget_;
+
+  mutable std::mutex mu_;
   uint64_t tick_ = 0;
   uint64_t resident_bytes_ = 0;
   std::map<Key, Entry> entries_;

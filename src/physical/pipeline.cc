@@ -128,15 +128,21 @@ Result<Executor::PipelineSegment> CollectInput(Executor* ex, const AlgOpPtr& pla
 
 }  // namespace
 
-Result<const engine::Partitioned*> Executor::PipelinedNest(const AlgOpPtr& plan,
-                                                           size_t morsel_rows) {
+Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
+                                             size_t morsel_rows) {
   const size_t nodes = cluster->num_nodes();
+  // local_nests entries live exactly as long as this per-execution Executor,
+  // which outlives every segment built from them — a non-owning alias pin
+  // is safe and avoids copying the partitioning into shared storage.
+  auto local_pin = [](const Partitioned& data) {
+    return PartitionPin(PartitionPin{}, &data);
+  };
   if (!persist_nests) {
     auto local = local_nests.find(plan.get());
-    if (local != local_nests.end()) return &local->second;
+    if (local != local_nests.end()) return local_pin(local->second);
   } else {
     const Catalog& cat = *catalog;
-    if (const Partitioned* cached = cache->FindNest(
+    if (PartitionPin cached = cache->FindNest(
             plan.get(), nodes,
             [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
       return cached;
@@ -169,7 +175,7 @@ Result<const engine::Partitioned*> Executor::PipelinedNest(const AlgOpPtr& plan,
 
   if (!persist_nests) {
     auto placed = local_nests.emplace(plan.get(), std::move(result)).first;
-    return &placed->second;
+    return local_pin(placed->second);
   }
   std::vector<std::pair<std::string, uint64_t>> deps;
   CollectScanDeps(plan, *catalog, &deps);
@@ -208,16 +214,9 @@ Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
                               CollectInput(this, source->input, morsel_rows));
       // Resolving the right side may mutate the cache (its Nest build
       // Put-inserts, and an insert can LRU-evict the entry the left side
-      // borrows under a byte budget) — detach a borrowed left into owned
-      // storage first. Row copies share nested Value storage, and the
-      // materialize-first path pays (and meters) the same copy.
-      if (left.borrowed) {
-        left.owned = *left.borrowed;
-        left.borrowed = nullptr;
-        left.owned_bytes = PartitionedLogicalBytes(left.owned);
-        left.gauge = &cluster->metrics();
-        left.gauge->ChargeMaterialized(left.owned_bytes);
-      }
+      // borrows under a byte budget) — the left segment's pin keeps the
+      // borrowed partitioning alive through that, so no detach copy is
+      // needed.
       CLEANM_ASSIGN_OR_RETURN(PipelineSegment right,
                               CollectInput(this, source->right, morsel_rows));
       CLEANM_ASSIGN_OR_RETURN(seg.owned, ExecJoin(source, left.data(), right.data()));

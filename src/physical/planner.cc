@@ -40,16 +40,16 @@ void CollectScanDeps(const AlgOpPtr& plan, const Catalog& catalog,
   CollectScanDeps(plan->right, catalog, deps);
 }
 
-Result<const engine::Partitioned*> Executor::WrappedScan(const AlgOp& scan) {
+Result<PartitionPin> Executor::WrappedScan(const AlgOp& scan) {
   const uint64_t generation = catalog->GenerationOf(scan.table);
   const size_t nodes = cluster->num_nodes();
-  if (const Partitioned* wrapped =
+  if (PartitionPin wrapped =
           cache->FindWrap(scan.table, scan.var, generation, nodes)) {
     cache->CountScanHit();
     return wrapped;
   }
 
-  const Partitioned* base = cache->FindScan(scan.table, generation, nodes);
+  PartitionPin base = cache->FindScan(scan.table, generation, nodes);
   if (base) {
     cache->CountScanHit();
   } else {
@@ -63,13 +63,13 @@ Result<const engine::Partitioned*> Executor::WrappedScan(const AlgOp& scan) {
     cache->CountScanMiss();
     base = cache->PutScan(scan.table, generation, nodes, std::move(scanned));
   }
-  // Wrap each record into the {var: record} tuple.
+  // Wrap each record into the {var: record} tuple. The pin keeps `base`
+  // alive even if PutWrap (or a concurrent execution) evicts it from the
+  // cache under the byte budget.
   const std::string var = scan.var;
   Partitioned wrapped = cluster->Map(*base, [var](const Row& r) {
     return MakePhysicalTuple(Value(ValueStruct{{var, PhysicalTupleOf(r)}}));
   });
-  // PutWrap may evict the base-scan entry under the byte budget; `base` is
-  // dead after this point.
   return cache->PutWrap(scan.table, scan.var, generation, nodes, std::move(wrapped));
 }
 
@@ -269,7 +269,7 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
   };
   switch (plan->kind) {
     case AlgKind::kScan: {
-      CLEANM_ASSIGN_OR_RETURN(const Partitioned* wrapped, WrappedScan(*plan));
+      CLEANM_ASSIGN_OR_RETURN(PartitionPin wrapped, WrappedScan(*plan));
       // The materialize-first copy of the cache-resident wrap — precisely
       // the buffer the pipelined path streams from instead.
       Partitioned out = *wrapped;
@@ -341,7 +341,7 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
         }
       } else {
         const Catalog& cat = *catalog;
-        if (const Partitioned* cached = cache->FindNest(
+        if (PartitionPin cached = cache->FindNest(
                 plan.get(), nodes,
                 [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
           Partitioned out = *cached;

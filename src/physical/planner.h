@@ -130,7 +130,7 @@ struct Executor {
     PipelineSegment(PipelineSegment&& o) noexcept { *this = std::move(o); }
     PipelineSegment& operator=(PipelineSegment&& o) noexcept {
       ReleaseNow();
-      borrowed = o.borrowed;
+      borrowed = std::move(o.borrowed);
       owned = std::move(o.owned);
       owned_bytes = o.owned_bytes;
       gauge = o.gauge;
@@ -155,7 +155,10 @@ struct Executor {
       return borrowed ? *borrowed : owned;
     }
 
-    const engine::Partitioned* borrowed = nullptr;  ///< cache-resident source
+    /// Pinned cache-resident source: the pin keeps the partitioning alive
+    /// even if a concurrent execution's eviction or RegisterTable
+    /// invalidation drops it from the cache mid-stream.
+    PartitionPin borrowed;
     engine::Partitioned owned;     ///< breaker output owned by the segment
     uint64_t owned_bytes = 0;      ///< `owned`'s charge on the gauge
     QueryMetrics* gauge = nullptr;
@@ -178,9 +181,9 @@ struct Executor {
   /// report 0).
   Result<engine::Partitioned> RunTracked(const AlgOpPtr& plan, uint64_t* out_bytes);
 
-  /// The {var: record} wrapped scan, resolved through (and resident in)
-  /// the session cache.
-  Result<const engine::Partitioned*> WrappedScan(const AlgOp& scan);
+  /// The {var: record} wrapped scan, resolved through (and pinned in) the
+  /// session cache.
+  Result<PartitionPin> WrappedScan(const AlgOp& scan);
 
   /// Executes a join node over already-resolved inputs.
   Result<engine::Partitioned> ExecJoin(const AlgOpPtr& plan,
@@ -201,10 +204,9 @@ struct Executor {
                                        TupleSink terminal = nullptr);
 
   /// The Nest breaker on the pipelined path: cache lookup, else morsel-fed
-  /// aggregation over the input segment; the result is resident (session
-  /// cache or local_nests), never copied out.
-  Result<const engine::Partitioned*> PipelinedNest(const AlgOpPtr& plan,
-                                                   size_t morsel_rows);
+  /// aggregation over the input segment; the result is resident (a pinned
+  /// session-cache entry or local_nests), never copied out.
+  Result<PartitionPin> PipelinedNest(const AlgOpPtr& plan, size_t morsel_rows);
 };
 
 /// Every table scanned under `plan`, with the catalog's current generation

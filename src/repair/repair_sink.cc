@@ -136,12 +136,21 @@ Status RepairSink::OnDirtyEntity(const Value& entity,
 
 Result<RepairSummary> RepairSink::Commit() {
   if (db_ == nullptr) return Status::Internal("RepairSink has no CleanDB");
-  CLEANM_ASSIGN_OR_RETURN(const Dataset* source, db_->GetTable(source_table_));
+  // Read-modify-write under the session commit lock: no other committer can
+  // replace the source table between reading it and re-registering the
+  // repaired copy, so concurrent Commits serialize instead of losing
+  // updates. In-flight executions are unaffected — they hold snapshot
+  // leases — and see the new generation only if they start after
+  // RegisterTable below.
+  auto commit_lock = db_->LockCommits();
+  CLEANM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> source,
+                          db_->GetTableShared(source_table_));
 
   RepairSummary summary;
   CLEANM_ASSIGN_OR_RETURN(
       Dataset repaired,
-      ApplyRepairActions(*source, actions_, &summary, &db_->cluster().metrics()));
+      ApplyRepairActions(*source, actions_, &summary,
+                         &db_->cluster().session_metrics()));
 
   // Re-register under the target name: RegisterTable bumps the generation
   // and invalidates every cached partitioning of that table, so follow-up

@@ -1,6 +1,7 @@
 #include "storage/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -12,6 +13,45 @@ namespace {
 void SkipWs(const std::string& t, size_t* pos) {
   while (*pos < t.size() && std::isspace(static_cast<unsigned char>(t[*pos]))) {
     ++*pos;
+  }
+}
+
+/// Exactly four hex digits at t[pos..pos+3] (the payload of a \uXXXX).
+Result<uint32_t> ParseHex4(const std::string& t, size_t pos) {
+  if (pos + 4 > t.size()) return Status::ParseError("truncated \\u escape");
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; i++) {
+    const char c = t[pos + i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return Status::ParseError(std::string("bad \\u escape digit '") + c + "'");
+    }
+  }
+  return v;
+}
+
+/// Appends a Unicode scalar value to `out` as UTF-8.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
   }
 }
 
@@ -39,13 +79,30 @@ Result<std::string> ParseJsonString(const std::string& t, size_t* pos) {
         case '\\': out += '\\'; break;
         case '"': out += '"'; break;
         case 'u': {
-          // Decode \uXXXX; non-ASCII code points are emitted as '?', which
-          // is sufficient for the synthetic workloads in this repository.
-          if (*pos + 4 >= t.size()) return Status::ParseError("truncated \\u escape");
-          const std::string hex = t.substr(*pos + 1, 4);
-          const long cp = std::strtol(hex.c_str(), nullptr, 16);
-          out += (cp < 128) ? static_cast<char>(cp) : '?';
+          // \uXXXX decodes to UTF-8 — BMP code points directly, astral
+          // ones as a UTF-16 surrogate pair (😀 → U+1F600). An
+          // unpaired surrogate decodes to U+FFFD (the replacement
+          // character), so malformed input can never produce invalid
+          // UTF-8. The writer passes non-ASCII bytes through untouched,
+          // so decoded strings round-trip.
+          CLEANM_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4(t, *pos + 1));
           *pos += 4;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (*pos + 2 < t.size() && t[*pos + 1] == '\\' && t[*pos + 2] == 'u') {
+              CLEANM_ASSIGN_OR_RETURN(const uint32_t low, ParseHex4(t, *pos + 3));
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                *pos += 6;
+              } else {
+                cp = 0xFFFD;  // high surrogate followed by a non-low escape
+              }
+            } else {
+              cp = 0xFFFD;  // high surrogate at end / before literal text
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            cp = 0xFFFD;  // low surrogate with no preceding high one
+          }
+          AppendUtf8(cp, &out);
           break;
         }
         default:
@@ -250,6 +307,12 @@ void WriteJsonValue(const Value& v, std::ostream& os) {
   }
 }
 }  // namespace
+
+std::string WriteJson(const Value& value) {
+  std::ostringstream os;
+  WriteJsonValue(value, os);
+  return os.str();
+}
 
 Status WriteJsonLines(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path, std::ios::binary);

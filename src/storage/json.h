@@ -24,6 +24,11 @@ Result<Dataset> ReadJsonLines(const std::string& path);
 /// Parses JSON-lines text held in memory (used by tests).
 Result<Dataset> ParseJsonLinesString(const std::string& text);
 
+/// Serializes one Value as JSON text (strings escaped). Non-ASCII bytes
+/// pass through raw, so UTF-8 produced by ParseJson's \uXXXX decoding
+/// round-trips byte-identically.
+std::string WriteJson(const Value& value);
+
 /// Writes a dataset as JSON lines; nested values serialize naturally.
 Status WriteJsonLines(const Dataset& dataset, const std::string& path);
 

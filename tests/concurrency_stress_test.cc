@@ -1,0 +1,310 @@
+// Session-concurrency stress suite (the tsan preset runs these under
+// ThreadSanitizer; the plain presets run them as functional races).
+//
+// One CleanDB, many driver threads: prepared FD / dedup / SELECT queries
+// execute concurrently over the shared worker pool while other threads
+// re-register tables and commit repairs. The contracts under test are the
+// ones DESIGN.md ("Threading & session concurrency") documents:
+//
+//  * every concurrent execution of a prepared query over a *stable* table
+//    returns a violation set bit-identical to the serial baseline — no
+//    torn snapshots, no cross-execution metric or cache interference;
+//  * RegisterTable / RepairSink::Commit during in-flight executions are
+//    atomic: an execution sees one generation of each table throughout
+//    (snapshot visibility), never a mix;
+//  * the admission controller really bounds concurrent in-flight work:
+//    with a byte budget, oversized executions run alone (serialized);
+//    without one, executions overlap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cleaning/prepared_query.h"
+#include "datagen/generators.h"
+#include "repair/repair_sink.h"
+#include "support/fixtures.h"
+
+namespace cleanm {
+namespace {
+
+using testsupport::FastCleanDBOptions;
+using testsupport::MakeCustomers;
+
+Dataset DirtyCustomers() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = 200;
+  copts.duplicate_fraction = 0.08;
+  copts.max_duplicates = 3;
+  copts.fd_violation_fraction = 0.05;
+  return datagen::MakeCustomer(copts);
+}
+
+/// Canonical rendering of a result: operations and their violations in
+/// execution order (deterministic), the dirty-entity join sorted (the
+/// entity outer join hashes, so its order is not part of the contract).
+std::string Render(const QueryResult& r) {
+  std::string out;
+  for (const auto& op : r.ops) {
+    out += op.op_name + "#" + std::to_string(op.violations.size()) + "\n";
+    for (const auto& v : op.violations) out += v.ToString() + "\n";
+  }
+  std::vector<std::string> dirty;
+  for (const auto& [entity, ops] : r.dirty_entities) {
+    std::string line = entity.ToString();
+    for (const auto& o : ops) line += "|" + o;
+    dirty.push_back(std::move(line));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const auto& d : dirty) out += d + "\n";
+  return out;
+}
+
+TEST(ConcurrencyStressTest, ConcurrentDriversMatchSerialBaselineUnderChurn) {
+  CleanDB db(FastCleanDBOptions(4));
+  db.RegisterTable("customer", DirtyCustomers());  // stable during the run
+  db.RegisterTable("fixable", MakeCustomers());    // repaired repeatedly
+
+  // Row-wise repair UDF for the commit thread: uppercase the name.
+  ASSERT_TRUE(db.functions()
+                  .RegisterRepair(
+                      "upcase_name", 1,
+                      [](const std::vector<Value>& args) -> Result<Value> {
+                        auto name = args[0].GetField("name");
+                        if (!name.ok()) return name.status();
+                        std::string upper = name.value().AsString();
+                        for (auto& ch : upper) {
+                          ch = static_cast<char>(std::toupper(ch));
+                        }
+                        return Value(ValueStruct{
+                            {"entity", args[0]},
+                            {"set", Value(ValueStruct{{"name", Value(upper)}})}});
+                      })
+                  .ok());
+
+  // Shared prepared queries — all driver threads execute these same
+  // objects concurrently.
+  auto multi = db.Prepare(R"(
+    SELECT * FROM customer c
+    FD(c.address, prefix(c.phone))
+    FD(c.address, c.nationkey)
+    DEDUP(exact, c.address)
+  )");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  auto fd_only = db.Prepare("SELECT * FROM customer c FD(c.address, c.nationkey)");
+  ASSERT_TRUE(fd_only.ok()) << fd_only.status().ToString();
+  auto select = db.Prepare("SELECT c.name FROM customer c");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  PreparedQuery* queries[] = {&multi.value(), &fd_only.value(), &select.value()};
+
+  // Serial baselines before any concurrency.
+  std::vector<std::string> baseline;
+  for (PreparedQuery* pq : queries) {
+    auto r = pq->Execute();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    baseline.push_back(Render(r.value()));
+  }
+
+  constexpr int kDrivers = 8;
+  constexpr int kIterations = 6;
+  std::atomic<int> failures{0};
+  std::atomic<int> executions{0};
+  std::mutex first_mu;
+  std::string first_divergence;
+  auto record_failure = [&](const std::string& what) {
+    failures++;
+    std::lock_guard<std::mutex> lock(first_mu);
+    if (first_divergence.empty()) first_divergence = what;
+  };
+
+  std::atomic<bool> stop_churn{false};
+  // Churn thread: re-registers an unrelated table (generation bumps + cache
+  // invalidations) and queries it, concurrently with everything else.
+  std::thread churn([&] {
+    for (int round = 0; !stop_churn; round++) {
+      Dataset scratch(Schema{{"a", ValueType::kInt}});
+      for (int i = 0; i <= round % 5; i++) {
+        scratch.Append({Value(static_cast<int64_t>(round + i))});
+      }
+      db.RegisterTable("scratch", std::move(scratch));
+      auto r = db.Execute("SELECT s.a FROM scratch s");
+      if (!r.ok()) record_failure("scratch query: " + r.status().ToString());
+    }
+  });
+
+  // Repair thread: detect → repair → re-register loop on "fixable", each
+  // Commit going through the session commit lock while drivers execute.
+  std::thread repairer([&] {
+    auto repair = db.Prepare("SELECT upcase_name(f) AS fix FROM fixable f");
+    if (!repair.ok()) {
+      record_failure("prepare repair: " + repair.status().ToString());
+      return;
+    }
+    for (int round = 0; round < 8; round++) {
+      db.RegisterTable("fixable", MakeCustomers());  // reset the dirty data
+      RepairSink sink(&db, repair.value(), "fixable_clean");
+      Status s = repair.value().ExecuteInto(sink);
+      if (!s.ok()) {
+        record_failure("repair execute: " + s.ToString());
+        return;
+      }
+      auto summary = sink.Commit();
+      if (!summary.ok()) {
+        record_failure("repair commit: " + summary.status().ToString());
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; d++) {
+    drivers.emplace_back([&, d] {
+      for (int i = 0; i < kIterations; i++) {
+        const size_t q = static_cast<size_t>(d + i) % 3;
+        auto r = queries[q]->Execute();
+        if (!r.ok()) {
+          record_failure("driver execute: " + r.status().ToString());
+          continue;
+        }
+        executions++;
+        const std::string rendered = Render(r.value());
+        if (rendered != baseline[q]) {
+          record_failure("driver " + std::to_string(d) + " query " +
+                         std::to_string(q) + " diverged from serial baseline");
+        }
+      }
+    });
+  }
+
+  for (auto& t : drivers) t.join();
+  repairer.join();
+  stop_churn = true;
+  churn.join();
+
+  EXPECT_EQ(failures.load(), 0) << first_divergence;
+  EXPECT_EQ(executions.load(), kDrivers * kIterations);
+  // The repair loop really ran: the final committed table is clean.
+  auto clean = db.GetTableShared("fixable_clean");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value()->row(0)[0].AsString(), "ALICE");
+}
+
+TEST(ConcurrencyStressTest, ReRegistrationDuringExecutionIsAllOrNothing) {
+  // Drivers hammer a query whose table flips between two datasets with
+  // different violation counts. Snapshot visibility means every single
+  // execution must report one of the two serial results — never a blend.
+  CleanDB db(FastCleanDBOptions(4));
+  Dataset clean = MakeCustomers();
+  Dataset dirty = DirtyCustomers();
+  const char* query = "SELECT * FROM flip c FD(c.address, c.nationkey)";
+
+  db.RegisterTable("flip", clean);
+  auto pq = db.Prepare(query);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  const std::string render_clean = Render(pq.value().Execute().ValueOrDie());
+  db.RegisterTable("flip", dirty);
+  const std::string render_dirty = Render(pq.value().Execute().ValueOrDie());
+  ASSERT_NE(render_clean, render_dirty);
+
+  std::atomic<int> blends{0};
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int round = 0; !stop; round++) {
+      db.RegisterTable("flip", (round % 2 != 0) ? clean : dirty);
+    }
+  });
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; d++) {
+    drivers.emplace_back([&] {
+      for (int i = 0; i < 10; i++) {
+        auto r = pq.value().Execute();
+        if (!r.ok()) {
+          errors++;
+          continue;
+        }
+        const std::string rendered = Render(r.value());
+        if (rendered != render_clean && rendered != render_dirty) blends++;
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  stop = true;
+  flipper.join();
+  EXPECT_EQ(blends.load(), 0);
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ConcurrencyStressTest, AdmissionBudgetSerializesWhileUnlimitedOverlaps) {
+  // A slow scalar UDF samples how many executions are inside the engine at
+  // once. Single-node sessions keep intra-execution parallelism at one, so
+  // any overlap the gauge sees is *cross-execution* overlap.
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_overlap{0};
+  auto register_probe = [&](CleanDB& db) {
+    ASSERT_TRUE(db.functions()
+                    .RegisterScalar(
+                        "probe", 1,
+                        [&](const std::vector<Value>& args) -> Result<Value> {
+                          const int now = ++in_flight;
+                          int seen = max_overlap.load();
+                          while (now > seen &&
+                                 !max_overlap.compare_exchange_weak(seen, now)) {
+                          }
+                          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                          --in_flight;
+                          return args[0];
+                        })
+                    .ok());
+  };
+  Dataset rows(Schema{{"name", ValueType::kString}});
+  for (int i = 0; i < 24; i++) rows.Append({Value("r" + std::to_string(i))});
+
+  auto hammer = [&](CleanDB& db) {
+    auto pq = db.Prepare("SELECT probe(c.name) AS x FROM small c");
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+    std::vector<std::thread> drivers;
+    std::atomic<int> errors{0};
+    for (int d = 0; d < 4; d++) {
+      drivers.emplace_back([&] {
+        for (int i = 0; i < 3; i++) {
+          if (!pq.value().Execute().ok()) errors++;
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+    EXPECT_EQ(errors.load(), 0);
+  };
+
+  {
+    // No budget: concurrent executions overlap inside the engine.
+    CleanDB db(FastCleanDBOptions(/*nodes=*/1));
+    db.RegisterTable("small", rows);
+    register_probe(db);
+    hammer(db);
+    EXPECT_GE(max_overlap.load(), 2) << "executions never overlapped";
+  }
+
+  in_flight = 0;
+  max_overlap = 0;
+  {
+    // A 1-byte budget makes every execution oversized: each is admitted
+    // only when it is alone, i.e. executions are fully serialized.
+    CleanDBOptions opts = FastCleanDBOptions(/*nodes=*/1);
+    opts.max_inflight_bytes = 1;
+    CleanDB db(opts);
+    db.RegisterTable("small", rows);
+    register_probe(db);
+    hammer(db);
+    EXPECT_EQ(max_overlap.load(), 1) << "admission failed to serialize";
+  }
+}
+
+}  // namespace
+}  // namespace cleanm

@@ -170,6 +170,44 @@ TEST(JsonTest, RejectsMalformed) {
   EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
   EXPECT_FALSE(ParseJson("tru").ok());
   EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson(R"("\u12")").ok());    // truncated \u escape
+  EXPECT_FALSE(ParseJson(R"("\u12zq")").ok());  // non-hex digits
+}
+
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  // ASCII stays single-byte.
+  EXPECT_EQ(ParseJson(R"("\u0041")").ValueOrDie().AsString(), "A");
+  // 2-byte sequence: U+00E9 (e-acute).
+  EXPECT_EQ(ParseJson(R"("\u00E9")").ValueOrDie().AsString(), "\xC3\xA9");
+  // 3-byte sequence: U+20AC (euro sign), mixed with literal text.
+  EXPECT_EQ(ParseJson(R"("price: \u20AC5")").ValueOrDie().AsString(),
+            "price: \xE2\x82\xAC" "5");
+  // Astral plane via surrogate pair: U+1F600 (grinning face).
+  EXPECT_EQ(ParseJson(R"("\uD83D\uDE00")").ValueOrDie().AsString(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, LoneSurrogatesDecodeToReplacementCharacter) {
+  const std::string replacement = "\xEF\xBF\xBD";  // U+FFFD
+  // High surrogate at end of string / before literal text / before a
+  // non-surrogate escape; low surrogate with no preceding high one.
+  EXPECT_EQ(ParseJson(R"("\uD83D")").ValueOrDie().AsString(), replacement);
+  EXPECT_EQ(ParseJson(R"("\uD83Dx")").ValueOrDie().AsString(), replacement + "x");
+  EXPECT_EQ(ParseJson(R"("\uD83DA")").ValueOrDie().AsString(),
+            replacement + "A");
+  EXPECT_EQ(ParseJson(R"("\uDE00")").ValueOrDie().AsString(), replacement);
+}
+
+TEST(JsonTest, UnicodeStringsRoundTripThroughWriter) {
+  // The writer emits non-ASCII bytes raw, so decoded escapes round-trip
+  // (re-reading yields the identical UTF-8 string) for BMP and astral
+  // characters alike (U+1D11E, musical G clef, needs a surrogate pair).
+  for (const char* text : {R"("caf\u00E9")", R"("\u20AC 42")",
+                           R"("\uD83D\uDE00 ok \uD834\uDD1E")"}) {
+    const Value decoded = ParseJson(text).ValueOrDie();
+    const Value again = ParseJson(WriteJson(decoded)).ValueOrDie();
+    EXPECT_EQ(again.AsString(), decoded.AsString()) << text;
+  }
 }
 
 TEST_F(FormatRoundTripTest, JsonLinesRoundTripWithNesting) {

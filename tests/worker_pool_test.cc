@@ -121,6 +121,89 @@ TEST(WorkerPoolTest, NestedRunFallsBackToInlineExecution) {
   EXPECT_FALSE(pool.OnWorkerThread());
 }
 
+TEST(WorkerPoolTest, NestedDispatchPropagatesInnerException) {
+  WorkerPool pool(4);
+  std::atomic<int> outer_done{0};
+  EXPECT_THROW(
+      pool.Run([&](size_t id) {
+        if (id == 0) {
+          // The nested Run executes inline; its exception must surface from
+          // the nested Wait into this (outer) task, which the outer epoch
+          // then reports at the driver like any task failure.
+          pool.Run([](size_t inner) {
+            if (inner == 2) throw std::runtime_error("inner boom");
+          });
+        }
+        outer_done++;
+      }),
+      std::runtime_error);
+  // Workers other than the nesting one completed their outer task normally.
+  EXPECT_EQ(outer_done.load(), 3);
+  // The pool survives a failed nested dispatch.
+  std::atomic<int> total{0};
+  pool.Run([&](size_t) { total++; });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(WorkerPoolTest, NestedDispatchRunsAllIdsAndKeepsFirstError) {
+  WorkerPool pool(3);
+  std::atomic<int> inner_runs{0};
+  try {
+    pool.Run([&](size_t id) {
+      if (id != 0) return;
+      pool.Dispatch([&](size_t inner) {
+        inner_runs++;
+        throw std::runtime_error("inner " + std::to_string(inner));
+      });
+      pool.Wait();
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The first inner failure wins (same contract as the driver path)...
+    EXPECT_STREQ(e.what(), "inner 0");
+  }
+  // ...but an inner throw must not stop the remaining node ids.
+  EXPECT_EQ(inner_runs.load(), 3);
+}
+
+TEST(WorkerPoolTest, AbandonedNestedErrorDoesNotLeakIntoLaterDispatch) {
+  WorkerPool pool(2);
+  // A nested Dispatch whose error is never consumed by a Wait...
+  pool.Run([&](size_t id) {
+    if (id != 0) return;
+    pool.Dispatch([](size_t) { throw std::runtime_error("abandoned"); });
+    // No Wait: the enclosing task moves on, discarding the nested epoch.
+  });
+  // ...must not resurface from an unrelated nested Run on the same worker
+  // thread later (fn(id) runs on the fixed worker thread `id`, so this
+  // nested Run executes on the exact thread that abandoned the error).
+  pool.Run([&](size_t id) {
+    if (id != 0) return;
+    EXPECT_NO_THROW(pool.Run([](size_t) {}));
+  });
+}
+
+TEST(WorkerPoolTest, ConcurrentDriversShareThePoolSafely) {
+  // Multiple session threads race Run() on one pool: the driver lock
+  // serializes epochs, TryAcquireDriver lets whoever wins drive, and every
+  // epoch still runs each worker exactly once.
+  constexpr int kDrivers = 4;
+  constexpr int kEpochsPerDriver = 50;
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; d++) {
+    drivers.emplace_back([&] {
+      for (int e = 0; e < kEpochsPerDriver; e++) {
+        pool.Run([&](size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(total.load(), kDrivers * kEpochsPerDriver * 3);
+}
+
 TEST(WorkerPoolTest, ClusterRunOnNodesPropagatesWorkerErrors) {
   Cluster cluster(testsupport::FastClusterOptions(4));
   EXPECT_THROW(cluster.RunOnNodes([](size_t n) {

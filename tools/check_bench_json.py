@@ -1,21 +1,23 @@
 #!/usr/bin/env python3
 """Validate BENCH_cluster.json: schema + regression vs the checked-in file.
 
-Stdlib-only. Two jobs, both fatal on failure (exit 1):
+Stdlib-only. Two jobs:
 
-1. Schema: every gate section the benches merge into the file must be
-   present with the expected numeric fields, so a bench that silently stops
-   writing its section can't pass CI on a stale file.
+1. Schema (fatal, exit 1): every gate section the benches merge into the
+   file must be present with the expected numeric fields, so a bench that
+   silently stops writing its section can't pass CI on a stale file.
 2. Regression: each gate metric is compared against the checked-in baseline
-   (the repo's BENCH_cluster.json). A metric that moved more than its
-   tolerance in the *bad* direction fails; improvements are always fine
-   (CI prints a note so the baseline can be refreshed). Deterministic
-   metrics (byte counts — pipeline.reduction) use --tolerance (default
-   20%); wall-clock-derived ratios (dispatch.speedup,
-   prepared_reexec.speedup, udf_vs_builtin_ratio) use the looser
-   --timing-tolerance (default 50%), because the baseline is measured on a
-   developer machine and CI runs on noisy shared runners — same-machine
-   run-to-run swings of ~10% are normal, so 20% would fail spuriously.
+   (the repo's BENCH_cluster.json). Deterministic metrics (byte/row counts
+   and bit-identical flags — e.g. pipeline.reduction) are a *hard* gate:
+   moving more than --tolerance (default 20%) in the bad direction fails
+   with exit 1. Wall-clock-derived ratios (dispatch.speedup,
+   prepared_reexec.speedup, udf_vs_builtin_ratio, concurrency.speedup) are
+   *advisory*: a move past --timing-tolerance (default 50%) prints a
+   WARNING naming each offending metric but never fails the run, because
+   the baseline is measured on a developer machine and CI runs on noisy
+   shared runners — a hard wall-clock band flakes there, while the benches'
+   own --check flags still enforce the machine-local thresholds at measure
+   time. Improvements print a note so the baseline can be refreshed.
 
 Usage:
     check_bench_json.py <measured.json> [--baseline BENCH_cluster.json]
@@ -55,6 +57,13 @@ SCHEMA = {
         "morsels": None,
         "violations_identical": None,
     },
+    "concurrency": {
+        "sessions": None,
+        "serial_s": None,
+        "concurrent_s": None,
+        "speedup": ("higher", "timing"),
+        "violations_identical": ("higher", "exact"),
+    },
 }
 
 
@@ -88,8 +97,10 @@ def check_schema(doc, path):
 
 
 def check_regressions(measured, baseline, tolerance, timing_tolerance):
-    """Fails when a gated metric is >tolerance worse than the baseline."""
+    """Hard-fails deterministic metrics >tolerance worse than the baseline;
+    wall-clock ("timing") metrics only warn, naming each offender."""
     failures = []
+    warnings = []
     for section, fields in SCHEMA.items():
         base_section = baseline.get(section)
         if not isinstance(base_section, dict):
@@ -108,13 +119,14 @@ def check_regressions(measured, baseline, tolerance, timing_tolerance):
             if not isinstance(old, (int, float)) or isinstance(old, bool) or old <= 0:
                 continue
             ratio = new / old
+            sink = warnings if kind == "timing" else failures
             if direction == "higher" and ratio < 1.0 - field_tolerance:
-                failures.append(
+                sink.append(
                     f"{section}.{field} regressed: {new:.4g} vs baseline "
                     f"{old:.4g} ({(1.0 - ratio) * 100:.1f}% worse, "
                     f"tolerance {field_tolerance * 100:.0f}%)")
             elif direction == "lower" and ratio > 1.0 + field_tolerance:
-                failures.append(
+                sink.append(
                     f"{section}.{field} regressed: {new:.4g} vs baseline "
                     f"{old:.4g} ({(ratio - 1.0) * 100:.1f}% worse, "
                     f"tolerance {field_tolerance * 100:.0f}%)")
@@ -123,9 +135,21 @@ def check_regressions(measured, baseline, tolerance, timing_tolerance):
                 print(f"check_bench_json: note: {section}.{field} improved "
                       f"({old:.4g} -> {new:.4g}); consider refreshing the "
                       "checked-in baseline")
+    if warnings:
+        # Advisory only: wall-clock ratios flake on shared CI runners, so a
+        # miss is surfaced loudly (with the metric names) but never fatal.
+        names = ", ".join(w.split(" regressed:")[0] for w in warnings)
+        for w in warnings:
+            print(f"check_bench_json: WARNING (advisory): {w}", file=sys.stderr)
+        print(f"check_bench_json: WARNING: timing metric(s) past tolerance: "
+              f"{names} — not failing (wall-clock metrics are advisory; "
+              "re-measure on the baseline machine to confirm)",
+              file=sys.stderr)
     if failures:
+        names = ", ".join(f.split(" regressed:")[0] for f in failures)
         for f in failures:
             print(f"check_bench_json: FAILED: {f}", file=sys.stderr)
+        print(f"check_bench_json: FAILED metric(s): {names}", file=sys.stderr)
         sys.exit(1)
 
 
@@ -146,8 +170,9 @@ def main():
     check_schema(measured, args.measured)
     baseline = load(args.baseline)
     check_regressions(measured, baseline, args.tolerance, args.timing_tolerance)
-    print(f"check_bench_json: OK ({args.measured}: schema valid, no gate "
-          f"metric >{args.tolerance * 100:.0f}% worse than {args.baseline})")
+    print(f"check_bench_json: OK ({args.measured}: schema valid, no "
+          f"deterministic gate metric >{args.tolerance * 100:.0f}% worse "
+          f"than {args.baseline})")
 
 
 if __name__ == "__main__":

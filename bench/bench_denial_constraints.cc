@@ -129,7 +129,10 @@ int main(int argc, char** argv) {
       // Re-run with load report via a direct executor for the imbalance.
       const Dataset* t = db.GetTable("lineitem").ValueOrDie();
       Catalog catalog{{{"lineitem", t}}};
-      engine::Cluster cluster({8, 0});
+      engine::ClusterOptions copts;
+      copts.num_nodes = 8;
+      copts.shuffle_ns_per_byte = 0;
+      engine::Cluster cluster(copts);
       std::vector<Row> rows;
       for (const auto& row : t->rows()) {
         rows.push_back({row[0], row[1], row[2]});

@@ -571,6 +571,113 @@ ConcurrencyAb RunConcurrencyAb() {
   return ab;
 }
 
+// ---- Fault-tolerance A/B: the recovery machinery must keep results exact
+// and cheap. Two arms:
+//   1. Injected failures: the 8-FD unified plan (pure compute) clean vs
+//      5% per-task injected kUnavailable with a fixed seed — retries must
+//      re-execute failed partitions to *bit-identical* violations at ≤1.5×
+//      the clean wall-clock (a failed attempt aborts before the task body,
+//      so the overhead is re-execution, not corruption).
+//   2. Deadline: a network-simulated cold execution (this arm deliberately
+//      ignores --nonet — with zero network cost the run finishes before any
+//      realistic deadline) re-run with deadline_ns at 10% of its clean
+//      wall-clock must return kDeadlineExceeded promptly instead of running
+//      to completion.
+
+struct FaultAb {
+  double clean_s = 0;
+  double faulted_s = 0;
+  double overhead = 0;  ///< faulted / clean (≤ 1.5 gated)
+  uint64_t tasks_failed = 0;
+  uint64_t tasks_retried = 0;
+  size_t violations = 0;
+  bool identical = false;
+  double deadline_clean_s = 0;
+  double deadline_run_s = 0;
+  bool deadline_exceeded = false;
+  uint64_t executions_cancelled = 0;
+};
+
+FaultAb RunFaultAb() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = std::max<size_t>(g_base_rows, 2000);
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 40;
+  copts.fd_violation_fraction = 0.05;
+  const Dataset data = datagen::MakeCustomer(copts);
+
+  FaultAb ab;
+  auto render = [](const QueryResult& r) {
+    std::vector<std::string> out;
+    for (const auto& op : r.ops) {
+      for (const auto& v : op.violations) out.push_back(v.ToString());
+    }
+    return out;
+  };
+
+  // Arm 1: clean vs 5% injected task failures on the 8-FD unified plan.
+  std::vector<std::string> rendered[2];
+  for (int faulty = 0; faulty <= 1; faulty++) {
+    CleanDBOptions opts = ManyOpOptions(/*legacy=*/false);
+    if (faulty != 0) {
+      opts.fault.failure_probability = 0.05;
+      opts.fault.seed = 1234;  // fixed: the failure schedule is part of the A/B
+      opts.fault.max_task_retries = 8;
+      opts.fault.retry_backoff_ns = 0;  // measure re-execution, not sleeps
+    }
+    CleanDB db(opts);
+    db.RegisterTable("customer", data);
+    double best = -1;
+    for (int rep = 0; rep < 3; rep++) {
+      Timer timer;
+      auto result = db.Execute(kManyOpQuery).ValueOrDie();
+      const double s = timer.ElapsedSeconds();
+      if (best < 0 || s < best) best = s;
+      CLEANM_CHECK(result.ops.size() == 8);
+      rendered[faulty] = render(result);
+      if (faulty != 0) {
+        ab.tasks_failed += result.metrics.tasks_failed;
+        ab.tasks_retried += result.metrics.tasks_retried;
+      }
+    }
+    (faulty != 0 ? ab.faulted_s : ab.clean_s) = best;
+  }
+  ab.violations = rendered[0].size();
+  ab.identical = rendered[0] == rendered[1];
+  ab.overhead = ab.clean_s > 0 ? ab.faulted_s / ab.clean_s : 0;
+
+  // Arm 2: deadline at 10% of a cold network-simulated execution.
+  CleanDBOptions dopts;
+  dopts.num_nodes = 8;
+  dopts.shuffle_ns_per_byte = 150000.0;  // sleep-dominated (see concurrency A/B)
+  CleanDB db(dopts);
+  datagen::CustomerOptions small = copts;
+  small.base_rows = std::min<size_t>(g_base_rows, 150);
+  db.RegisterTable("customer", datagen::MakeCustomer(small));
+  auto prepared = db.Prepare(kQuery);
+  CLEANM_CHECK(prepared.ok());
+  {
+    Timer timer;
+    (void)prepared.value().Execute().ValueOrDie();
+    ab.deadline_clean_s = timer.ElapsedSeconds();
+  }
+  // Re-register: the generation bump empties the partition cache, so the
+  // deadline run pays the same network waits the clean timing did.
+  db.RegisterTable("customer", datagen::MakeCustomer(small));
+  ExecOptions eo;
+  eo.deadline_ns = static_cast<uint64_t>(ab.deadline_clean_s * 0.1 * 1e9);
+  {
+    Timer timer;
+    auto r = prepared.value().Execute(eo);
+    ab.deadline_run_s = timer.ElapsedSeconds();
+    ab.deadline_exceeded =
+        !r.ok() && r.status().code() == StatusCode::kDeadlineExceeded;
+  }
+  ab.executions_cancelled =
+      db.cluster().session_metrics().executions_cancelled.load();
+  return ab;
+}
+
 /// Inserts/replaces `"key": object` in the flat JSON file at `path`
 /// (written by bench_cluster_primitives), preserving the other sections.
 /// Sections written this way live on a single line, so replacement is a
@@ -733,6 +840,23 @@ int main(int argc, char** argv) {
               udf.agg_ratio,
               udf.repairs_applied == udf.repairs_manual ? "identical" : "DIFFERENT");
 
+  std::printf("\n=== fault-tolerance A/B: 5%% injected failures (8 FDs, pure "
+              "compute) + deadline (network-simulated) ===\n");
+  const FaultAb fab = RunFaultAb();
+  std::printf("clean unified plan                    %8.4f s\n", fab.clean_s);
+  std::printf("5%% injected failures, retried        %8.4f s  (%.2fx, %llu "
+              "failed / %llu retried tasks)\n",
+              fab.faulted_s, fab.overhead,
+              static_cast<unsigned long long>(fab.tasks_failed),
+              static_cast<unsigned long long>(fab.tasks_retried));
+  std::printf("deadline: clean %8.4f s, 10%% deadline run %8.4f s (%s)\n",
+              fab.deadline_clean_s, fab.deadline_run_s,
+              fab.deadline_exceeded ? "kDeadlineExceeded" : "NOT CUT OFF");
+  std::printf("[measured] %zu violations %s under injected faults; deadline "
+              "cancelled %llu execution(s)\n",
+              fab.violations, fab.identical ? "bit-identical" : "DIFFER",
+              static_cast<unsigned long long>(fab.executions_cancelled));
+
   if (!out_path.empty()) {
     char object[256];
     std::snprintf(object, sizeof(object),
@@ -770,6 +894,19 @@ int main(int argc, char** argv) {
                   cab.sessions, cab.serial_s, cab.concurrent_s, cab.speedup,
                   cab.identical ? 1 : 0);
     MergeJsonSection(out_path, "concurrency", conc_object);
+    char fault_object[384];
+    std::snprintf(fault_object, sizeof(fault_object),
+                  "{\"clean_s\": %.6f, \"faulted_s\": %.6f, "
+                  "\"overhead\": %.3f, \"tasks_failed\": %llu, "
+                  "\"tasks_retried\": %llu, \"violations_identical\": %d, "
+                  "\"deadline_clean_s\": %.6f, \"deadline_run_s\": %.6f, "
+                  "\"deadline_exceeded\": %d}",
+                  fab.clean_s, fab.faulted_s, fab.overhead,
+                  static_cast<unsigned long long>(fab.tasks_failed),
+                  static_cast<unsigned long long>(fab.tasks_retried),
+                  fab.identical ? 1 : 0, fab.deadline_clean_s,
+                  fab.deadline_run_s, fab.deadline_exceeded ? 1 : 0);
+    MergeJsonSection(out_path, "fault_tolerance", fault_object);
   }
 
   if (check) {
@@ -874,6 +1011,55 @@ int main(int argc, char** argv) {
     std::printf("[check] concurrency gate passed (%.2fx ≥ %.1fx, %zu "
                 "bit-identical violations per execution)\n",
                 cab.speedup, kMinConcurrentSpeedup, cab.violations);
+
+    // Fault-tolerance gates: retried executions must stay exact (same
+    // violations in the same order — a retry is a per-partition
+    // re-execution, and the monoid merges make it reproduce the partials
+    // bit for bit) and cheap (≤1.5× clean); the retry path must actually
+    // fire; and a deadline 10× shorter than the clean wall-clock must cut
+    // the execution off with kDeadlineExceeded instead of letting it run
+    // to completion.
+    const double kMaxFaultOverhead = 1.5;
+    if (!fab.identical || fab.violations == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: violations under injected faults %s the "
+                   "clean run (%zu tuples)\n",
+                   fab.identical ? "match" : "DIFFER from", fab.violations);
+      return 1;
+    }
+    if (fab.tasks_retried == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: 0 tasks retried at 5%% injected failure "
+                   "probability (injection or retry path is dead)\n");
+      return 1;
+    }
+    if (fab.overhead > kMaxFaultOverhead) {
+      std::fprintf(stderr,
+                   "[check] FAILED: injected-fault overhead %.2fx exceeds the "
+                   "%.1fx gate (%.4f s clean vs %.4f s faulted)\n",
+                   fab.overhead, kMaxFaultOverhead, fab.clean_s, fab.faulted_s);
+      return 1;
+    }
+    if (!fab.deadline_exceeded) {
+      std::fprintf(stderr,
+                   "[check] FAILED: execution with a 10%% deadline did not "
+                   "return kDeadlineExceeded (%.4f s clean, %.4f s run)\n",
+                   fab.deadline_clean_s, fab.deadline_run_s);
+      return 1;
+    }
+    if (fab.deadline_run_s > fab.deadline_clean_s * 0.6) {
+      std::fprintf(stderr,
+                   "[check] FAILED: deadline run took %.4f s — not prompt "
+                   "against a %.4f s clean wall-clock (gate: ≤60%%)\n",
+                   fab.deadline_run_s, fab.deadline_clean_s);
+      return 1;
+    }
+    std::printf("[check] fault-tolerance gate passed (%.2fx ≤ %.1fx overhead, "
+                "%llu retries, %zu bit-identical violations, deadline cut at "
+                "%.4f s / %.4f s clean)\n",
+                fab.overhead, kMaxFaultOverhead,
+                static_cast<unsigned long long>(fab.tasks_retried),
+                fab.violations, fab.deadline_run_s, fab.deadline_clean_s);
   }
   return 0;
 }

@@ -73,6 +73,10 @@ struct CleanDBOptions {
   /// oversized execution is admitted once it is alone. 0 = unlimited (no
   /// queueing, the default).
   uint64_t max_inflight_bytes = 0;
+  /// Session defaults for fault injection, task retry/backoff, and node
+  /// blacklisting (see engine::FaultOptions; off by default). Probability /
+  /// seed / retry knobs are overridable per call via ExecOptions.
+  engine::FaultOptions fault;
 };
 
 /// Output of one cleaning operation.
@@ -99,6 +103,9 @@ struct QueryResult {
   /// counters are per-execution deltas; resident_* are end-of-execution
   /// gauges.
   PartitionCache::Stats cache;
+  /// Poison rows recorded and skipped by the quarantine (empty unless
+  /// ExecOptions::max_quarantined_rows enabled it).
+  std::vector<engine::QuarantinedRow> quarantined;
 };
 
 /// \brief The CleanDB engine. Register tables, then Prepare/Execute CleanM

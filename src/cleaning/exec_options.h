@@ -51,6 +51,26 @@ struct ExecOptions {
   /// CleanDBOptions::max_inflight_bytes; ignored when the session has no
   /// in-flight budget.
   std::optional<uint64_t> admission_bytes;
+
+  /// Wall-clock budget for this execution. When it elapses the execution
+  /// unwinds at the next epoch/morsel boundary (or mid network sleep) and
+  /// returns kDeadlineExceeded with all workers joined.
+  std::optional<uint64_t> deadline_ns;
+
+  /// Poison rows tolerated: a row whose compiled expression or UDF throws
+  /// is recorded in QueryResult::quarantined and skipped instead of
+  /// aborting. Past the cap the execution fails. Unset/0 = quarantine off
+  /// (a throwing row fails the execution with kInternal). Pipelined path
+  /// only; the materialize-first baseline ignores it.
+  std::optional<size_t> max_quarantined_rows;
+
+  // Fault-injection / retry overrides (see engine::FaultOptions). Applied
+  // to the shared cluster for this call and restored afterwards; per-node
+  // blacklist state, once entered, persists for the session.
+  std::optional<double> fault_probability;
+  std::optional<uint64_t> fault_seed;
+  std::optional<size_t> max_task_retries;
+  std::optional<uint64_t> retry_backoff_ns;
 };
 
 }  // namespace cleanm

@@ -1,6 +1,7 @@
 #include "cleaning/prepared_query.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -11,6 +12,12 @@
 namespace cleanm {
 
 namespace {
+
+/// True when `opts` overrides any fault-injection / retry knob.
+bool HasFaultOverrides(const ExecOptions& opts) {
+  return opts.fault_probability.has_value() || opts.fault_seed.has_value() ||
+         opts.max_task_retries.has_value() || opts.retry_backoff_ns.has_value();
+}
 
 /// Applies ExecOptions' cluster overrides on construction and restores the
 /// session configuration on destruction, so per-call knobs can never leak
@@ -29,12 +36,21 @@ class ScopedClusterConfig {
           opts.shuffle_ns_per_batch.value_or(saved_.shuffle_ns_per_batch));
     }
     if (opts.shuffle_batch_rows) cluster_->SetShuffleBatchRows(*opts.shuffle_batch_rows);
+    if (HasFaultOverrides(opts)) {
+      engine::FaultOptions fo = saved_.fault;
+      if (opts.fault_probability) fo.failure_probability = *opts.fault_probability;
+      if (opts.fault_seed) fo.seed = *opts.fault_seed;
+      if (opts.max_task_retries) fo.max_task_retries = *opts.max_task_retries;
+      if (opts.retry_backoff_ns) fo.retry_backoff_ns = *opts.retry_backoff_ns;
+      cluster_->SetFaultOptions(fo);
+    }
   }
 
   ~ScopedClusterConfig() {
     cluster_->SetActiveNodes(saved_active_);
     cluster_->SetShuffleCost(saved_.shuffle_ns_per_byte, saved_.shuffle_ns_per_batch);
     cluster_->SetShuffleBatchRows(saved_.shuffle_batch_rows);
+    cluster_->SetFaultOptions(saved_.fault);
   }
 
  private:
@@ -49,7 +65,7 @@ class ScopedClusterConfig {
 bool ReconfiguresCluster(const ExecOptions& opts) {
   return opts.max_nodes.has_value() || opts.shuffle_ns_per_byte.has_value() ||
          opts.shuffle_ns_per_batch.has_value() ||
-         opts.shuffle_batch_rows.has_value();
+         opts.shuffle_batch_rows.has_value() || HasFaultOverrides(opts);
 }
 
 /// Default admission charge of an execution: the summed logical ByteSize of
@@ -407,9 +423,29 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   // counters; the session totals accumulate on completion below.
   QueryMetrics exec_metrics;
   engine::MetricsScope metrics_scope(&exec_metrics);
+
+  // Cancellation sources for this execution: the query's CancelToken plus
+  // the per-call deadline. The scope travels with the engine calls the same
+  // way the metrics scope does; checks fire at every task attempt, every
+  // PumpToDriver morsel, and inside simulated network sleeps.
+  engine::ExecControl control;
+  control.token = pq.cancel_token_.get();
+  if (opts.deadline_ns) {
+    control.has_deadline = true;
+    control.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(static_cast<int64_t>(*opts.deadline_ns));
+  }
+  engine::ExecControlScope control_scope(&control);
+
+  // Poison-row quarantine (opt-in): rows whose compiled expressions throw
+  // are recorded here and skipped on the pipelined path.
+  const size_t max_quarantined = opts.max_quarantined_rows.value_or(0);
+  engine::QuarantineSink quarantine(max_quarantined);
+
   const PartitionCache::Stats cache_before = cache_.stats();
   Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
                 pq.persist_cache_};
+  exec.quarantine = max_quarantined > 0 ? &quarantine : nullptr;
 
   // The unified violation report: entity → operations it violates (the
   // Section-4.4 outer join), built incrementally as violations stream.
@@ -425,6 +461,12 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   const size_t morsel_rows =
       std::max<size_t>(1, opts.morsel_rows.value_or(options_.morsel_rows));
 
+  // The engine propagates worker failures as exceptions (see
+  // engine/fault.h): retries exhausted (kUnavailable), cancellation and
+  // deadlines (StatusException), and — with the quarantine off — poison
+  // rows. Catch them at this session boundary so every failure mode
+  // surfaces as an ordinary Status with all workers joined.
+  auto run_plans = [&]() -> Status {
   for (size_t i = 0; i < pq.plans_.size(); i++) {
     const CleaningPlan& cp = pq.plans_[i];
     Timer op_timer;
@@ -492,10 +534,26 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   for (const auto& [entity, ops] : entities) {
     CLEANM_RETURN_NOT_OK(sink.OnDirtyEntity(entity, ops));
   }
+  return Status::OK();
+  };
+
+  Status status;
+  try {
+    status = run_plans();
+  } catch (const engine::StatusException& e) {
+    status = e.status();
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("execution failed: ") + e.what());
+  }
+  if (status.code() == StatusCode::kCancelled ||
+      status.code() == StatusCode::kDeadlineExceeded) {
+    exec_metrics.executions_cancelled += 1;
+  }
 
   if (summary) {
     summary->nests_coalesced = unify ? pq.nests_coalesced_ : 0;
     summary->total_seconds = total.ElapsedSeconds();
+    summary->quarantined = quarantine.TakeRows();
     summary->metrics = exec_metrics.Snapshot();
     // The cache is shared, so under concurrent executions this delta also
     // counts their hits/misses — it is a session-activity window, not a
@@ -503,9 +561,10 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
     summary->cache = cache_.stats().Since(cache_before);
   }
   // Fold this execution's counters into the session-cumulative totals
-  // (counts add; the materialization peak folds as a running max).
+  // (counts add; the materialization peak folds as a running max) — also on
+  // failure, so cancelled/unavailable executions stay metrics-visible.
   cluster_->session_metrics().Accumulate(exec_metrics.Snapshot());
-  return Status::OK();
+  return status;
 }
 
 }  // namespace cleanm

@@ -18,6 +18,7 @@
 // Prepare time and embedded in the plan, like bound parameters.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,11 @@ class PreparedQuery {
   /// and is returned.
   Status ExecuteInto(ViolationSink& sink, const ExecOptions& opts = {});
 
+  /// Cooperative cancellation: Cancel() from any thread makes in-flight
+  /// (and future) Executes of this query unwind at the next epoch/morsel
+  /// boundary with kCancelled. Sticky until Reset().
+  engine::CancelToken& cancel_token() { return *cancel_token_; }
+
  private:
   friend class CleanDB;
   PreparedQuery() = default;
@@ -90,6 +96,10 @@ class PreparedQuery {
   /// object, so their Nest outputs must not persist in (and pollute) the
   /// session cache.
   bool persist_cache_ = true;
+  /// Shared so the token survives moves of the PreparedQuery while another
+  /// thread holds a reference to cancel through.
+  std::shared_ptr<engine::CancelToken> cancel_token_ =
+      std::make_shared<engine::CancelToken>();
 };
 
 }  // namespace cleanm

@@ -11,7 +11,11 @@ std::string MetricsCounters::ToString() const {
      << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built
      << " udf_calls=" << udf_calls << " repairs_applied=" << repairs_applied
      << " peak_bytes_materialized=" << peak_bytes_materialized
-     << " morsels_processed=" << morsels_processed;
+     << " morsels_processed=" << morsels_processed
+     << " tasks_failed=" << tasks_failed << " tasks_retried=" << tasks_retried
+     << " nodes_blacklisted=" << nodes_blacklisted
+     << " rows_quarantined=" << rows_quarantined
+     << " executions_cancelled=" << executions_cancelled;
   return os.str();
 }
 

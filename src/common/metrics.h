@@ -40,6 +40,19 @@ struct MetricsCounters {
   /// Morsels flushed through the pipelined execution path (0 on the
   /// materialize-first path).
   uint64_t morsels_processed = 0;
+  /// Task attempts that failed with an (injected) node-unavailable fault.
+  uint64_t tasks_failed = 0;
+  /// Failed task attempts that were retried (per-node partition
+  /// re-execution; tasks_failed - tasks_retried attempts were fatal).
+  uint64_t tasks_retried = 0;
+  /// Nodes taken out of service after node_blacklist_threshold consecutive
+  /// failures; their partitions re-shuffle across the surviving width.
+  uint64_t nodes_blacklisted = 0;
+  /// Poison rows recorded and skipped by the quarantine instead of
+  /// aborting the execution.
+  uint64_t rows_quarantined = 0;
+  /// Executions that ended with kCancelled or kDeadlineExceeded.
+  uint64_t executions_cancelled = 0;
 
   std::string ToString() const;
 
@@ -51,7 +64,12 @@ struct MetricsCounters {
            a.groups_built == b.groups_built && a.udf_calls == b.udf_calls &&
            a.repairs_applied == b.repairs_applied &&
            a.peak_bytes_materialized == b.peak_bytes_materialized &&
-           a.morsels_processed == b.morsels_processed;
+           a.morsels_processed == b.morsels_processed &&
+           a.tasks_failed == b.tasks_failed &&
+           a.tasks_retried == b.tasks_retried &&
+           a.nodes_blacklisted == b.nodes_blacklisted &&
+           a.rows_quarantined == b.rows_quarantined &&
+           a.executions_cancelled == b.executions_cancelled;
   }
   friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
     return !(a == b);
@@ -76,6 +94,11 @@ struct QueryMetrics {
   std::atomic<uint64_t> bytes_materialized_now{0};
   std::atomic<uint64_t> peak_bytes_materialized{0};
   std::atomic<uint64_t> morsels_processed{0};
+  std::atomic<uint64_t> tasks_failed{0};
+  std::atomic<uint64_t> tasks_retried{0};
+  std::atomic<uint64_t> nodes_blacklisted{0};
+  std::atomic<uint64_t> rows_quarantined{0};
+  std::atomic<uint64_t> executions_cancelled{0};
 
   /// Adds `bytes` of transient buffer to the gauge and folds the new level
   /// into the peak. Thread-safe (workers charge in-flight morsels).
@@ -106,6 +129,11 @@ struct QueryMetrics {
     udf_calls += s.udf_calls;
     repairs_applied += s.repairs_applied;
     morsels_processed += s.morsels_processed;
+    tasks_failed += s.tasks_failed;
+    tasks_retried += s.tasks_retried;
+    nodes_blacklisted += s.nodes_blacklisted;
+    rows_quarantined += s.rows_quarantined;
+    executions_cancelled += s.executions_cancelled;
     uint64_t peak = peak_bytes_materialized.load();
     while (s.peak_bytes_materialized > peak &&
            !peak_bytes_materialized.compare_exchange_weak(
@@ -125,6 +153,11 @@ struct QueryMetrics {
     bytes_materialized_now = 0;
     peak_bytes_materialized = 0;
     morsels_processed = 0;
+    tasks_failed = 0;
+    tasks_retried = 0;
+    nodes_blacklisted = 0;
+    rows_quarantined = 0;
+    executions_cancelled = 0;
   }
 
   MetricsCounters Snapshot() const {
@@ -139,6 +172,11 @@ struct QueryMetrics {
     s.repairs_applied = repairs_applied.load();
     s.peak_bytes_materialized = peak_bytes_materialized.load();
     s.morsels_processed = morsels_processed.load();
+    s.tasks_failed = tasks_failed.load();
+    s.tasks_retried = tasks_retried.load();
+    s.nodes_blacklisted = nodes_blacklisted.load();
+    s.rows_quarantined = rows_quarantined.load();
+    s.executions_cancelled = executions_cancelled.load();
     return s;
   }
 

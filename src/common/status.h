@@ -23,6 +23,9 @@ enum class StatusCode {
   kNotImplemented,
   kKeyError,
   kInternal,
+  kCancelled,          ///< execution cancelled via CancelToken
+  kDeadlineExceeded,   ///< ExecOptions::deadline_ns elapsed mid-execution
+  kUnavailable,        ///< a node stayed unavailable past max_task_retries
 };
 
 /// \brief Lightweight success/error value returned by fallible operations.
@@ -56,6 +59,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -77,6 +89,9 @@ class Status {
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kKeyError: return "KeyError";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -53,25 +53,47 @@ Value DistinctAccMerge(Value a, const Value& b) {
 
 namespace {
 
+/// Folds one row: key and unit are both evaluated *before* the map is
+/// touched, so a throwing row (poison data under the quarantine hook)
+/// leaves the accumulator state untouched.
+void FoldOne(AccMap* accs, const Row& row, const AggregateSpec& spec) {
+  Value key = spec.key(row);
+  Value unit = spec.init(row);
+  auto it = accs->find(key);
+  if (it == accs->end()) {
+    accs->emplace(std::move(key), std::move(unit));
+  } else {
+    it->second = spec.merge(std::move(it->second), unit);
+  }
+}
+
 /// Folds rows into an accumulator map in row order (shared by the
 /// whole-partition and morsel-fed paths, so their fold sequences — and the
-/// map's growth/iteration order — cannot diverge).
-void AccumulateRows(AccMap* accs, const Partition& rows, const AggregateSpec& spec) {
-  for (const auto& row : rows) {
-    Value key = spec.key(row);
-    auto it = accs->find(key);
-    if (it == accs->end()) {
-      accs->emplace(std::move(key), spec.init(row));
-    } else {
-      it->second = spec.merge(std::move(it->second), spec.init(row));
+/// map's growth/iteration order — cannot diverge). `node` / `first_ordinal`
+/// identify the rows for the on_row_error hook (ordinal = position within
+/// the node's fold stream).
+void AccumulateRows(AccMap* accs, const Partition& rows, const AggregateSpec& spec,
+                    size_t node, size_t first_ordinal = 0) {
+  if (!spec.on_row_error) {
+    for (const auto& row : rows) FoldOne(accs, row, spec);
+    return;
+  }
+  for (size_t i = 0; i < rows.size(); i++) {
+    try {
+      FoldOne(accs, rows[i], spec);
+    } catch (const StatusException&) {
+      throw;  // cancellation / injected unavailability is not a poison row
+    } catch (const std::exception& e) {
+      Status st = spec.on_row_error(node, first_ordinal + i, rows[i], e);
+      if (!st.ok()) throw StatusException(std::move(st));
     }
   }
 }
 
 /// Aggregates one partition's rows into an accumulator map.
-AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec) {
+AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec, size_t node) {
   AccMap accs;
-  AccumulateRows(&accs, rows, spec);
+  AccumulateRows(&accs, rows, spec, node);
   return accs;
 }
 
@@ -123,7 +145,7 @@ Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
   // immediately encoded as shuffle-ready partials, one row per (node, key).
   Partitioned partials(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
-    AccMap local = LocalAggregate(in[n], spec);
+    AccMap local = LocalAggregate(in[n], spec, n);
     partials[n].reserve(local.size());
     for (auto& [key, acc] : local) {
       partials[n].push_back(EncodePartial(key, std::move(acc)));
@@ -175,7 +197,7 @@ Partitioned RunSortShuffle(Cluster& cluster, const Partitioned& in,
     std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
       return spec.key(a).Compare(spec.key(b)) < 0;
     });
-    merged[n] = LocalAggregate(rows, spec);
+    merged[n] = LocalAggregate(rows, spec, n);
   });
   return FinalizePerNode(cluster, merged, spec);
 }
@@ -187,7 +209,7 @@ Partitioned RunHashShuffle(Cluster& cluster, const Partitioned& in,
       cluster.Shuffle(in, [&](const Row& r) { return spec.key(r).Hash(); });
   if (load != nullptr) *load = cluster.Load(routed);
   std::vector<AccMap> merged(cluster.num_nodes());
-  cluster.RunOnNodes([&](size_t n) { merged[n] = LocalAggregate(routed[n], spec); });
+  cluster.RunOnNodes([&](size_t n) { merged[n] = LocalAggregate(routed[n], spec, n); });
   return FinalizePerNode(cluster, merged, spec);
 }
 
@@ -215,6 +237,7 @@ MorselAggregator::MorselAggregator(Cluster& cluster, AggregateSpec spec,
   CLEANM_CHECK(spec_.key && spec_.init && spec_.merge && spec_.finalize);
   if (strategy_ == AggregateStrategy::kLocalCombine) {
     per_node_.resize(cluster_.num_nodes());
+    fold_base_.assign(cluster_.num_nodes(), 0);
   } else {
     buffered_.resize(cluster_.num_nodes());
   }
@@ -222,7 +245,8 @@ MorselAggregator::MorselAggregator(Cluster& cluster, AggregateSpec spec,
 
 void MorselAggregator::Accumulate(size_t node, Partition rows) {
   if (strategy_ == AggregateStrategy::kLocalCombine) {
-    AccumulateRows(&per_node_[node], rows, spec_);
+    AccumulateRows(&per_node_[node], rows, spec_, node, fold_base_[node]);
+    fold_base_[node] += rows.size();
     return;
   }
   // The shuffle-all-rows baselines route every raw row: nothing to fold

@@ -48,6 +48,17 @@ struct AggregateSpec {
   std::function<Value(const Row&)> init;
   std::function<Value(Value, const Value&)> merge;
   std::function<void(const Value& key, const Value& acc, Partition*)> finalize;
+  /// Optional poison-row hook (the physical layer's quarantine): when set,
+  /// a row whose `key`/`init` throws during the fold is handed here with
+  /// its node and fold ordinal instead of unwinding. OK → the row is
+  /// skipped (it never touches the accumulator map); non-OK → the error
+  /// aborts the aggregation (thrown as StatusException). StatusException
+  /// itself (cancellation, injected faults) always propagates. `merge` and
+  /// `finalize` see only accumulators — no per-row user expressions — and
+  /// are not guarded.
+  std::function<Status(size_t node, size_t ordinal, const Row& row,
+                       const std::exception& error)>
+      on_row_error;
 };
 
 /// Common accumulator helpers used by the cleaning operators.
@@ -115,6 +126,9 @@ class MorselAggregator {
   AggregateSpec spec_;
   AggregateStrategy strategy_;
   std::vector<AccMap> per_node_;  ///< kLocalCombine state
+  /// Rows folded so far per node (kLocalCombine): the ordinal base handed
+  /// to the on_row_error hook for each incoming morsel.
+  std::vector<uint64_t> fold_base_;
   Partitioned buffered_;          ///< raw rows for the shuffle-all baselines
 };
 

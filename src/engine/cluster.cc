@@ -31,6 +31,60 @@ Cluster::Cluster(ClusterOptions options)
   if (options_.use_worker_pool) {
     pool_ = std::make_unique<WorkerPool>(options_.num_nodes);
   }
+  fault_ = std::make_unique<FaultInjector>(options_.num_nodes, options_.fault);
+}
+
+void Cluster::SetFaultOptions(const FaultOptions& options) {
+  options_.fault = options;
+  fault_->SetOptions(options);
+}
+
+void Cluster::RunWithFaults(size_t n,
+                            const std::function<void(size_t)>& body) const {
+  // Epoch-boundary cancellation: a cancelled or overdue execution stops
+  // before dispatching more per-node work.
+  if (const ExecControl* control = ExecControlScope::Current()) {
+    Status st = control->Check();
+    if (!st.ok()) throw StatusException(std::move(st));
+  }
+  if (!fault_->options().enabled()) {
+    body(n);
+    return;
+  }
+  const FaultOptions& fo = fault_->options();
+  for (size_t attempt = 0;; attempt++) {
+    FaultInjector::AttemptOutcome outcome = fault_->OnTaskAttempt(n);
+    if (outcome.newly_blacklisted) metrics().nodes_blacklisted += 1;
+    if (!outcome.fail) {
+      // The attempt starts clean: an injected failure fires *before* the
+      // task body, so no partial output from a failed attempt survives and
+      // this (re-)execution rebuilds node n's partial from scratch.
+      body(n);
+      return;
+    }
+    metrics().tasks_failed += 1;
+    if (attempt >= fo.max_task_retries) {
+      throw NodeUnavailableError(
+          n, "node " + std::to_string(n) + " unavailable after " +
+                 std::to_string(attempt + 1) + " task attempts");
+    }
+    metrics().tasks_retried += 1;
+    if (fo.retry_backoff_ns > 0) {
+      const uint64_t backoff = fo.retry_backoff_ns
+                               << (attempt < 6 ? attempt : 6);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    }
+  }
+}
+
+size_t Cluster::SurvivorFor(size_t dst) const {
+  if (!fault_->AnyBlacklisted()) return dst;
+  const size_t n = active_nodes_;
+  for (size_t k = 0; k < n; k++) {
+    const size_t candidate = (dst + k) % n;
+    if (!fault_->blacklisted(candidate)) return candidate;
+  }
+  return dst;  // every node blacklisted: keep the original routing
 }
 
 void Cluster::SetActiveNodes(size_t n) {
@@ -53,12 +107,15 @@ void Cluster::SetShuffleBatchRows(size_t rows) {
 void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
   const size_t active = active_nodes_;
   // Workers (and legacy spawned threads) run the dispatching driver's
-  // closures, so they must charge that driver's per-execution metrics, not
-  // whatever the worker thread last saw.
+  // closures, so they must charge that driver's per-execution metrics (and
+  // observe its cancellation sources), not whatever the worker thread last
+  // saw.
   QueryMetrics* driver_metrics = MetricsScope::Current();
-  const auto task = [&fn, active, driver_metrics](size_t n) {
+  const ExecControl* driver_control = ExecControlScope::Current();
+  const auto task = [this, &fn, active, driver_metrics, driver_control](size_t n) {
     MetricsScope scope(driver_metrics);
-    if (n < active) fn(n);
+    ExecControlScope control_scope(driver_control);
+    if (n < active) RunWithFaults(n, fn);
   };
   if (pool_ && (pool_->OnWorkerThread() || pool_->TryAcquireDriver())) {
     // On a worker thread this is a nested dispatch (runs inline inside
@@ -112,7 +169,7 @@ Partitioned Cluster::Parallelize(const std::vector<Row>& rows) const {
   const size_t per_node = rows.size() / active_nodes_ + 1;
   for (auto& p : out) p.reserve(per_node);
   for (size_t i = 0; i < rows.size(); i++) {
-    out[i % active_nodes_].push_back(rows[i]);
+    out[SurvivorFor(i % active_nodes_)].push_back(rows[i]);
   }
   metrics().rows_scanned += rows.size();
   return out;
@@ -183,8 +240,23 @@ void Cluster::ChargeNetwork(uint64_t bytes, uint64_t batches) const {
   const double ns = static_cast<double>(bytes) * options_.shuffle_ns_per_byte +
                     static_cast<double>(batches) * options_.shuffle_ns_per_batch;
   if (ns <= 0) return;
-  const auto delay = std::chrono::nanoseconds(static_cast<int64_t>(ns));
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  auto remaining = std::chrono::nanoseconds(static_cast<int64_t>(ns));
+  if (remaining.count() <= 0) return;
+  // Sleep in slices so a deadline or cancellation interrupts a
+  // network-dominated epoch promptly instead of after the whole transfer.
+  const ExecControl* control = ExecControlScope::Current();
+  const auto slice = std::chrono::milliseconds(1);
+  while (remaining.count() > 0) {
+    if (control) {
+      Status st = control->Check();
+      if (!st.ok()) throw StatusException(std::move(st));
+    }
+    const auto chunk = control && remaining > slice
+                           ? std::chrono::nanoseconds(slice)
+                           : remaining;
+    std::this_thread::sleep_for(chunk);
+    remaining -= chunk;
+  }
 }
 
 namespace {
@@ -222,7 +294,7 @@ Partitioned Cluster::Shuffle(const Partitioned& in,
       b.bytes = 0;
     };
     for (const auto& row : in[src]) {
-      const size_t dst = route(row) % n_nodes;
+      const size_t dst = SurvivorFor(route(row) % n_nodes);
       ShuffleBuffer& b = buffers[dst];
       if (dst != src) {
         b.bytes += RowByteSize(row);

@@ -16,6 +16,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "engine/fault.h"
 #include "engine/worker_pool.h"
 #include "storage/dataset.h"
 
@@ -92,6 +93,9 @@ struct ClusterOptions {
   /// pool owned by the Cluster. When false, every call spawns and joins
   /// fresh threads — the pre-pool behavior, kept for A/B benchmarking.
   bool use_worker_pool = true;
+  /// Deterministic fault injection + retry/blacklist knobs (off by
+  /// default). See engine/fault.h.
+  FaultOptions fault;
 };
 
 /// \brief N-node virtual cluster. All engine operators run through it.
@@ -140,8 +144,24 @@ class Cluster {
   /// Re-sizes the per-destination shuffle batches (clamped to ≥ 1).
   void SetShuffleBatchRows(size_t rows);
 
+  /// Re-points the fault-injection / retry knobs. Per-node attempt counters
+  /// and blacklist state survive (a node blacklisted earlier in the session
+  /// stays out of service).
+  void SetFaultOptions(const FaultOptions& options);
+  const FaultOptions& fault_options() const { return fault_->options(); }
+
+  /// True when `node` was blacklisted after node_blacklist_threshold
+  /// consecutive failures. New partitionings route around such nodes.
+  bool NodeBlacklisted(size_t node) const { return fault_->blacklisted(node); }
+
   /// Runs fn(node_id) on every node concurrently and waits for all.
-  /// Worker exceptions propagate to the caller (first one wins).
+  /// Worker exceptions propagate to the caller (first one wins). Each
+  /// node's task attempt passes through the fault injector: an injected
+  /// kUnavailable failure is retried with capped exponential backoff (the
+  /// attempt fails *before* fn runs, so the retry re-executes that node's
+  /// partition from its still-resident input and partials stay exact);
+  /// retries exhausted throws NodeUnavailableError. An installed
+  /// ExecControlScope is checked per attempt (epoch-boundary cancellation).
   void RunOnNodes(const std::function<void(size_t)>& fn) const;
 
   /// Distributes rows round-robin across nodes ("parallelize").
@@ -218,9 +238,23 @@ class Cluster {
   mutable QueryMetrics metrics_;
   /// Lives for the Cluster's lifetime; null when use_worker_pool is false.
   mutable std::unique_ptr<WorkerPool> pool_;
+  /// Seeded fault state; always constructed (injection disabled by default).
+  mutable std::unique_ptr<FaultInjector> fault_;
+
+  /// One node's task attempt loop: ExecControl check, fault injection,
+  /// retry with capped exponential backoff, blacklist bookkeeping. Runs
+  /// `body(n)` at most 1 + max_task_retries times; only injector-thrown
+  /// unavailability retries (real worker errors propagate immediately).
+  void RunWithFaults(size_t n, const std::function<void(size_t)>& body) const;
+
+  /// Destination remap for new partitionings: a blacklisted node receives
+  /// nothing; its share re-routes to the next surviving node.
+  size_t SurvivorFor(size_t dst) const;
 
   /// Sleeps for the simulated transfer time of `bytes` across `batches`
-  /// network messages. Pure wall-clock charge; metering is the caller's job.
+  /// network messages. Pure wall-clock charge; metering is the caller's
+  /// job. Sleeps in small slices, checking the installed ExecControl
+  /// between slices, so deadlines stay prompt in shuffle-dominated epochs.
   void ChargeNetwork(uint64_t bytes, uint64_t batches) const;
 };
 

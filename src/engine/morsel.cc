@@ -120,9 +120,11 @@ Status Cluster::PumpToDriver(
   // inline; a driver that merely lost the pool to another session falls
   // through to spawned producer threads below, so its pipeline stays
   // parallel instead of serializing every node on the calling thread.
+  const ExecControl* exec_control = ExecControlScope::Current();
   if (pool_ && pool_->OnWorkerThread()) {
     Status status = Status::OK();
     for (size_t n = 0; n < n_nodes && n < source.size() && status.ok(); n++) {
+      if (exec_control && !(status = exec_control->Check()).ok()) break;
       ProduceNode(source[n], morsel_rows, expand, n, &stats[n], nullptr,
                   [&](Partition* buf) {
                     metrics().morsels_processed += 1;
@@ -143,10 +145,15 @@ Status Cluster::PumpToDriver(
   std::atomic<bool> abort{false};
 
   // Producers run on pool workers (or legacy threads) but charge the
-  // dispatching driver's per-execution metrics.
+  // dispatching driver's per-execution metrics and observe its cancellation
+  // sources. Each node's produce loop is one task attempt through the fault
+  // injector: an injected failure fires before any morsel is flushed, so
+  // the retry re-produces that node's stream from the start with the queue
+  // still empty — delivery stays bit-identical.
   QueryMetrics* driver_metrics = MetricsScope::Current();
-  auto produce = [&, driver_metrics](size_t n) {
+  auto produce = [&, driver_metrics, exec_control](size_t n) {
     MetricsScope metrics_scope(driver_metrics);
+    ExecControlScope control_scope(exec_control);
     if (n >= n_nodes) return;
     auto mark_done = [&] {
       std::lock_guard<std::mutex> lock(mu);
@@ -155,18 +162,21 @@ Status Cluster::PumpToDriver(
     };
     try {
       if (n < source.size()) {
-        ProduceNode(source[n], morsel_rows, expand, n, &stats[n], &abort,
-                    [&](Partition* buf) {  // false: aborted, stop producing
-                      std::unique_lock<std::mutex> lock(mu);
-                      cv_space.wait(lock, [&] {
-                        return queues[n].morsels.size() < window || abort;
+        RunWithFaults(n, [&](size_t node) {
+          ProduceNode(source[node], morsel_rows, expand, node, &stats[node],
+                      &abort,
+                      [&](Partition* buf) {  // false: aborted, stop producing
+                        std::unique_lock<std::mutex> lock(mu);
+                        cv_space.wait(lock, [&] {
+                          return queues[node].morsels.size() < window || abort;
+                        });
+                        if (abort) return false;
+                        metrics().morsels_processed += 1;
+                        queues[node].morsels.push_back(std::move(*buf));
+                        cv_data.notify_all();
+                        return true;
                       });
-                      if (abort) return false;
-                      metrics().morsels_processed += 1;
-                      queues[n].morsels.push_back(std::move(*buf));
-                      cv_data.notify_all();
-                      return true;
-                    });
+        });
       }
       mark_done();
     } catch (...) {
@@ -230,7 +240,10 @@ Status Cluster::PumpToDriver(
           queues[n].morsels.pop_front();
           cv_space.notify_all();
         }
-        status = consume(n, std::move(morsel));
+        // Morsel-boundary cancellation: stop consuming (and producing) as
+        // soon as the execution is cancelled or overdue.
+        if (exec_control) status = exec_control->Check();
+        if (status.ok()) status = consume(n, std::move(morsel));
         if (!status.ok()) {
           abort_producers();
           break;

@@ -99,6 +99,87 @@ bool IsTransform(AlgKind kind) {
          kind == AlgKind::kOuterUnnest;
 }
 
+/// Wraps a segment's per-row expansion with the poison-row quarantine: a
+/// row whose compiled expression or UDF throws is recorded (source label,
+/// node, row ordinal, error) and *skipped*; past the sink's cap the error
+/// aborts the execution. Expansion goes through a scratch buffer so a row
+/// that throws after a partial expansion leaves no output behind.
+engine::MorselExpand WithQuarantine(engine::MorselExpand inner,
+                                    std::string source_label, size_t nodes,
+                                    engine::QuarantineSink* sink) {
+  // Row ordinals per node (the quarantine's "row id"): each producing
+  // thread works one node's stream in order, so the relaxed counter is the
+  // row's position within that node's source stream.
+  auto ordinals = std::make_shared<std::vector<std::atomic<uint64_t>>>(nodes);
+  return engine::MorselExpand([inner, source_label, ordinals, sink](
+                                  size_t n, const Row& r, Partition* out) {
+    const uint64_t ordinal =
+        n < ordinals->size()
+            ? (*ordinals)[n].fetch_add(1, std::memory_order_relaxed)
+            : 0;
+    thread_local Partition scratch;
+    scratch.clear();
+    try {
+      inner(n, r, &scratch);
+    } catch (const engine::StatusException&) {
+      throw;  // cancellation / injected unavailability is not a poison row
+    } catch (const std::exception& e) {
+      engine::QuarantinedRow q;
+      q.table = source_label;
+      q.node = n;
+      q.row = static_cast<size_t>(ordinal);
+      q.error = e.what();
+      Status st = sink->Record(std::move(q));
+      if (!st.ok()) throw engine::StatusException(std::move(st));
+      if (QueryMetrics* m = engine::MetricsScope::Current()) {
+        m->rows_quarantined += 1;
+      }
+      return;
+    }
+    for (auto& row : scratch) out->push_back(std::move(row));
+  });
+}
+
+/// The quarantine's source label for a segment rooted at `source`.
+std::string SegmentSourceLabel(const AlgOp& source) {
+  switch (source.kind) {
+    case AlgKind::kScan: return source.table;
+    case AlgKind::kNest: return "nest";
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin: return "join";
+    default: return "plan";
+  }
+}
+
+/// Source label for a plan that feeds a Nest: the breaker beneath its
+/// transform chain.
+std::string SourceLabelOf(const AlgOpPtr& plan) {
+  const AlgOp* cur = plan.get();
+  while (cur != nullptr && IsTransform(cur->kind)) cur = cur->input.get();
+  return cur != nullptr ? SegmentSourceLabel(*cur) : "plan";
+}
+
+/// The Nest-fold half of the quarantine: expressions compiled into the
+/// aggregation (FD right-hand sides, registered aggregate units) run
+/// inside AggregateSpec::init, past the segment's wrapped expand — the
+/// hook catches those throws, records the row, and lets the fold skip it.
+void InstallNestQuarantine(engine::AggregateSpec* spec, std::string source_label,
+                           engine::QuarantineSink* sink) {
+  spec->on_row_error = [source_label, sink](size_t node, size_t ordinal,
+                                            const Row&, const std::exception& e) {
+    engine::QuarantinedRow q;
+    q.table = source_label;
+    q.node = node;
+    q.row = ordinal;
+    q.error = e.what();
+    CLEANM_RETURN_NOT_OK(sink->Record(std::move(q)));
+    if (QueryMetrics* m = engine::MetricsScope::Current()) {
+      m->rows_quarantined += 1;
+    }
+    return Status::OK();
+  };
+}
+
 /// Resolves a join input: when the sub-plan is a bare breaker/scan the
 /// resident partitioning is borrowed outright; otherwise its transform
 /// chain streams morsel-wise into an owned buffer (still no per-operator
@@ -137,10 +218,13 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
   auto local_pin = [](const Partitioned& data) {
     return PartitionPin(PartitionPin{}, &data);
   };
-  if (!persist_nests) {
-    auto local = local_nests.find(plan.get());
-    if (local != local_nests.end()) return local_pin(local->second);
-  } else {
+  // Execution-local entries are checked first even when persisting: a nest
+  // that quarantined poison rows during its build lands here instead of the
+  // session cache (see below), and later consumers in this execution must
+  // share it rather than rebuild.
+  auto local = local_nests.find(plan.get());
+  if (local != local_nests.end()) return local_pin(local->second);
+  if (persist_nests) {
     const Catalog& cat = *catalog;
     if (PartitionPin cached = cache->FindNest(
             plan.get(), nodes,
@@ -150,6 +234,9 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
   }
 
   CLEANM_ASSIGN_OR_RETURN(CompiledNest compiled, CompileNestStage(plan));
+  if (quarantine != nullptr) {
+    InstallNestQuarantine(&compiled.spec, SourceLabelOf(plan->input), quarantine);
+  }
   // The breaker consumes its input morsel-wise: each worker expands its own
   // rows through the segment's transforms *fused with* the keyed expansion
   // (passed as the chain's terminal continuation, so no per-row
@@ -166,6 +253,7 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
   engine::MorselAggregator agg(*cluster, compiled.spec, options.aggregate_strategy);
   engine::MorselSpec spec;
   spec.morsel_rows = morsel_rows;
+  const size_t quarantined_before = quarantine ? quarantine->size() : 0;
   cluster->PumpOnWorkers(seg.data(), spec, seg.expand,
                          [&agg](size_t n, Partition&& morsel) {
                            agg.Accumulate(n, std::move(morsel));
@@ -173,7 +261,13 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
   seg.ReleaseNow();
   Partitioned result = agg.Finish();
 
-  if (!persist_nests) {
+  // A Nest built while rows were being quarantined is missing those rows —
+  // publishing it to the session cache would serve the incomplete
+  // partitioning to later (possibly quarantine-free) executions. Keep it
+  // execution-local instead; within-execution sharing still works.
+  const bool poisoned =
+      quarantine && quarantine->size() > quarantined_before;
+  if (!persist_nests || poisoned) {
     auto placed = local_nests.emplace(plan.get(), std::move(result)).first;
     return local_pin(placed->second);
   }
@@ -232,6 +326,7 @@ Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
   }
 
   if (chain.empty() && !terminal) {
+    // Identity passthrough cannot throw per-row — no quarantine wrap needed.
     seg.identity = true;
     seg.expand = [](size_t, const Row& r, Partition* out) { out->push_back(r); };
     return seg;
@@ -242,10 +337,14 @@ Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
     seg.expand = [sink](size_t, const Row& r, Partition* out) {
       sink(PhysicalTupleOf(r), out);
     };
-    return seg;
+  } else {
+    CLEANM_ASSIGN_OR_RETURN(
+        seg.expand, CompileChain(chain, chain_inputs, Env(), std::move(terminal)));
   }
-  CLEANM_ASSIGN_OR_RETURN(
-      seg.expand, CompileChain(chain, chain_inputs, Env(), std::move(terminal)));
+  if (quarantine) {
+    seg.expand = WithQuarantine(std::move(seg.expand), SegmentSourceLabel(*source),
+                                cluster->num_nodes(), quarantine);
+  }
   return seg;
 }
 

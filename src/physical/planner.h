@@ -77,6 +77,12 @@ struct Executor {
   /// Nest (Figure 1) works in either mode.
   bool persist_nests = true;
   std::map<const AlgOp*, engine::Partitioned> local_nests;
+  /// Per-execution poison-row quarantine (null = off). When set, pipelined
+  /// segments route a row whose compiled expression or UDF throws into the
+  /// sink (recorded with source label, node, and row ordinal) and skip it
+  /// instead of failing the execution; past the sink's cap the execution
+  /// aborts. The materialize-first path ignores it.
+  engine::QuarantineSink* quarantine = nullptr;
 
   /// Compile context for this execution: registered functions + the
   /// cluster's metrics (udf_calls accounting).

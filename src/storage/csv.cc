@@ -10,11 +10,17 @@ namespace cleanm {
 namespace {
 
 /// Splits one CSV record, honouring double-quote escaping. `pos` advances
-/// past the record's trailing newline.
-std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char delim) {
+/// past the record's trailing newline. `newlines` counts every '\n'
+/// consumed (quoted embedded newlines included) so the caller can keep a
+/// physical line counter; `unterminated` reports a quote still open when
+/// the record ended (at EOF — an embedded newline just continues the
+/// record), which tolerant loads treat as a bad row.
+std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char delim,
+                                     size_t* newlines, bool* unterminated) {
   std::vector<std::string> out;
   std::string cur;
   bool in_quotes = false;
+  *newlines = 0;
   size_t i = *pos;
   for (; i < text.size(); i++) {
     const char c = text[i];
@@ -27,6 +33,7 @@ std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char 
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++*newlines;
         cur += c;
       }
     } else if (c == '"') {
@@ -35,6 +42,7 @@ std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char 
       out.push_back(std::move(cur));
       cur.clear();
     } else if (c == '\n') {
+      ++*newlines;
       i++;
       break;
     } else if (c == '\r') {
@@ -45,6 +53,7 @@ std::vector<std::string> SplitRecord(const std::string& text, size_t* pos, char 
   }
   out.push_back(std::move(cur));
   *pos = i;
+  *unterminated = in_quotes;
   return out;
 }
 
@@ -92,28 +101,66 @@ void WriteCell(const Value& v, char delim, std::ostream& os) {
 
 }  // namespace
 
-Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& options) {
+Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& options,
+                               ReadReport* report) {
+  if (report) *report = ReadReport{};
+  std::vector<BadRow> bad_rows;
+  // Skips one malformed record (recording it) while under the cap; over
+  // the cap the whole load fails, naming the line.
+  auto skip_or_fail = [&](size_t line_no, std::string error) -> Status {
+    if (bad_rows.size() < options.read.max_bad_rows) {
+      bad_rows.push_back({line_no, std::move(error)});
+      return Status::OK();
+    }
+    std::string prefix = options.read.max_bad_rows
+                             ? "more than " + std::to_string(options.read.max_bad_rows) +
+                                   " bad rows; "
+                             : "";
+    return Status::ParseError(prefix + "line " + std::to_string(line_no) + ": " +
+                              std::move(error));
+  };
+
   size_t pos = 0;
+  size_t line = 1;  // 1-based physical line of the next record
+  size_t newlines = 0;
+  bool unterminated = false;
   std::vector<std::string> header;
   if (options.has_header) {
     if (pos >= text.size()) return Status::ParseError("empty CSV input");
-    header = SplitRecord(text, &pos, options.delimiter);
+    header = SplitRecord(text, &pos, options.delimiter, &newlines, &unterminated);
+    if (unterminated) {
+      return Status::ParseError("line 1: unterminated quoted field in header");
+    }
+    line += newlines;
   }
 
   std::vector<Row> rows;
   size_t width = header.size();
   while (pos < text.size()) {
-    auto cells = SplitRecord(text, &pos, options.delimiter);
-    if (cells.size() == 1 && cells[0].empty()) continue;  // blank line
+    const size_t record_line = line;
+    auto cells = SplitRecord(text, &pos, options.delimiter, &newlines, &unterminated);
+    line += newlines;
+    if (!unterminated && cells.size() == 1 && cells[0].empty()) continue;  // blank line
+    if (unterminated) {
+      CLEANM_RETURN_NOT_OK(
+          skip_or_fail(record_line, "unterminated quoted field"));
+      continue;
+    }
     if (width == 0) width = cells.size();
     if (cells.size() != width) {
-      return Status::ParseError("CSV record has " + std::to_string(cells.size()) +
-                                " fields, expected " + std::to_string(width));
+      CLEANM_RETURN_NOT_OK(skip_or_fail(
+          record_line, "CSV record has " + std::to_string(cells.size()) +
+                           " fields, expected " + std::to_string(width)));
+      continue;
     }
     Row row;
     row.reserve(cells.size());
     for (const auto& c : cells) row.push_back(ParseCell(c, options.infer_types));
     rows.push_back(std::move(row));
+  }
+  if (report) {
+    report->bad_rows = std::move(bad_rows);
+    report->rows_loaded = rows.size();
   }
 
   // Build the schema: header names (or f0..fn), types from the first
@@ -134,12 +181,13 @@ Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& option
   return Dataset(Schema(std::move(fields)), std::move(rows));
 }
 
-Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options,
+                        ReadReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseCsvString(buf.str(), options);
+  return ParseCsvString(buf.str(), options, report);
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path,

@@ -219,20 +219,45 @@ Result<Value> ParseJson(const std::string& text) {
   return v;
 }
 
-Result<Dataset> ParseJsonLinesString(const std::string& text) {
+Result<Dataset> ParseJsonLinesString(const std::string& text,
+                                     const ReadOptions& options,
+                                     ReadReport* report) {
+  if (report) *report = ReadReport{};
+  std::vector<BadRow> bad_rows;
+  auto skip_or_fail = [&](size_t line_no, std::string error) -> Status {
+    if (bad_rows.size() < options.max_bad_rows) {
+      bad_rows.push_back({line_no, std::move(error)});
+      return Status::OK();
+    }
+    std::string prefix = options.max_bad_rows
+                             ? "more than " + std::to_string(options.max_bad_rows) +
+                                   " bad rows; "
+                             : "";
+    return Status::ParseError(prefix + "line " + std::to_string(line_no) + ": " +
+                              std::move(error));
+  };
+
   // First pass: parse every line into a struct value, collecting key order.
   std::vector<ValueStruct> objects;
   std::vector<std::string> key_order;
   size_t line_start = 0;
+  size_t line_no = 0;  // 1-based once inside the loop
   while (line_start < text.size()) {
     size_t line_end = text.find('\n', line_start);
     if (line_end == std::string::npos) line_end = text.size();
     const std::string line = text.substr(line_start, line_end - line_start);
     line_start = line_end + 1;
+    line_no++;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    CLEANM_ASSIGN_OR_RETURN(Value v, ParseJson(line));
+    Result<Value> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      CLEANM_RETURN_NOT_OK(skip_or_fail(line_no, parsed.status().message()));
+      continue;
+    }
+    Value v = parsed.MoveValue();
     if (v.type() != ValueType::kStruct) {
-      return Status::ParseError("JSON-lines row is not an object");
+      CLEANM_RETURN_NOT_OK(skip_or_fail(line_no, "JSON-lines row is not an object"));
+      continue;
     }
     for (const auto& [key, val] : v.AsStruct()) {
       (void)val;
@@ -276,15 +301,20 @@ Result<Dataset> ParseJsonLinesString(const std::string& text) {
       }
     }
   }
+  if (report) {
+    report->bad_rows = std::move(bad_rows);
+    report->rows_loaded = out.num_rows();
+  }
   return out;
 }
 
-Result<Dataset> ReadJsonLines(const std::string& path) {
+Result<Dataset> ReadJsonLines(const std::string& path, const ReadOptions& options,
+                              ReadReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseJsonLinesString(buf.str());
+  return ParseJsonLinesString(buf.str(), options, report);
 }
 
 namespace {

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "storage/dataset.h"
+#include "storage/read_options.h"
 
 namespace cleanm {
 
@@ -18,11 +19,18 @@ Result<Value> ParseJsonValue(const std::string& text, size_t* pos);
 /// Parses a whole string holding one JSON value.
 Result<Value> ParseJson(const std::string& text);
 
-/// Reads a JSON-lines file (one object per line) into a Dataset.
-Result<Dataset> ReadJsonLines(const std::string& path);
+/// Reads a JSON-lines file (one object per line) into a Dataset. Under
+/// `options.max_bad_rows`, lines that fail to parse (bad escapes, invalid
+/// \uXXXX digits, truncated objects) or are not objects are skipped and
+/// recorded with their line number in `report` instead of failing the load.
+Result<Dataset> ReadJsonLines(const std::string& path,
+                              const ReadOptions& options = {},
+                              ReadReport* report = nullptr);
 
 /// Parses JSON-lines text held in memory (used by tests).
-Result<Dataset> ParseJsonLinesString(const std::string& text);
+Result<Dataset> ParseJsonLinesString(const std::string& text,
+                                     const ReadOptions& options = {},
+                                     ReadReport* report = nullptr);
 
 /// Serializes one Value as JSON text (strings escaped). Non-ASCII bytes
 /// pass through raw, so UTF-8 produced by ParseJson's \uXXXX decoding

@@ -19,6 +19,10 @@ const char* ValueTypeName(ValueType t) {
   return "?";
 }
 
+ValueCoercionError::ValueCoercionError(ValueType actual, const char* wanted)
+    : std::runtime_error(std::string("cannot read ") + ValueTypeName(actual) +
+                         " value as " + wanted) {}
+
 Result<Value> Value::GetField(const std::string& name) const {
   if (type() != ValueType::kStruct) {
     return Status::TypeError("GetField on non-struct value of type " +

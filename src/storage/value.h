@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <variant>
@@ -38,6 +39,16 @@ enum class ValueType : uint8_t {
 
 const char* ValueTypeName(ValueType t);
 
+/// Thrown when a value is read as the wrong type — e.g. a cleaning rule
+/// calling ToDouble on a string cell. Deliberately an ordinary catchable
+/// exception (not an abort): on the pipelined path the executor's
+/// poison-row quarantine records the offending row and skips it, and the
+/// session layer converts an uncaught escape into Status::Internal.
+class ValueCoercionError : public std::runtime_error {
+ public:
+  ValueCoercionError(ValueType actual, const char* wanted);
+};
+
 /// \brief Tagged dynamic value: null, bool, int64, double, string, list,
 /// or struct. Lists and structs are shared_ptr-backed so copying rows
 /// through shuffles is cheap.
@@ -57,23 +68,42 @@ class Value {
   ValueType type() const { return static_cast<ValueType>(v_.index()); }
   bool is_null() const { return type() == ValueType::kNull; }
 
-  bool AsBool() const { return std::get<bool>(v_); }
-  int64_t AsInt() const { return std::get<int64_t>(v_); }
-  double AsDouble() const { return std::get<double>(v_); }
-  const std::string& AsString() const { return std::get<std::string>(v_); }
-  const ValueList& AsList() const { return *std::get<std::shared_ptr<ValueList>>(v_); }
+  // Checked accessors: a type mismatch throws ValueCoercionError with both
+  // type names instead of a bare std::bad_variant_access (which aborted the
+  // process when it escaped a worker thread before the exception capture).
+  bool AsBool() const { Expect(ValueType::kBool, "bool"); return std::get<bool>(v_); }
+  int64_t AsInt() const { Expect(ValueType::kInt, "int"); return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    Expect(ValueType::kDouble, "double");
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    Expect(ValueType::kString, "string");
+    return std::get<std::string>(v_);
+  }
+  const ValueList& AsList() const {
+    Expect(ValueType::kList, "list");
+    return *std::get<std::shared_ptr<ValueList>>(v_);
+  }
   const ValueStruct& AsStruct() const {
+    Expect(ValueType::kStruct, "struct");
     return *std::get<std::shared_ptr<ValueStruct>>(v_);
   }
-  ValueList& MutableList() { return *std::get<std::shared_ptr<ValueList>>(v_); }
+  ValueList& MutableList() {
+    Expect(ValueType::kList, "list");
+    return *std::get<std::shared_ptr<ValueList>>(v_);
+  }
   ValueStruct& MutableStruct() {
+    Expect(ValueType::kStruct, "struct");
     return *std::get<std::shared_ptr<ValueStruct>>(v_);
   }
 
-  /// Numeric coercion: ints and doubles read as double; anything else aborts.
+  /// Numeric coercion: ints and doubles read as double; anything else
+  /// throws ValueCoercionError (quarantinable on the pipelined path).
   double ToDouble() const {
-    if (type() == ValueType::kInt) return static_cast<double>(AsInt());
-    return AsDouble();
+    if (type() == ValueType::kInt) return static_cast<double>(std::get<int64_t>(v_));
+    Expect(ValueType::kDouble, "numeric");
+    return std::get<double>(v_);
   }
 
   bool is_numeric() const {
@@ -107,6 +137,10 @@ class Value {
   bool operator==(const Value& other) const { return Equals(other); }
 
  private:
+  void Expect(ValueType want, const char* wanted) const {
+    if (type() != want) throw ValueCoercionError(type(), wanted);
+  }
+
   std::variant<std::monostate, bool, int64_t, double, std::string,
                std::shared_ptr<ValueList>, std::shared_ptr<ValueStruct>>
       v_;

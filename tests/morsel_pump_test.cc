@@ -113,6 +113,73 @@ TEST(MorselPumpTest, LegacyProducerErrorSurfacesAfterPartialConsumption) {
       std::runtime_error);
 }
 
+TEST(MorselPumpTest, SinkErrorWhileRetryInFlightJoinsAllProducers) {
+  // The sink fails on its first morsel while node 2 is still inside its
+  // fault-retry loop (two scripted failures with a visible backoff). The
+  // abort must reach the retrying producer too: its eventual clean attempt
+  // observes the stop flag, produces nothing, and joins — on both
+  // substrates.
+  for (const bool use_pool : {true, false}) {
+    ClusterOptions opts = FastClusterOptions(4);
+    opts.use_worker_pool = use_pool;
+    opts.fault.target_node = 2;
+    opts.fault.fail_first_attempts = 2;
+    opts.fault.max_task_retries = 3;
+    opts.fault.retry_backoff_ns = 5'000'000;  // keep the retry in flight
+    Cluster cluster(opts);
+    auto source = cluster.Parallelize(IntRows(400));
+    std::atomic<int> consumed{0};
+    Status status = cluster.PumpToDriver(
+        source, TightSpec(), Identity(), [&](size_t, Partition&&) -> Status {
+          consumed++;
+          return Status::Internal("sink failed");
+        });
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(consumed.load(), 1);
+    // Injection fires at attempt start, independent of the abort: node 2's
+    // two scripted failures were observed and retried.
+    EXPECT_EQ(cluster.metrics().tasks_failed.load(), 2u);
+    EXPECT_EQ(cluster.metrics().tasks_retried.load(), 2u);
+    // Reaching this line is the regression assertion: PumpToDriver joined
+    // the retrying producer as well. The cluster stays usable.
+    std::atomic<int> nodes_ran{0};
+    cluster.RunOnNodes([&](size_t) { nodes_ran++; });
+    EXPECT_EQ(nodes_ran.load(), 4);
+  }
+}
+
+TEST(MorselPumpTest, ProducerRetryDeliversIdenticalNodeMajorStream) {
+  // A failed attempt flushes nothing (injection precedes the produce loop),
+  // so the retry restarts the node's stream from row zero with its queue
+  // still empty: delivery under faults is bit-identical to a clean pump.
+  auto run = [](const FaultOptions& fault) {
+    ClusterOptions opts = FastClusterOptions(3);
+    opts.fault = fault;
+    Cluster cluster(opts);
+    auto source = cluster.Parallelize(IntRows(91));
+    std::vector<Row> got;
+    Status status = cluster.PumpToDriver(
+        source, TightSpec(), Identity(),
+        [&](size_t, Partition&& morsel) -> Status {
+          for (auto& row : morsel) got.push_back(std::move(row));
+          return Status::OK();
+        });
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return got;
+  };
+  FaultOptions faulty;
+  faulty.target_node = 1;
+  faulty.fail_first_attempts = 2;
+  faulty.max_task_retries = 3;
+  faulty.retry_backoff_ns = 0;
+  const std::vector<Row> clean = run(FaultOptions{});
+  const std::vector<Row> retried = run(faulty);
+  ASSERT_EQ(clean.size(), retried.size());
+  for (size_t i = 0; i < clean.size(); i++) {
+    EXPECT_TRUE(clean[i][0].Equals(retried[i][0])) << "row " << i;
+  }
+}
+
 TEST(MorselPumpTest, TightWindowDeliversNodeMajorRowOrderInBothModes) {
   // The abort machinery must not perturb the happy path: with the tightest
   // window both substrates deliver every row in deterministic node-major

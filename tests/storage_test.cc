@@ -28,6 +28,22 @@ TEST(ValueTest, TypesAndAccessors) {
   EXPECT_EQ(Value("hi").AsString(), "hi");
 }
 
+TEST(ValueTest, MistypedAccessThrowsDescriptiveCoercionError) {
+  // A wrong-type read must be an ordinary catchable exception naming both
+  // types (quarantinable on the pipelined path), not a bare
+  // std::bad_variant_access.
+  try {
+    (void)Value("not a number").ToDouble();
+    FAIL() << "expected ValueCoercionError";
+  } catch (const ValueCoercionError& e) {
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("numeric"), std::string::npos);
+  }
+  EXPECT_THROW((void)Value(int64_t{1}).AsString(), ValueCoercionError);
+  EXPECT_THROW((void)Value::Null().AsList(), ValueCoercionError);
+  EXPECT_THROW((void)Value(2.5).AsInt(), ValueCoercionError);
+}
+
 TEST(ValueTest, EqualsIsTypeStrict) {
   EXPECT_TRUE(Value(int64_t{1}).Equals(Value(int64_t{1})));
   EXPECT_FALSE(Value(int64_t{1}).Equals(Value(1.0)));
@@ -325,6 +341,95 @@ TEST(JsonLinesTest, EmptyInputs) {
   // Blank lines are skipped, not parsed as records.
   auto blanks = ParseJsonLinesString("\n\n").ValueOrDie();
   EXPECT_EQ(blanks.num_rows(), 0u);
+}
+
+// ---- Tolerant loading: ReadOptions::max_bad_rows ----
+
+TEST(CsvTest, MaxBadRowsSkipsAndReportsArityMismatch) {
+  const std::string text = "a,b\n1,2\n3\n4,5\n6,7,8\n9,10\n";
+  // Strict (default): first ragged record fails the load, naming its line.
+  auto strict = ParseCsvString(text);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos);
+
+  CsvOptions opts;
+  opts.read.max_bad_rows = 2;
+  ReadReport report;
+  auto d = ParseCsvString(text, opts, &report).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(report.rows_loaded, 3u);
+  ASSERT_EQ(report.bad_rows.size(), 2u);
+  EXPECT_EQ(report.bad_rows[0].line, 3u);  // "3" — 1 field
+  EXPECT_NE(report.bad_rows[0].error.find("expected 2"), std::string::npos);
+  EXPECT_EQ(report.bad_rows[1].line, 5u);  // "6,7,8" — 3 fields
+}
+
+TEST(CsvTest, MaxBadRowsCapExceededFailsWithLine) {
+  CsvOptions opts;
+  opts.read.max_bad_rows = 1;
+  auto r = ParseCsvString("a,b\n1\n2\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("more than 1 bad rows"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, MaxBadRowsHandlesUnterminatedQuote) {
+  // The unterminated quote swallows the rest of the file; the two good
+  // rows before it load, the broken tail is recorded at its start line.
+  CsvOptions opts;
+  opts.read.max_bad_rows = 1;
+  ReadReport report;
+  auto d = ParseCsvString("a,b\n1,2\n3,4\n5,\"oops\n", opts, &report).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 2u);
+  ASSERT_EQ(report.bad_rows.size(), 1u);
+  EXPECT_EQ(report.bad_rows[0].line, 4u);
+  EXPECT_NE(report.bad_rows[0].error.find("unterminated"), std::string::npos);
+}
+
+TEST(CsvTest, QuotedEmbeddedNewlinesKeepLineNumbersRight) {
+  // Record 1 spans lines 2-3 (quoted newline); the ragged record is on
+  // physical line 4 and must be reported there.
+  CsvOptions opts;
+  opts.read.max_bad_rows = 1;
+  ReadReport report;
+  auto d =
+      ParseCsvString("a,b\n\"x\ny\",1\nbad\n2,3\n", opts, &report).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 2u);
+  ASSERT_EQ(report.bad_rows.size(), 1u);
+  EXPECT_EQ(report.bad_rows[0].line, 4u);
+}
+
+TEST(JsonLinesTest, MaxBadRowsSkipsAndReports) {
+  const std::string text =
+      "{\"a\":1}\n"
+      "{\"a\":oops}\n"          // bad literal
+      "{\"a\":\"\\u12G4\"}\n"   // invalid \uXXXX digit
+      "[1,2]\n"                 // not an object
+      "{\"a\":2}\n";
+  // Strict: first bad line fails.
+  EXPECT_FALSE(ParseJsonLinesString(text).ok());
+
+  ReadOptions opts;
+  opts.max_bad_rows = 3;
+  ReadReport report;
+  auto d = ParseJsonLinesString(text, opts, &report).ValueOrDie();
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(report.rows_loaded, 2u);
+  ASSERT_EQ(report.bad_rows.size(), 3u);
+  EXPECT_EQ(report.bad_rows[0].line, 2u);
+  EXPECT_EQ(report.bad_rows[1].line, 3u);
+  EXPECT_NE(report.bad_rows[1].error.find("\\u"), std::string::npos);
+  EXPECT_EQ(report.bad_rows[2].line, 4u);
+  EXPECT_NE(report.bad_rows[2].error.find("not an object"), std::string::npos);
+}
+
+TEST(JsonLinesTest, MaxBadRowsCapExceededFails) {
+  ReadOptions opts;
+  opts.max_bad_rows = 1;
+  auto r = ParseJsonLinesString("nope\nnope\n{\"a\":1}\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("more than 1 bad rows"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(XmlTest, EmptyInputs) {

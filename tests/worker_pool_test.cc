@@ -215,6 +215,43 @@ TEST(WorkerPoolTest, ClusterRunOnNodesPropagatesWorkerErrors) {
   EXPECT_EQ(Cluster::TotalRows(data), 16u);
 }
 
+TEST(WorkerPoolTest, StatusExceptionKeepsItsStatusThroughThePool) {
+  // The fault layer's typed exceptions must cross the pool's capture/rethrow
+  // boundary intact: the session layer downcasts at its boundary to turn
+  // kUnavailable / kCancelled into ordinary error Statuses.
+  WorkerPool pool(4);
+  try {
+    pool.Run([](size_t id) {
+      if (id == 1) throw NodeUnavailableError(1, "node 1 down");
+    });
+    FAIL() << "expected NodeUnavailableError";
+  } catch (const StatusException& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(e.status().message().find("node 1 down"), std::string::npos);
+  }
+  // The pool survives the failed epoch.
+  std::atomic<int> total{0};
+  pool.Run([&](size_t) { total++; });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(WorkerPoolTest, FailedInjectedAttemptsNeverRunTheTaskBody) {
+  // The retry loop lives inside the dispatched task: injection fires before
+  // the body, so node 1's two scripted failures leave no side effects and
+  // the body runs exactly once per node on the pool substrate.
+  ClusterOptions opts = testsupport::FastClusterOptions(4);
+  opts.fault.target_node = 1;
+  opts.fault.fail_first_attempts = 2;
+  opts.fault.max_task_retries = 3;
+  opts.fault.retry_backoff_ns = 0;
+  Cluster cluster(opts);
+  std::vector<std::atomic<int>> body_runs(4);
+  cluster.RunOnNodes([&](size_t n) { body_runs[n]++; });
+  for (const auto& runs : body_runs) EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(cluster.metrics().tasks_failed.load(), 2u);
+  EXPECT_EQ(cluster.metrics().tasks_retried.load(), 2u);
+}
+
 TEST(WorkerPoolTest, SpawnPerCallModeStillWorks) {
   ClusterOptions opts = testsupport::FastClusterOptions(4);
   opts.use_worker_pool = false;  // legacy A/B path

@@ -64,6 +64,17 @@ SCHEMA = {
         "speedup": ("higher", "timing"),
         "violations_identical": ("higher", "exact"),
     },
+    "fault_tolerance": {
+        "clean_s": None,
+        "faulted_s": None,
+        "overhead": ("lower", "timing"),
+        "tasks_failed": None,
+        "tasks_retried": None,
+        "violations_identical": ("higher", "exact"),
+        "deadline_clean_s": None,
+        "deadline_run_s": None,
+        "deadline_exceeded": ("higher", "exact"),
+    },
 }
 
 
@@ -78,6 +89,9 @@ def load(path):
 
 
 def check_schema(doc, path):
+    if not isinstance(doc, dict):
+        sys.exit(f"check_bench_json: {path}: top level is not a JSON object "
+                 f"(got {type(doc).__name__})")
     errors = []
     for section, fields in SCHEMA.items():
         if section not in doc:
@@ -101,7 +115,17 @@ def check_regressions(measured, baseline, tolerance, timing_tolerance):
     wall-clock ("timing") metrics only warn, naming each offender."""
     failures = []
     warnings = []
+    if not isinstance(baseline, dict):
+        # A renamed/corrupted baseline must fail by name, not by traceback.
+        sys.exit("check_bench_json: FAILED: baseline top level is not a JSON "
+                 f"object (got {type(baseline).__name__})")
     for section, fields in SCHEMA.items():
+        measured_section = measured.get(section)
+        if not isinstance(measured_section, dict):
+            # check_schema normally catches this; a renamed section reaching
+            # here (e.g. schema and bench disagree) still fails by name.
+            failures.append(f"{section}: section missing from measured file")
+            continue
         base_section = baseline.get(section)
         if not isinstance(base_section, dict):
             # Baseline predates this section (first run after a new gate
@@ -114,7 +138,11 @@ def check_regressions(measured, baseline, tolerance, timing_tolerance):
                 continue
             direction, kind = gate
             field_tolerance = timing_tolerance if kind == "timing" else tolerance
-            new = measured[section][field]
+            new = measured_section.get(field)
+            if not isinstance(new, (int, float)) or isinstance(new, bool):
+                failures.append(f"{section}.{field}: gated metric missing "
+                                f"from measured file: {new!r}")
+                continue
             old = base_section.get(field)
             if not isinstance(old, (int, float)) or isinstance(old, bool) or old <= 0:
                 continue

@@ -51,16 +51,31 @@ set -x
 ./build-release/bench_cluster_primitives --check \
   --out build-release/BENCH_cluster.json
 
-# Prepared-query + UDF + pipeline gates on the 8-FD unified plan (pure
-# compute): re-executing a PreparedQuery on a warm session must stay ≥2×
-# over a cold one-shot Execute with zero re-partitioning; a registered
-# (monoid-annotated) UDF aggregate must stay within 1.3× of the built-in;
-# the registered repair loop must match the hand-rolled cell set; and the
-# morsel-driven pipeline must hold peak transient memory ≥4× below the
-# materialize-first path with bit-identical violation sets. Measured
+# Prepared-query + UDF + pipeline + fault-tolerance gates on the 8-FD
+# unified plan (pure compute): re-executing a PreparedQuery on a warm
+# session must stay ≥2× over a cold one-shot Execute with zero
+# re-partitioning; a registered (monoid-annotated) UDF aggregate must stay
+# within 1.3× of the built-in; the registered repair loop must match the
+# hand-rolled cell set; the morsel-driven pipeline must hold peak transient
+# memory ≥4× below the materialize-first path with bit-identical violation
+# sets; with 5% injected task failures the plan must retry its way to
+# bit-identical violations at ≤1.5× clean wall-clock; and a deadline at 10%
+# of the clean wall-clock must return kDeadlineExceeded promptly. Measured
 # numbers merge into BENCH_cluster.json next to the dispatch gate's.
 ./build-release/bench_unified_cleaning --nonet --check \
   --out build-release/BENCH_cluster.json
+
+# Fault-injection seed sweep under ThreadSanitizer: three deterministic
+# failure schedules through the session-concurrency stress suite. Each seed
+# replays a different set of injected task failures while concurrent
+# drivers, the churn thread, and the repair loop race — tsan verifies the
+# retry/abort/join protocol leaves no lockstep assumptions behind, and the
+# tests themselves verify the results stay bit-identical to the fault-free
+# baseline.
+for seed in 7 21 1337; do
+  CLEANM_FAULT_SEED="$seed" ctest --preset tsan -R concurrency_stress_test \
+    --output-on-failure
+done
 
 # Schema + regression check of the freshly measured BENCH_cluster.json
 # against the checked-in baseline: a deterministic (byte-count /
@@ -72,4 +87,4 @@ python3 tools/check_bench_json.py build-release/BENCH_cluster.json \
   --baseline BENCH_cluster.json
 
 set +x
-echo "CI OK: release + asan + ubsan + tsan presets built and tested clean; dispatch, prepared-reexec, UDF-aggregate, and pipeline gates passed; bench JSON validated."
+echo "CI OK: release + asan + ubsan + tsan presets built and tested clean; dispatch, prepared-reexec, UDF-aggregate, pipeline, and fault-tolerance gates passed; fault seed sweep clean under tsan; bench JSON validated."

@@ -464,6 +464,81 @@ PipelineAb RunPipelineAb() {
   return ab;
 }
 
+// ---- Out-of-core A/B: the 8-FD unified plan fully in-memory vs under a
+// buffer pool budgeted at 1/8 of the dataset footprint. The budgeted run
+// scans the table through paged chunks, spills Nest partials past the
+// budget, and re-reads every spill generation for the merge — and must
+// still produce *bit-identical* violations (same tuples, same order,
+// compared on the full rendered structure). Gates: identical violations,
+// bytes actually spilled (the budget really bit), pool peak residency
+// within the budget, and wall-clock within 2× of in-memory. Small pages
+// and morsels keep bench-scale data producing several spill generations.
+
+struct OutOfCoreAb {
+  uint64_t footprint_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t bytes_spilled = 0;
+  uint64_t pages_evicted = 0;
+  uint64_t pool_peak_resident = 0;
+  bool within_budget = false;
+  double in_memory_s = 0;
+  double out_of_core_s = 0;
+  double slowdown = 0;  ///< out_of_core / in_memory (≤ 2 gated)
+  size_t violations = 0;
+  bool identical = false;
+};
+
+OutOfCoreAb RunOutOfCoreAb() {
+  datagen::CustomerOptions copts;
+  copts.base_rows = std::max<size_t>(g_base_rows, 2000);
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 40;
+  copts.fd_violation_fraction = 0.05;
+  const Dataset data = datagen::MakeCustomer(copts);
+  const size_t kPageBytes = 4096;
+
+  OutOfCoreAb ab;
+  ab.footprint_bytes = data.ByteSize();
+  ab.budget_bytes = ab.footprint_bytes / 8;
+  std::vector<std::string> rendered[2];
+  for (int ooc = 0; ooc <= 1; ooc++) {
+    CleanDBOptions options = ManyOpOptions(/*legacy=*/false);
+    if (ooc != 0) {
+      options.buffer_pool_bytes = ab.budget_bytes;
+      options.page_bytes = kPageBytes;
+      options.morsel_rows = 512;  // several aggregator spill generations
+    }
+    CleanDB db(options);
+    db.RegisterTable("customer", data);
+    auto prepared = db.Prepare(kManyOpQuery);
+    CLEANM_CHECK(prepared.ok());
+    Timer timer;
+    auto result = prepared.value().Execute().ValueOrDie();
+    const double s = timer.ElapsedSeconds();
+    CLEANM_CHECK(result.ops.size() == 8);
+    for (const auto& op : result.ops) {
+      for (const auto& v : op.violations) rendered[ooc].push_back(v.ToString());
+    }
+    if (ooc != 0) {
+      ab.out_of_core_s = s;
+      ab.bytes_spilled = result.metrics.bytes_spilled;
+      ab.pages_evicted = result.metrics.pages_evicted;
+      const BufferPool::Stats pool = db.buffer_pool()->stats();
+      ab.pool_peak_resident = pool.peak_resident_bytes;
+      // The pool admits a single over-budget payload alone, so the bound
+      // is max(budget, one oversized chunk).
+      ab.within_budget = pool.peak_resident_bytes <=
+                         std::max<uint64_t>(ab.budget_bytes, 2 * kPageBytes);
+    } else {
+      ab.in_memory_s = s;
+    }
+  }
+  ab.violations = rendered[0].size();
+  ab.identical = rendered[0] == rendered[1];
+  ab.slowdown = ab.in_memory_s > 0 ? ab.out_of_core_s / ab.in_memory_s : 0;
+  return ab;
+}
+
 // ---- Concurrency A/B: 8 prepared sessions serialized vs 8 concurrent
 // driver threads on ONE shared CleanDB. Each session owns its own table
 // copy and its own PreparedQuery, and every table is re-registered
@@ -812,6 +887,24 @@ int main(int argc, char** argv) {
               pab.reduction, pab.violations,
               pab.identical ? "bit-identical" : "DIFFER");
 
+  std::printf("\n=== out-of-core A/B: in-memory vs 1/8-footprint buffer pool "
+              "(8 FDs, fresh sessions, pure compute) ===\n");
+  const OutOfCoreAb oab = RunOutOfCoreAb();
+  std::printf("dataset footprint %12llu bytes; pool budget %llu bytes\n",
+              static_cast<unsigned long long>(oab.footprint_bytes),
+              static_cast<unsigned long long>(oab.budget_bytes));
+  std::printf("fully in-memory               %8.4f s\n", oab.in_memory_s);
+  std::printf("1/8-footprint pool            %8.4f s  (%.2fx, %llu bytes "
+              "spilled, %llu pages evicted)\n",
+              oab.out_of_core_s, oab.slowdown,
+              static_cast<unsigned long long>(oab.bytes_spilled),
+              static_cast<unsigned long long>(oab.pages_evicted));
+  std::printf("[measured] pool peak residency %llu bytes (%s budget); %zu "
+              "violations %s across the two runs\n",
+              static_cast<unsigned long long>(oab.pool_peak_resident),
+              oab.within_budget ? "within" : "OVER",
+              oab.violations, oab.identical ? "bit-identical" : "DIFFER");
+
   std::printf("\n=== concurrency A/B: 8 prepared sessions, serialized vs "
               "concurrent drivers (network-simulated) ===\n");
   const ConcurrencyAb cab = RunConcurrencyAb();
@@ -886,6 +979,21 @@ int main(int argc, char** argv) {
                   pab.reduction, static_cast<unsigned long long>(pab.morsels),
                   pab.materialized_s, pab.pipelined_s, pab.identical ? 1 : 0);
     MergeJsonSection(out_path, "pipeline", pipe_object);
+    char ooc_object[384];
+    std::snprintf(ooc_object, sizeof(ooc_object),
+                  "{\"footprint_bytes\": %llu, \"budget_bytes\": %llu, "
+                  "\"bytes_spilled\": %llu, \"pages_evicted\": %llu, "
+                  "\"pool_peak_resident_bytes\": %llu, \"within_budget\": %d, "
+                  "\"in_memory_s\": %.6f, \"out_of_core_s\": %.6f, "
+                  "\"slowdown\": %.3f, \"violations_identical\": %d}",
+                  static_cast<unsigned long long>(oab.footprint_bytes),
+                  static_cast<unsigned long long>(oab.budget_bytes),
+                  static_cast<unsigned long long>(oab.bytes_spilled),
+                  static_cast<unsigned long long>(oab.pages_evicted),
+                  static_cast<unsigned long long>(oab.pool_peak_resident),
+                  oab.within_budget ? 1 : 0, oab.in_memory_s,
+                  oab.out_of_core_s, oab.slowdown, oab.identical ? 1 : 0);
+    MergeJsonSection(out_path, "out_of_core", ooc_object);
     char conc_object[256];
     std::snprintf(conc_object, sizeof(conc_object),
                   "{\"sessions\": %zu, \"serial_s\": %.6f, "
@@ -986,6 +1094,53 @@ int main(int argc, char** argv) {
                 "%llu morsels, %zu bit-identical violations)\n",
                 pab.reduction, kMinPeakReduction,
                 static_cast<unsigned long long>(pab.morsels), pab.violations);
+
+    // Out-of-core gates: under a pool budgeted at 1/8 of the dataset
+    // footprint the unified plan must spill (otherwise the budget isn't
+    // binding and the A/B proves nothing), hold pool residency within the
+    // budget, stay within 2× of the in-memory wall-clock, and produce
+    // bit-identical violations — the spill generations' first-occurrence
+    // order must replay the in-memory aggregation exactly.
+    const double kMaxOutOfCoreSlowdown = 2.0;
+    if (!oab.identical || oab.violations == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: out-of-core violations %s the in-memory "
+                   "run (%zu tuples)\n",
+                   oab.identical ? "match" : "DIFFER from", oab.violations);
+      return 1;
+    }
+    if (oab.bytes_spilled == 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: 0 bytes spilled under a 1/8-footprint "
+                   "pool budget (%llu of %llu bytes) — the budget never bit\n",
+                   static_cast<unsigned long long>(oab.budget_bytes),
+                   static_cast<unsigned long long>(oab.footprint_bytes));
+      return 1;
+    }
+    if (!oab.within_budget) {
+      std::fprintf(stderr,
+                   "[check] FAILED: pool peak residency %llu bytes exceeds "
+                   "the %llu-byte budget\n",
+                   static_cast<unsigned long long>(oab.pool_peak_resident),
+                   static_cast<unsigned long long>(oab.budget_bytes));
+      return 1;
+    }
+    if (oab.slowdown > kMaxOutOfCoreSlowdown) {
+      std::fprintf(stderr,
+                   "[check] FAILED: out-of-core slowdown %.2fx exceeds the "
+                   "%.1fx gate (%.4f s vs %.4f s in-memory)\n",
+                   oab.slowdown, kMaxOutOfCoreSlowdown, oab.out_of_core_s,
+                   oab.in_memory_s);
+      return 1;
+    }
+    std::printf("[check] out-of-core gate passed (%.2fx ≤ %.1fx slowdown, "
+                "%llu bytes spilled, peak residency %llu ≤ %llu budget, %zu "
+                "bit-identical violations)\n",
+                oab.slowdown, kMaxOutOfCoreSlowdown,
+                static_cast<unsigned long long>(oab.bytes_spilled),
+                static_cast<unsigned long long>(oab.pool_peak_resident),
+                static_cast<unsigned long long>(oab.budget_bytes),
+                oab.violations);
 
     // Concurrency gate: 8 concurrent prepared sessions must clear ≥2× the
     // serialized throughput in the network-simulated regime (the waits

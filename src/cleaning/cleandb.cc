@@ -1,6 +1,7 @@
 #include "cleaning/cleandb.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "cleaning/prepared_query.h"
@@ -9,6 +10,42 @@
 #include "physical/tuple.h"
 
 namespace cleanm {
+
+namespace {
+
+/// The partition cache's write-back pager: partitions serialize through
+/// the session spill context (lazy temp store, remove-on-close) and revive
+/// through the shared buffer pool. Called with the cache mutex held — it
+/// never calls back into the cache (lock order: cache mutex → store/pool
+/// mutexes).
+class SpillPager : public PartitionPager {
+ public:
+  explicit SpillPager(SpillContext* spill) : spill_(spill) {}
+
+  Result<std::vector<std::vector<PageSpan>>> Write(
+      const engine::Partitioned& data) override {
+    std::vector<std::vector<PageSpan>> spans(data.size());
+    for (size_t n = 0; n < data.size(); n++) {
+      if (data[n].empty()) continue;
+      CLEANM_ASSIGN_OR_RETURN(spans[n], spill_->SpillRows(data[n]));
+    }
+    return spans;
+  }
+
+  Result<engine::Partitioned> Read(
+      const std::vector<std::vector<PageSpan>>& spans) override {
+    engine::Partitioned out(spans.size());
+    for (size_t n = 0; n < spans.size(); n++) {
+      CLEANM_RETURN_NOT_OK(spill_->ReadBack(spans[n], &out[n]));
+    }
+    return out;
+  }
+
+ private:
+  SpillContext* const spill_;
+};
+
+}  // namespace
 
 CleanDB::CleanDB(CleanDBOptions options)
     : options_(std::move(options)), cache_(options_.partition_cache_bytes) {
@@ -20,14 +57,51 @@ CleanDB::CleanDB(CleanDBOptions options)
   copts.use_worker_pool = options_.use_worker_pool;
   copts.fault = options_.fault;
   cluster_ = std::make_unique<engine::Cluster>(copts);
+  if (options_.buffer_pool_bytes > 0) {
+    pool_ = std::make_unique<BufferPool>(options_.buffer_pool_bytes);
+    // The table page store is best-effort: if the temp file cannot be
+    // created (e.g. unwritable spill_dir) the session stays resident-only.
+    auto store = SingleFileStore::CreateTemp(options_.spill_dir, "tables",
+                                             options_.page_bytes);
+    if (store.ok()) page_store_ = std::move(store.MoveValue());
+    session_spill_ = std::make_unique<SpillContext>(
+        options_.spill_dir, options_.page_bytes, options_.buffer_pool_bytes,
+        pool_.get());
+    cache_.set_pager(std::make_shared<SpillPager>(session_spill_.get()));
+  }
 }
 
 void CleanDB::RegisterTable(const std::string& name, Dataset dataset) {
   auto table = std::make_shared<const Dataset>(std::move(dataset));
   {
     std::unique_lock<std::shared_mutex> lock(table_mu_);
-    tables_[name] = std::move(table);
+    tables_[name] = table;
     generations_[name]++;
+    // The old paged copy is stale the moment the new registration is
+    // visible; drop it in the same critical section so no snapshot can
+    // pair the new resident table with old pages. The fresh copy is
+    // ingested (and published) below, outside the lock.
+    paged_tables_.erase(name);
+  }
+  if (pool_ && page_store_) {
+    PagedTableBuilder builder(page_store_);
+    Status st = Status::OK();
+    for (const auto& row : table->rows()) {
+      st = builder.Append(row);
+      if (!st.ok()) break;
+    }
+    if (st.ok()) {
+      Result<PagedTable> finished = builder.Finish(table->schema());
+      if (finished.ok()) {
+        auto paged = std::make_shared<const PagedTable>(finished.MoveValue());
+        std::unique_lock<std::shared_mutex> lock(table_mu_);
+        // Publish only if this registration is still current (a concurrent
+        // re-registration may have won the race and re-ingested).
+        if (tables_[name] == table) paged_tables_[name] = std::move(paged);
+      }
+    }
+    // Ingestion failure leaves the table resident-only — an optimization
+    // lost, never a correctness problem.
   }
   // Invalidation happens after the lock drops (cache has its own mutex).
   // In the window between, the bumped generation is already visible and
@@ -41,6 +115,7 @@ void CleanDB::UnregisterTable(const std::string& name) {
   {
     std::unique_lock<std::shared_mutex> lock(table_mu_);
     if (tables_.erase(name) == 0) return;
+    paged_tables_.erase(name);
     generations_[name]++;
   }
   cache_.InvalidateTable(name);
@@ -74,6 +149,11 @@ CleanDB::TableSnapshot CleanDB::SnapshotTables() const {
   for (const auto& [name, dataset] : tables_) {
     snapshot.catalog.tables[name] = dataset.get();
     snapshot.leases.push_back(dataset);
+  }
+  snapshot.paged_leases.reserve(paged_tables_.size());
+  for (const auto& [name, paged] : paged_tables_) {
+    snapshot.catalog.paged[name] = paged.get();
+    snapshot.paged_leases.push_back(paged);
   }
   snapshot.catalog.generations = generations_;
   snapshot.catalog.functions = &functions_;
@@ -175,10 +255,21 @@ Result<OpResult> CleanDB::RunProgrammaticOp(const CleaningPlan& cp) {
   // when the op completes.
   QueryMetrics op_metrics;
   engine::MetricsScope metrics_scope(&op_metrics);
+  // Out-of-core sessions give programmatic ops the same paged scans and
+  // breaker spilling as prepared executions; the per-op spill file (lazy,
+  // remove-on-close) dies with this scope.
+  std::optional<SpillContext> spill;
+  if (pool_) {
+    spill.emplace(options_.spill_dir, options_.page_bytes,
+                  options_.buffer_pool_bytes, pool_.get());
+  }
   // Transient plan: its nodes are never seen again, so nests stay local.
   Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
                 /*persist_nests_in=*/false};
+  exec.pool = pool_.get();
+  exec.spill = spill ? &*spill : nullptr;
   auto result = RunCleaningPlan(exec, cp);
+  if (spill) op_metrics.bytes_spilled += spill->bytes_spilled();
   cluster_->session_metrics().Accumulate(op_metrics.Snapshot());
   return result;
 }

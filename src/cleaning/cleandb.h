@@ -30,6 +30,9 @@
 #include "language/parser.h"
 #include "physical/partition_cache.h"
 #include "physical/planner.h"
+#include "storage/pagestore/buffer_pool.h"
+#include "storage/pagestore/paged_table.h"
+#include "storage/pagestore/spill.h"
 
 namespace cleanm {
 
@@ -55,6 +58,20 @@ struct CleanDBOptions {
   /// Byte budget of the session partition cache (cached scans / wrapped
   /// scans / Nest outputs, LRU-evicted). 0 = unbounded.
   size_t partition_cache_bytes = size_t{256} << 20;
+  /// Out-of-core storage (DESIGN.md, "Out-of-core storage & spill"): byte
+  /// budget of the session buffer pool. When > 0, registered tables are
+  /// additionally ingested into a paged single-file store and scanned
+  /// through the pool, pipeline breakers (Nest partials, hash-join build
+  /// sides) spill over-budget state to a per-execution temp file, and
+  /// partition-cache eviction pages cold entries out instead of discarding
+  /// them. 0 = fully in-memory (the default). Overridable per call via
+  /// ExecOptions::buffer_pool_bytes.
+  uint64_t buffer_pool_bytes = 0;
+  /// Directory for page-store / spill temp files; empty = the system temp
+  /// directory. Every file is unlinked on close, on all exit paths.
+  std::string spill_dir;
+  /// Page granularity of the single-file stores.
+  size_t page_bytes = kDefaultPageBytes;
   /// Operator-level pipelining (morsel-driven execution below the sink).
   /// When true (default), plans stream fixed-size morsels from resident
   /// sources through Select/Unnest chains to the violation sink, breaking
@@ -226,6 +243,10 @@ class CleanDB {
   /// The session partition cache (stats for tests/monitoring; Clear() to
   /// drop all cached partitionings).
   PartitionCache& partition_cache() { return cache_; }
+  /// The session buffer pool, or null on a fully in-memory session
+  /// (options().buffer_pool_bytes == 0). Stats expose resident/peak bytes
+  /// for the out-of-core CI gate.
+  const BufferPool* buffer_pool() const { return pool_.get(); }
 
   /// Samples k-means centers for a grouping clause: from the dictionary
   /// when given, else from the data column.
@@ -243,6 +264,9 @@ class CleanDB {
   struct TableSnapshot {
     Catalog catalog;
     std::vector<std::shared_ptr<const Dataset>> leases;
+    /// Leases on the paged copies bound in catalog.paged (out-of-core
+    /// sessions only) — same survival rule as `leases`.
+    std::vector<std::shared_ptr<const PagedTable>> paged_leases;
   };
   TableSnapshot SnapshotTables() const;
 
@@ -281,6 +305,10 @@ class CleanDB {
   std::map<std::string, std::shared_ptr<const Dataset>> tables_;
   /// Per-table registration counters backing the cache's staleness keys.
   std::map<std::string, uint64_t> generations_;
+  /// Paged copies of registered tables (out-of-core sessions; guarded by
+  /// table_mu_ like tables_). A table may lack one — paged ingestion is an
+  /// optimization, never a correctness dependency.
+  std::map<std::string, std::shared_ptr<const PagedTable>> paged_tables_;
 
   /// Read-modify-write commit serialization (see LockCommits). Ordered
   /// before table_mu_.
@@ -303,6 +331,16 @@ class CleanDB {
   /// Suffix counter making concurrently-running ValidateTerms calls' temp
   /// table names unique.
   std::atomic<uint64_t> temp_table_seq_{0};
+
+  /// Out-of-core state (null on fully in-memory sessions). Declared before
+  /// cache_ so the cache (whose pager writes through session_spill_) is
+  /// destroyed first. The page store is shared-owned by every PagedTable
+  /// built over it.
+  std::unique_ptr<BufferPool> pool_;
+  std::shared_ptr<SingleFileStore> page_store_;
+  /// Session spill context backing the partition-cache pager (per-execution
+  /// breaker spills use their own, stack-owned in ExecutePrepared).
+  std::unique_ptr<SpillContext> session_spill_;
 
   /// Session-owned partition cache shared by every execution.
   PartitionCache cache_;

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace cleanm {
 
@@ -71,6 +72,23 @@ struct ExecOptions {
   std::optional<uint64_t> fault_seed;
   std::optional<size_t> max_task_retries;
   std::optional<uint64_t> retry_backoff_ns;
+
+  // Out-of-core overrides (see CleanDBOptions::buffer_pool_bytes /
+  // spill_dir / page_bytes and DESIGN.md, "Out-of-core storage & spill").
+
+  /// Buffer-pool byte budget for this execution. Overriding away from the
+  /// session value runs the call under an execution-local pool; 0 disables
+  /// spilling for this call even on an out-of-core session (paged table
+  /// scans also revert to the resident datasets).
+  std::optional<uint64_t> buffer_pool_bytes;
+
+  /// Directory for this execution's spill file (empty = system temp dir).
+  /// The file is created lazily on first spill and removed on close on
+  /// every exit path.
+  std::optional<std::string> spill_dir;
+
+  /// Page granularity of this execution's spill file.
+  std::optional<size_t> page_bytes;
 };
 
 }  // namespace cleanm

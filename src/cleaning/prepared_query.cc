@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -442,10 +443,39 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   const size_t max_quarantined = opts.max_quarantined_rows.value_or(0);
   engine::QuarantineSink quarantine(max_quarantined);
 
+  // Out-of-core wiring: resolve the effective pool budget (per-call
+  // override, else session default). The session pool serves unless the
+  // budget is overridden, in which case an execution-local pool applies it;
+  // budget 0 disables paged scans and breaker spilling for this call. The
+  // spill context is stack-owned, so its lazily-created temp file is
+  // unlinked on every exit path — success, sink abort, cancellation or
+  // deadline unwind, retry exhaustion — purely by scope exit.
+  const uint64_t pool_bytes =
+      opts.buffer_pool_bytes.value_or(options_.buffer_pool_bytes);
+  const size_t page_bytes = opts.page_bytes.value_or(options_.page_bytes);
+  const std::string spill_dir = opts.spill_dir.value_or(options_.spill_dir);
+  std::unique_ptr<BufferPool> local_pool;
+  BufferPool* pool = nullptr;
+  if (pool_bytes > 0) {
+    if (pool_ && !opts.buffer_pool_bytes.has_value()) {
+      pool = pool_.get();
+    } else {
+      local_pool = std::make_unique<BufferPool>(pool_bytes);
+      pool = local_pool.get();
+    }
+  }
+  std::optional<SpillContext> spill;
+  if (pool != nullptr) spill.emplace(spill_dir, page_bytes, pool_bytes, pool);
+  const BufferPool::Stats pool_before = pool ? pool->stats() : BufferPool::Stats{};
+  const uint64_t session_spilled_before =
+      session_spill_ ? session_spill_->bytes_spilled() : 0;
+
   const PartitionCache::Stats cache_before = cache_.stats();
   Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
                 pq.persist_cache_};
   exec.quarantine = max_quarantined > 0 ? &quarantine : nullptr;
+  exec.pool = pool;
+  exec.spill = spill ? &*spill : nullptr;
 
   // The unified violation report: entity → operations it violates (the
   // Section-4.4 outer join), built incrementally as violations stream.
@@ -548,6 +578,21 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   if (status.code() == StatusCode::kCancelled ||
       status.code() == StatusCode::kDeadlineExceeded) {
     exec_metrics.executions_cancelled += 1;
+  }
+
+  // Out-of-core counters: breaker spills from this execution's context,
+  // cache write-backs from the session context (delta over this window),
+  // and the pool's hit/miss/eviction deltas.
+  if (spill) exec_metrics.bytes_spilled += spill->bytes_spilled();
+  if (session_spill_) {
+    exec_metrics.bytes_spilled +=
+        session_spill_->bytes_spilled() - session_spilled_before;
+  }
+  if (pool != nullptr) {
+    const BufferPool::Stats pool_after = pool->stats();
+    exec_metrics.buffer_pool_hits += pool_after.hits - pool_before.hits;
+    exec_metrics.buffer_pool_misses += pool_after.misses - pool_before.misses;
+    exec_metrics.pages_evicted += pool_after.evictions - pool_before.evictions;
   }
 
   if (summary) {

@@ -15,7 +15,11 @@ std::string MetricsCounters::ToString() const {
      << " tasks_failed=" << tasks_failed << " tasks_retried=" << tasks_retried
      << " nodes_blacklisted=" << nodes_blacklisted
      << " rows_quarantined=" << rows_quarantined
-     << " executions_cancelled=" << executions_cancelled;
+     << " executions_cancelled=" << executions_cancelled
+     << " bytes_spilled=" << bytes_spilled
+     << " pages_evicted=" << pages_evicted
+     << " buffer_pool_hits=" << buffer_pool_hits
+     << " buffer_pool_misses=" << buffer_pool_misses;
   return os.str();
 }
 

@@ -53,6 +53,15 @@ struct MetricsCounters {
   uint64_t rows_quarantined = 0;
   /// Executions that ended with kCancelled or kDeadlineExceeded.
   uint64_t executions_cancelled = 0;
+  /// Bytes written to the execution's spill file by pipeline breakers
+  /// (Nest partials, hash-join build sides) and the partition cache's
+  /// page write-back. 0 when the run fit in the pool budget.
+  uint64_t bytes_spilled = 0;
+  /// Buffer-pool frames dropped by its byte budget during the execution.
+  uint64_t pages_evicted = 0;
+  /// Page pins served from resident frames / read from disk.
+  uint64_t buffer_pool_hits = 0;
+  uint64_t buffer_pool_misses = 0;
 
   std::string ToString() const;
 
@@ -69,7 +78,11 @@ struct MetricsCounters {
            a.tasks_retried == b.tasks_retried &&
            a.nodes_blacklisted == b.nodes_blacklisted &&
            a.rows_quarantined == b.rows_quarantined &&
-           a.executions_cancelled == b.executions_cancelled;
+           a.executions_cancelled == b.executions_cancelled &&
+           a.bytes_spilled == b.bytes_spilled &&
+           a.pages_evicted == b.pages_evicted &&
+           a.buffer_pool_hits == b.buffer_pool_hits &&
+           a.buffer_pool_misses == b.buffer_pool_misses;
   }
   friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
     return !(a == b);
@@ -99,6 +112,10 @@ struct QueryMetrics {
   std::atomic<uint64_t> nodes_blacklisted{0};
   std::atomic<uint64_t> rows_quarantined{0};
   std::atomic<uint64_t> executions_cancelled{0};
+  std::atomic<uint64_t> bytes_spilled{0};
+  std::atomic<uint64_t> pages_evicted{0};
+  std::atomic<uint64_t> buffer_pool_hits{0};
+  std::atomic<uint64_t> buffer_pool_misses{0};
 
   /// Adds `bytes` of transient buffer to the gauge and folds the new level
   /// into the peak. Thread-safe (workers charge in-flight morsels).
@@ -134,6 +151,10 @@ struct QueryMetrics {
     nodes_blacklisted += s.nodes_blacklisted;
     rows_quarantined += s.rows_quarantined;
     executions_cancelled += s.executions_cancelled;
+    bytes_spilled += s.bytes_spilled;
+    pages_evicted += s.pages_evicted;
+    buffer_pool_hits += s.buffer_pool_hits;
+    buffer_pool_misses += s.buffer_pool_misses;
     uint64_t peak = peak_bytes_materialized.load();
     while (s.peak_bytes_materialized > peak &&
            !peak_bytes_materialized.compare_exchange_weak(
@@ -158,6 +179,10 @@ struct QueryMetrics {
     nodes_blacklisted = 0;
     rows_quarantined = 0;
     executions_cancelled = 0;
+    bytes_spilled = 0;
+    pages_evicted = 0;
+    buffer_pool_hits = 0;
+    buffer_pool_misses = 0;
   }
 
   MetricsCounters Snapshot() const {
@@ -177,6 +202,10 @@ struct QueryMetrics {
     s.nodes_blacklisted = nodes_blacklisted.load();
     s.rows_quarantined = rows_quarantined.load();
     s.executions_cancelled = executions_cancelled.load();
+    s.bytes_spilled = bytes_spilled.load();
+    s.pages_evicted = pages_evicted.load();
+    s.buffer_pool_hits = buffer_pool_hits.load();
+    s.buffer_pool_misses = buffer_pool_misses.load();
     return s;
   }
 

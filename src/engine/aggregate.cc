@@ -4,6 +4,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "engine/fault.h"
+#include "storage/pagestore/spill.h"
+
 namespace cleanm::engine {
 
 const char* AggregateStrategyName(AggregateStrategy s) {
@@ -56,12 +59,13 @@ namespace {
 /// Folds one row: key and unit are both evaluated *before* the map is
 /// touched, so a throwing row (poison data under the quarantine hook)
 /// leaves the accumulator state untouched.
-void FoldOne(AccMap* accs, const Row& row, const AggregateSpec& spec) {
+void FoldOne(OrderedAccs* accs, const Row& row, const AggregateSpec& spec) {
   Value key = spec.key(row);
   Value unit = spec.init(row);
-  auto it = accs->find(key);
-  if (it == accs->end()) {
-    accs->emplace(std::move(key), std::move(unit));
+  auto it = accs->map.find(key);
+  if (it == accs->map.end()) {
+    accs->order.push_back(key);
+    accs->map.emplace(std::move(key), std::move(unit));
   } else {
     it->second = spec.merge(std::move(it->second), unit);
   }
@@ -72,7 +76,7 @@ void FoldOne(AccMap* accs, const Row& row, const AggregateSpec& spec) {
 /// map's growth/iteration order — cannot diverge). `node` / `first_ordinal`
 /// identify the rows for the on_row_error hook (ordinal = position within
 /// the node's fold stream).
-void AccumulateRows(AccMap* accs, const Partition& rows, const AggregateSpec& spec,
+void AccumulateRows(OrderedAccs* accs, const Partition& rows, const AggregateSpec& spec,
                     size_t node, size_t first_ordinal = 0) {
   if (!spec.on_row_error) {
     for (const auto& row : rows) FoldOne(accs, row, spec);
@@ -91,21 +95,22 @@ void AccumulateRows(AccMap* accs, const Partition& rows, const AggregateSpec& sp
 }
 
 /// Aggregates one partition's rows into an accumulator map.
-AccMap LocalAggregate(const Partition& rows, const AggregateSpec& spec, size_t node) {
-  AccMap accs;
+OrderedAccs LocalAggregate(const Partition& rows, const AggregateSpec& spec,
+                           size_t node) {
+  OrderedAccs accs;
   AccumulateRows(&accs, rows, spec, node);
   return accs;
 }
 
-Partitioned FinalizePerNode(Cluster& cluster, std::vector<AccMap>& per_node,
+Partitioned FinalizePerNode(Cluster& cluster, std::vector<OrderedAccs>& per_node,
                             const AggregateSpec& spec) {
   Partitioned out(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
-    out[n].reserve(per_node[n].size());
-    for (const auto& [key, acc] : per_node[n]) {
-      spec.finalize(key, acc, &out[n]);
+    out[n].reserve(per_node[n].map.size());
+    for (const auto& key : per_node[n].order) {
+      spec.finalize(key, per_node[n].map.find(key)->second, &out[n]);
     }
-    cluster.metrics().groups_built += per_node[n].size();
+    cluster.metrics().groups_built += per_node[n].map.size();
   });
   return out;
 }
@@ -113,6 +118,15 @@ Partitioned FinalizePerNode(Cluster& cluster, std::vector<AccMap>& per_node,
 /// Encodes a (key, accumulator) partial as a two-value row for shuffling.
 Row EncodePartial(const Value& key, Value acc) {
   return Row{key, std::move(acc)};
+}
+
+/// Drains `accs` into shuffle-ready partial rows, one per key in
+/// first-occurrence order (the accumulators are moved out; `accs` is spent).
+void EncodePartials(OrderedAccs* accs, Partition* out) {
+  out->reserve(out->size() + accs->order.size());
+  for (const auto& key : accs->order) {
+    out->push_back(EncodePartial(key, std::move(accs->map.find(key)->second)));
+  }
 }
 
 /// The local-combine tail shared with MorselAggregator::Finish: shuffle the
@@ -123,13 +137,17 @@ Partitioned CombinePartialsAndFinalize(Cluster& cluster, const Partitioned& part
       cluster.Shuffle(partials, [](const Row& r) { return r[0].Hash(); });
   if (load != nullptr) *load = cluster.Load(routed);
 
-  // Phase 3: merge partials per key, then finalize.
-  std::vector<AccMap> merged(cluster.num_nodes());
+  // Phase 3: merge partials per key, then finalize. The merged state keys
+  // finalize order by first arrival in the routed stream (OrderedAccs),
+  // which depends only on the shuffle's deterministic routing — never on
+  // map internals.
+  std::vector<OrderedAccs> merged(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
     for (auto& row : routed[n]) {
-      auto it = merged[n].find(row[0]);
-      if (it == merged[n].end()) {
-        merged[n].emplace(row[0], std::move(row[1]));
+      auto it = merged[n].map.find(row[0]);
+      if (it == merged[n].map.end()) {
+        merged[n].order.push_back(row[0]);
+        merged[n].map.emplace(row[0], std::move(row[1]));
       } else {
         it->second = spec.merge(std::move(it->second), row[1]);
       }
@@ -145,11 +163,8 @@ Partitioned RunLocalCombine(Cluster& cluster, const Partitioned& in,
   // immediately encoded as shuffle-ready partials, one row per (node, key).
   Partitioned partials(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
-    AccMap local = LocalAggregate(in[n], spec, n);
-    partials[n].reserve(local.size());
-    for (auto& [key, acc] : local) {
-      partials[n].push_back(EncodePartial(key, std::move(acc)));
-    }
+    OrderedAccs local = LocalAggregate(in[n], spec, n);
+    EncodePartials(&local, &partials[n]);
   });
   return CombinePartialsAndFinalize(cluster, partials, spec, load);
 }
@@ -191,7 +206,7 @@ Partitioned RunSortShuffle(Cluster& cluster, const Partitioned& in,
 
   // Node-local sort by key then aggregate runs of equal keys (the "sort"
   // part of sort-based aggregation).
-  std::vector<AccMap> merged(cluster.num_nodes());
+  std::vector<OrderedAccs> merged(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
     Partition rows = routed[n];
     std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
@@ -208,7 +223,7 @@ Partitioned RunHashShuffle(Cluster& cluster, const Partitioned& in,
   Partitioned routed =
       cluster.Shuffle(in, [&](const Row& r) { return spec.key(r).Hash(); });
   if (load != nullptr) *load = cluster.Load(routed);
-  std::vector<AccMap> merged(cluster.num_nodes());
+  std::vector<OrderedAccs> merged(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) { merged[n] = LocalAggregate(routed[n], spec, n); });
   return FinalizePerNode(cluster, merged, spec);
 }
@@ -232,21 +247,45 @@ Partitioned AggregateByKey(Cluster& cluster, const Partitioned& in,
 }
 
 MorselAggregator::MorselAggregator(Cluster& cluster, AggregateSpec spec,
-                                   AggregateStrategy strategy)
-    : cluster_(cluster), spec_(std::move(spec)), strategy_(strategy) {
+                                   AggregateStrategy strategy, SpillContext* spill)
+    : cluster_(cluster),
+      spec_(std::move(spec)),
+      strategy_(strategy),
+      spill_(spill) {
   CLEANM_CHECK(spec_.key && spec_.init && spec_.merge && spec_.finalize);
   if (strategy_ == AggregateStrategy::kLocalCombine) {
     per_node_.resize(cluster_.num_nodes());
     fold_base_.assign(cluster_.num_nodes(), 0);
+    spilled_.resize(cluster_.num_nodes());
   } else {
     buffered_.resize(cluster_.num_nodes());
   }
+}
+
+void MorselAggregator::MaybeSpill(size_t node) {
+  if (spill_ == nullptr || !spill_->enabled()) return;
+  OrderedAccs& accs = per_node_[node];
+  uint64_t bytes = 0;
+  for (const auto& key : accs.order) {
+    bytes += key.ByteSize() + accs.map.find(key)->second.ByteSize();
+  }
+  // Per-node share: every node's breaker state competes for the one pool
+  // budget, so a node spills once N such states would exceed it.
+  if (!spill_->ShouldSpill(bytes, per_node_.size())) return;
+  Partition partials;
+  EncodePartials(&accs, &partials);
+  accs.map.clear();
+  accs.order.clear();
+  Result<std::vector<PageSpan>> spans = spill_->SpillRows(partials);
+  if (!spans.ok()) throw StatusException(spans.status());
+  spilled_[node].push_back(spans.MoveValue());
 }
 
 void MorselAggregator::Accumulate(size_t node, Partition rows) {
   if (strategy_ == AggregateStrategy::kLocalCombine) {
     AccumulateRows(&per_node_[node], rows, spec_, node, fold_base_[node]);
     fold_base_[node] += rows.size();
+    MaybeSpill(node);
     return;
   }
   // The shuffle-all-rows baselines route every raw row: nothing to fold
@@ -263,13 +302,19 @@ Partitioned MorselAggregator::Finish(LoadReport* load) {
     return AggregateByKey(cluster_, buffered_, spec_, strategy_, load);
   }
   // Encode the partials exactly as RunLocalCombine's phase 2 does — same
-  // map iteration order, since the per-node fold sequence was identical.
+  // first-occurrence key order, since the per-node fold sequence was
+  // identical. Spilled generations come first, in spill order: their
+  // concatenation with the live tail replays the unspilled key sequence
+  // (a key's later occurrences merge into later generations, and the
+  // downstream per-key merge is associative), so results stay
+  // bit-identical whether or not the budget forced spills.
   Partitioned partials(cluster_.num_nodes());
   cluster_.RunOnNodes([&](size_t n) {
-    partials[n].reserve(per_node_[n].size());
-    for (auto& [key, acc] : per_node_[n]) {
-      partials[n].push_back(EncodePartial(key, std::move(acc)));
+    for (const auto& generation : spilled_[n]) {
+      Status st = spill_->ReadBack(generation, &partials[n]);
+      if (!st.ok()) throw StatusException(std::move(st));
     }
+    EncodePartials(&per_node_[n], &partials[n]);
   });
   return CombinePartialsAndFinalize(cluster_, partials, spec_, load);
 }

@@ -26,6 +26,11 @@
 #include <vector>
 
 #include "engine/cluster.h"
+#include "storage/pagestore/page.h"
+
+namespace cleanm {
+class SpillContext;
+}
 
 namespace cleanm::engine {
 
@@ -92,6 +97,21 @@ struct ValueEqual {
 };
 using AccMap = std::unordered_map<Value, Value, ValueHasher, ValueEqual>;
 
+/// Node-local aggregation state: the accumulator map plus the keys in
+/// first-occurrence order. Partial encoding and finalize both walk
+/// `order`, never the unordered_map, so the emission sequence is a pure
+/// function of the per-node key stream — unordered_map iteration order
+/// (which varies with rehash history, and would differ between a
+/// whole-stream map and one that was spilled and cleared mid-stream)
+/// never leaks into results. Concatenating the partial streams of
+/// successive spill generations therefore reproduces the unspilled
+/// stream's key order exactly, which is what keeps spilled executions
+/// bit-identical (see DESIGN.md, "Out-of-core storage & spill").
+struct OrderedAccs {
+  AccMap map;
+  std::vector<Value> order;  ///< keys in first-occurrence order
+};
+
 /// \brief Morsel-fed variant of AggregateByKey: the pipeline breaker at a
 /// Nest boundary.
 ///
@@ -109,7 +129,15 @@ using AccMap = std::unordered_map<Value, Value, ValueHasher, ValueEqual>;
 /// buffer them, degenerating to the materializing path.
 class MorselAggregator {
  public:
-  MorselAggregator(Cluster& cluster, AggregateSpec spec, AggregateStrategy strategy);
+  /// `spill` (optional) lets the breaker bound its resident partial state:
+  /// when the summed per-node accumulator estimate exceeds the pool
+  /// budget, a node's partials are encoded (in key order), written to the
+  /// spill file, and the map is cleared; Finish re-reads every generation
+  /// in order ahead of the live partials, so the merge sees the same
+  /// partial stream modulo generation splits — exact by monoid
+  /// associativity, order-exact by OrderedAccs.
+  MorselAggregator(Cluster& cluster, AggregateSpec spec, AggregateStrategy strategy,
+                   SpillContext* spill = nullptr);
 
   /// Folds one morsel of node `node`'s rows (by value: callers hand over
   /// morsels they own, so the buffering baselines splice without copying).
@@ -122,13 +150,20 @@ class MorselAggregator {
   Partitioned Finish(LoadReport* load = nullptr);
 
  private:
+  /// Spills node `node`'s partials if the summed accumulator estimate is
+  /// over budget (no-op without a spill context).
+  void MaybeSpill(size_t node);
+
   Cluster& cluster_;
   AggregateSpec spec_;
   AggregateStrategy strategy_;
-  std::vector<AccMap> per_node_;  ///< kLocalCombine state
+  SpillContext* spill_;
+  std::vector<OrderedAccs> per_node_;  ///< kLocalCombine state
   /// Rows folded so far per node (kLocalCombine): the ordinal base handed
   /// to the on_row_error hook for each incoming morsel.
   std::vector<uint64_t> fold_base_;
+  /// Spilled partial generations per node, in spill order.
+  std::vector<std::vector<std::vector<PageSpan>>> spilled_;
   Partitioned buffered_;          ///< raw rows for the shuffle-all baselines
 };
 

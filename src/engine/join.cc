@@ -3,6 +3,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "engine/fault.h"
+#include "storage/pagestore/spill.h"
+
 namespace cleanm::engine {
 
 namespace {
@@ -13,20 +16,60 @@ struct ValueEq {
   bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
 };
 using BuildTable = std::unordered_map<Value, std::vector<const Row*>, ValueHash, ValueEq>;
+
+/// If the shuffled build side `r` is over the spill budget, writes each
+/// node's build partition to the spill file and clears the resident copy.
+/// Returns per-node page spans (empty when nothing was spilled). The probe
+/// phase then revives one node's build side at a time via ReviveBuildSide,
+/// so at most ~|r|/N build rows are resident at once instead of |r|.
+std::vector<std::vector<PageSpan>> MaybeSpillBuildSide(SpillContext* spill,
+                                                       Partitioned& r) {
+  std::vector<std::vector<PageSpan>> spans(r.size());
+  if (spill == nullptr || !spill->enabled()) return spans;
+  uint64_t bytes = 0;
+  for (const auto& part : r)
+    for (const auto& row : part) bytes += RowByteSize(row);
+  if (!spill->ShouldSpill(bytes, 1)) return spans;
+  for (size_t n = 0; n < r.size(); n++) {
+    if (r[n].empty()) continue;
+    Result<std::vector<PageSpan>> s = spill->SpillRows(r[n]);
+    if (!s.ok()) throw StatusException(s.status());
+    spans[n] = s.MoveValue();
+    Partition().swap(r[n]);
+  }
+  return spans;
+}
+
+/// Reads node `n`'s spilled build rows back into `revived` and returns a
+/// reference to them; when nothing was spilled, returns the resident
+/// partition untouched.
+const Partition& ReviveBuildSide(SpillContext* spill,
+                                 const std::vector<std::vector<PageSpan>>& spans,
+                                 const Partitioned& r, size_t n,
+                                 Partition* revived) {
+  if (spans[n].empty()) return r[n];
+  Status st = spill->ReadBack(spans[n], revived);
+  if (!st.ok()) throw StatusException(st);
+  return *revived;
+}
 }  // namespace
 
 Partitioned HashEquiJoin(Cluster& cluster, const Partitioned& left,
                          const Partitioned& right,
                          const std::function<Value(const Row&)>& left_key,
                          const std::function<Value(const Row&)>& right_key,
-                         const std::function<Row(const Row&, const Row&)>& emit) {
+                         const std::function<Row(const Row&, const Row&)>& emit,
+                         SpillContext* spill) {
   Partitioned l = cluster.Shuffle(left, [&](const Row& r) { return left_key(r).Hash(); });
   Partitioned r = cluster.Shuffle(right, [&](const Row& x) { return right_key(x).Hash(); });
+  const std::vector<std::vector<PageSpan>> spilled = MaybeSpillBuildSide(spill, r);
   Partitioned out(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
+    Partition revived;
+    const Partition& build = ReviveBuildSide(spill, spilled, r, n, &revived);
     BuildTable table;
-    table.reserve(r[n].size());
-    for (const auto& row : r[n]) table[right_key(row)].push_back(&row);
+    table.reserve(build.size());
+    for (const auto& row : build) table[right_key(row)].push_back(&row);
     for (const auto& lrow : l[n]) {
       auto it = table.find(left_key(lrow));
       if (it == table.end()) continue;
@@ -41,14 +84,18 @@ Partitioned HashLeftOuterJoin(
     const std::function<Value(const Row&)>& left_key,
     const std::function<Value(const Row&)>& right_key,
     const std::function<Row(const Row&, const Row&)>& emit,
-    const std::function<Row(const Row&)>& emit_unmatched) {
+    const std::function<Row(const Row&)>& emit_unmatched,
+    SpillContext* spill) {
   Partitioned l = cluster.Shuffle(left, [&](const Row& r) { return left_key(r).Hash(); });
   Partitioned r = cluster.Shuffle(right, [&](const Row& x) { return right_key(x).Hash(); });
+  const std::vector<std::vector<PageSpan>> spilled = MaybeSpillBuildSide(spill, r);
   Partitioned out(cluster.num_nodes());
   cluster.RunOnNodes([&](size_t n) {
+    Partition revived;
+    const Partition& build = ReviveBuildSide(spill, spilled, r, n, &revived);
     BuildTable table;
-    table.reserve(r[n].size());
-    for (const auto& row : r[n]) table[right_key(row)].push_back(&row);
+    table.reserve(build.size());
+    for (const auto& row : build) table[right_key(row)].push_back(&row);
     for (const auto& lrow : l[n]) {
       auto it = table.find(left_key(lrow));
       if (it == table.end()) {

@@ -20,25 +20,34 @@
 
 #include "engine/cluster.h"
 
+namespace cleanm {
+class SpillContext;
+}
+
 namespace cleanm::engine {
 
 /// Equality join: partitions both sides by key hash, then builds and probes
 /// a node-local hash table. `left_key`/`right_key` extract the join key;
-/// `emit` receives each matching pair.
+/// `emit` receives each matching pair. `spill` (optional) bounds the build
+/// side: when the shuffled right side exceeds the pool budget it is written
+/// to the spill file after the shuffle and re-read per node for the
+/// build+probe phase, so the resident copy exists one node at a time.
 Partitioned HashEquiJoin(Cluster& cluster, const Partitioned& left,
                          const Partitioned& right,
                          const std::function<Value(const Row&)>& left_key,
                          const std::function<Value(const Row&)>& right_key,
-                         const std::function<Row(const Row&, const Row&)>& emit);
+                         const std::function<Row(const Row&, const Row&)>& emit,
+                         SpillContext* spill = nullptr);
 
 /// Left outer equality join: unmatched left rows are emitted via
-/// `emit_unmatched`.
+/// `emit_unmatched`. `spill` as in HashEquiJoin.
 Partitioned HashLeftOuterJoin(
     Cluster& cluster, const Partitioned& left, const Partitioned& right,
     const std::function<Value(const Row&)>& left_key,
     const std::function<Value(const Row&)>& right_key,
     const std::function<Row(const Row&, const Row&)>& emit,
-    const std::function<Row(const Row&)>& emit_unmatched);
+    const std::function<Row(const Row&)>& emit_unmatched,
+    SpillContext* spill = nullptr);
 
 enum class ThetaJoinAlgo {
   kCartesian,

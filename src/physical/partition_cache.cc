@@ -24,6 +24,8 @@ PartitionCache::Stats PartitionCache::Stats::Since(const Stats& before) const {
   delta.nest_misses -= before.nest_misses;
   delta.evictions -= before.evictions;
   delta.invalidations -= before.invalidations;
+  delta.page_writebacks -= before.page_writebacks;
+  delta.page_revivals -= before.page_revivals;
   return delta;
 }
 
@@ -32,9 +34,16 @@ std::string PartitionCache::Stats::ToString() const {
   out << "{scan_hits=" << scan_hits << " scan_misses=" << scan_misses
       << " nest_hits=" << nest_hits << " nest_misses=" << nest_misses
       << " evictions=" << evictions << " invalidations=" << invalidations
+      << " page_writebacks=" << page_writebacks
+      << " page_revivals=" << page_revivals
       << " resident_bytes=" << resident_bytes
       << " resident_entries=" << resident_entries << "}";
   return out.str();
+}
+
+void PartitionCache::set_pager(std::shared_ptr<PartitionPager> pager) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pager_ = std::move(pager);
 }
 
 PartitionCache::Stats PartitionCache::stats() const {
@@ -56,7 +65,33 @@ PartitionPin PartitionCache::FindLocked(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   it->second.last_used = ++tick_;
+  if (!it->second.data) return ReviveLocked(it);
   return it->second.data;
+}
+
+PartitionPin PartitionCache::ReviveLocked(std::map<Key, Entry>::iterator it) {
+  if (!pager_ || it->second.paged.empty()) {
+    // Unreachable by construction (entries only lose their data via a
+    // successful write-back); recover by dropping the husk.
+    EraseLocked(it, &stats_.invalidations);
+    return nullptr;
+  }
+  Result<engine::Partitioned> revived = pager_->Read(it->second.paged);
+  if (!revived.ok()) {
+    // Spill-store read failure (e.g. corruption): surface as a miss so the
+    // caller recomputes from the source of truth.
+    EraseLocked(it, &stats_.invalidations);
+    return nullptr;
+  }
+  it->second.data =
+      std::make_shared<const engine::Partitioned>(revived.MoveValue());
+  resident_bytes_ += it->second.bytes;
+  stats_.page_revivals++;
+  stats_.resident_bytes = resident_bytes_;
+  PartitionPin pin = it->second.data;
+  const Key key = it->first;
+  if (byte_budget_ > 0) EvictToBudgetLocked(key);
+  return pin;
 }
 
 PartitionPin PartitionCache::FindScan(const std::string& table,
@@ -117,9 +152,14 @@ PartitionPin PartitionCache::FindNest(
       return nullptr;
     }
   }
-  stats_.nest_hits++;
   it->second.last_used = ++tick_;
-  return it->second.data;
+  PartitionPin pin = it->second.data ? it->second.data : ReviveLocked(it);
+  if (!pin) {
+    stats_.nest_misses++;
+    return nullptr;
+  }
+  stats_.nest_hits++;
+  return pin;
 }
 
 PartitionPin PartitionCache::PutNest(
@@ -152,7 +192,8 @@ PartitionPin PartitionCache::PutLocked(Key key, Entry entry) {
 void PartitionCache::EraseLocked(std::map<Key, Entry>::iterator it,
                                  uint64_t* counter) {
   // Drops only the cache's reference: readers holding a pin keep the data.
-  resident_bytes_ -= it->second.bytes;
+  // A paged-out entry's bytes already left the resident gauge.
+  if (it->second.data) resident_bytes_ -= it->second.bytes;
   entries_.erase(it);
   if (counter) (*counter)++;
   stats_.resident_bytes = resident_bytes_;
@@ -160,15 +201,43 @@ void PartitionCache::EraseLocked(std::map<Key, Entry>::iterator it,
 }
 
 void PartitionCache::EvictToBudgetLocked(const Key& keep) {
-  while (resident_bytes_ > byte_budget_ && entries_.size() > 1) {
+  while (resident_bytes_ > byte_budget_) {
+    // Victims are chosen among *resident* entries only; paged-out husks
+    // hold no bytes. Never evict the entry being admitted, and keep at
+    // least one resident entry (a single over-budget entry is admitted
+    // alone rather than thrashing).
     auto victim = entries_.end();
+    size_t resident = 0;
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first == keep) continue;  // never evict the entry being admitted
+      if (!it->second.data) continue;
+      resident++;
+      if (it->first == keep) continue;
       if (victim == entries_.end() || it->second.last_used < victim->second.last_used) {
         victim = it;
       }
     }
-    if (victim == entries_.end()) return;
+    if (victim == entries_.end() || resident <= 1) return;
+    Entry& entry = victim->second;
+    if (pager_) {
+      // Page out instead of discarding: write the partitions back (first
+      // eviction only — the spans stay valid across revivals, so repeat
+      // evictions are free) and drop just the resident copy.
+      if (entry.paged.empty()) {
+        Result<std::vector<std::vector<PageSpan>>> spans = pager_->Write(*entry.data);
+        if (spans.ok() && !spans.value().empty()) {
+          entry.paged = spans.MoveValue();
+          stats_.page_writebacks++;
+        }
+      }
+      if (!entry.paged.empty()) {
+        resident_bytes_ -= entry.bytes;
+        entry.data.reset();
+        stats_.evictions++;
+        stats_.resident_bytes = resident_bytes_;
+        continue;
+      }
+      // Write-back failed (or the partitioning was empty): plain eviction.
+    }
     EraseLocked(victim, &stats_.evictions);
   }
 }

@@ -41,12 +41,33 @@
 
 #include "algebra/algebra.h"
 #include "engine/cluster.h"
+#include "storage/pagestore/page.h"
 
 namespace cleanm {
 
 /// Shared-ownership pin on a cached partitioning: holding it keeps the data
 /// alive across evictions/invalidations. Null = miss.
 using PartitionPin = std::shared_ptr<const engine::Partitioned>;
+
+/// \brief Write-back target for evicted cache entries — the out-of-core
+/// hook (DESIGN.md, "Out-of-core storage & spill").
+///
+/// With a pager installed, eviction *pages out* a cold entry (writes its
+/// partitions to the session spill store and drops only the resident copy)
+/// instead of discarding the work; a later Find revives it from its spans.
+/// Implementations are called with the cache mutex held, so they must not
+/// call back into the cache (lock order: cache mutex → store/pool mutexes).
+class PartitionPager {
+ public:
+  virtual ~PartitionPager() = default;
+  /// Serializes each partition of `data` to pages; spans[n] addresses
+  /// partition n ([] for an empty partition).
+  virtual Result<std::vector<std::vector<PageSpan>>> Write(
+      const engine::Partitioned& data) = 0;
+  /// Revives a partitioning previously produced by Write.
+  virtual Result<engine::Partitioned> Read(
+      const std::vector<std::vector<PageSpan>>& spans) = 0;
+};
 
 class PartitionCache {
  public:
@@ -60,6 +81,10 @@ class PartitionCache {
     uint64_t nest_misses = 0;  ///< Nest stages executed
     uint64_t evictions = 0;    ///< entries dropped by the byte budget
     uint64_t invalidations = 0;  ///< entries dropped by table re-registration
+    /// Entries paged out to the spill store instead of discarded (pager
+    /// installed), and entries revived from their spans on a later Find.
+    uint64_t page_writebacks = 0;
+    uint64_t page_revivals = 0;
     uint64_t resident_bytes = 0;
     uint64_t resident_entries = 0;
 
@@ -121,6 +146,11 @@ class PartitionCache {
 
   void Clear();
 
+  /// Installs (or clears, with null) the write-back pager. The pager must
+  /// outlive every cache operation that may evict or revive (the session
+  /// owns both and destroys the cache first).
+  void set_pager(std::shared_ptr<PartitionPager> pager);
+
   size_t byte_budget() const { return byte_budget_; }
   /// Consistent snapshot of the counters (by value: the live struct changes
   /// under concurrent executions).
@@ -132,6 +162,7 @@ class PartitionCache {
   using Key = std::tuple<Kind, const AlgOp*, std::string, std::string, uint64_t, size_t>;
 
   struct Entry {
+    /// Resident copy; null while the entry is paged out (`!paged.empty()`).
     PartitionPin data;
     uint64_t bytes = 0;
     uint64_t last_used = 0;
@@ -139,15 +170,23 @@ class PartitionCache {
     std::vector<std::pair<std::string, uint64_t>> deps;
     /// Nest entries pin their plan node against address reuse.
     AlgOpPtr pinned;
+    /// Page spans of the written-back copy (pager installed). Kept after a
+    /// revival: the data under a key never changes, so the next eviction
+    /// is free — drop the resident copy, the spans stay valid.
+    std::vector<std::vector<PageSpan>> paged;
   };
 
   // All private helpers expect mu_ held by the caller.
   PartitionPin FindLocked(const Key& key);
   PartitionPin PutLocked(Key key, Entry entry);
+  /// Revives a paged-out entry through the pager; null on read failure
+  /// (treated as a miss — the caller recomputes).
+  PartitionPin ReviveLocked(std::map<Key, Entry>::iterator it);
   void EraseLocked(std::map<Key, Entry>::iterator it, uint64_t* counter);
   void EvictToBudgetLocked(const Key& keep);
 
   size_t byte_budget_;
+  std::shared_ptr<PartitionPager> pager_;
 
   mutable std::mutex mu_;
   uint64_t tick_ = 0;

@@ -250,7 +250,8 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
                    [nest_expand](Value t, Partition* out) {
                      nest_expand(t, out);
                    }));
-  engine::MorselAggregator agg(*cluster, compiled.spec, options.aggregate_strategy);
+  engine::MorselAggregator agg(*cluster, compiled.spec, options.aggregate_strategy,
+                               spill);
   engine::MorselSpec spec;
   spec.morsel_rows = morsel_rows;
   const size_t quarantined_before = quarantine ? quarantine->size() : 0;

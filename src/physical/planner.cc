@@ -5,6 +5,8 @@
 #include "functions/function_registry.h"
 #include "monoid/monoid.h"
 #include "physical/tuple.h"
+#include "storage/pagestore/paged_table.h"
+#include "storage/pagestore/spill.h"
 
 namespace cleanm {
 
@@ -53,11 +55,25 @@ Result<PartitionPin> Executor::WrappedScan(const AlgOp& scan) {
   if (base) {
     cache->CountScanHit();
   } else {
-    CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(scan.table));
     std::vector<Row> rows;
-    rows.reserve(table->num_rows());
-    for (const auto& row : table->rows()) {
-      rows.push_back(MakePhysicalTuple(RowToRecord(table->schema(), row)));
+    // Page-backed scan: stream chunks through the pool instead of walking
+    // the resident Dataset. Both paths build the identical row vector and
+    // hand it to the same Parallelize, so the partition layout (and hence
+    // every downstream result) is bit-identical.
+    const PagedTable* paged = pool ? catalog->FindPaged(scan.table) : nullptr;
+    if (paged) {
+      rows.reserve(paged->num_rows());
+      const Schema& schema = paged->schema();
+      Status st = paged->ScanRows(pool, [&](Row&& row) {
+        rows.push_back(MakePhysicalTuple(RowToRecord(schema, row)));
+      });
+      CLEANM_RETURN_NOT_OK(st);
+    } else {
+      CLEANM_ASSIGN_OR_RETURN(const Dataset* table, catalog->Find(scan.table));
+      rows.reserve(table->num_rows());
+      for (const auto& row : table->rows()) {
+        rows.push_back(MakePhysicalTuple(RowToRecord(table->schema(), row)));
+      }
     }
     Partitioned scanned = cluster->Parallelize(rows);
     cache->CountScanMiss();
@@ -99,13 +115,15 @@ Result<engine::Partitioned> Executor::ExecJoin(const AlgOpPtr& plan,
     if (plan->kind == AlgKind::kOuterJoin) {
       const TupleLayout right_vars = right_layout;
       joined = engine::HashLeftOuterJoin(
-          *cluster, left, right, lkey, rkey, emit, [right_vars](const Row& l) {
+          *cluster, left, right, lkey, rkey, emit,
+          [right_vars](const Row& l) {
             ValueStruct padded = PhysicalTupleOf(l).AsStruct();
             for (const auto& v : right_vars) padded.emplace_back(v, Value::Null());
             return MakePhysicalTuple(Value(std::move(padded)));
-          });
+          },
+          spill);
     } else {
-      joined = engine::HashEquiJoin(*cluster, left, right, lkey, rkey, emit);
+      joined = engine::HashEquiJoin(*cluster, left, right, lkey, rkey, emit, spill);
     }
     if (residual) {
       joined = cluster->Filter(

@@ -34,6 +34,9 @@
 
 namespace cleanm {
 
+class BufferPool;
+class SpillContext;
+
 /// Knobs distinguishing CleanDB from the baseline systems.
 struct PhysicalOptions {
   engine::AggregateStrategy aggregate_strategy =
@@ -83,6 +86,13 @@ struct Executor {
   /// instead of failing the execution; past the sink's cap the execution
   /// aborts. The materialize-first path ignores it.
   engine::QuarantineSink* quarantine = nullptr;
+  /// Buffer pool for page-backed table scans (null = scans use the
+  /// resident Dataset). Set by the session/execution alongside `spill`.
+  BufferPool* pool = nullptr;
+  /// Per-execution spill context (null = breakers never spill). When set
+  /// and over budget, Nest partials and hash-join build sides go to the
+  /// spill file and are re-read for the merge/probe phase.
+  SpillContext* spill = nullptr;
 
   /// Compile context for this execution: registered functions + the
   /// cluster's metrics (udf_calls accounting).

@@ -3,7 +3,10 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
+
+#include "storage/pagestore/paged_table.h"
 
 namespace cleanm {
 
@@ -99,10 +102,14 @@ void WriteCell(const Value& v, char delim, std::ostream& os) {
   os << '"';
 }
 
-}  // namespace
-
-Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& options,
-                               ReadReport* report) {
+/// Streaming parse core shared by the resident and paged readers: hands
+/// each accepted row to `emit` (which may move it straight into a page
+/// store) and returns the inferred schema. Column types are tracked online
+/// — first non-null value per column — so no row needs to be retained for
+/// a second schema pass.
+Result<Schema> ParseCsvCore(const std::string& text, const CsvOptions& options,
+                            ReadReport* report,
+                            const std::function<Status(Row&&)>& emit) {
   if (report) *report = ReadReport{};
   std::vector<BadRow> bad_rows;
   // Skips one malformed record (recording it) while under the cap; over
@@ -134,8 +141,10 @@ Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& option
     line += newlines;
   }
 
-  std::vector<Row> rows;
   size_t width = header.size();
+  size_t rows_loaded = 0;
+  std::vector<ValueType> col_types(width, ValueType::kString);
+  std::vector<bool> col_typed(width, false);
   while (pos < text.size()) {
     const size_t record_line = line;
     auto cells = SplitRecord(text, &pos, options.delimiter, &newlines, &unterminated);
@@ -146,7 +155,11 @@ Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& option
           skip_or_fail(record_line, "unterminated quoted field"));
       continue;
     }
-    if (width == 0) width = cells.size();
+    if (width == 0) {
+      width = cells.size();
+      col_types.assign(width, ValueType::kString);
+      col_typed.assign(width, false);
+    }
     if (cells.size() != width) {
       CLEANM_RETURN_NOT_OK(skip_or_fail(
           record_line, "CSV record has " + std::to_string(cells.size()) +
@@ -156,29 +169,43 @@ Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& option
     Row row;
     row.reserve(cells.size());
     for (const auto& c : cells) row.push_back(ParseCell(c, options.infer_types));
-    rows.push_back(std::move(row));
+    for (size_t i = 0; i < width; i++) {
+      if (!col_typed[i] && !row[i].is_null()) {
+        col_types[i] = row[i].type();
+        col_typed[i] = true;
+      }
+    }
+    CLEANM_RETURN_NOT_OK(emit(std::move(row)));
+    rows_loaded++;
   }
   if (report) {
     report->bad_rows = std::move(bad_rows);
-    report->rows_loaded = rows.size();
+    report->rows_loaded = rows_loaded;
   }
 
-  // Build the schema: header names (or f0..fn), types from the first
-  // non-null value in each column.
+  // Schema: header names (or f0..fn), types from the first non-null value
+  // seen in each column.
   std::vector<Field> fields;
   for (size_t i = 0; i < width; i++) {
     Field f;
     f.name = options.has_header ? header[i] : ("f" + std::to_string(i));
-    f.type = ValueType::kString;
-    for (const auto& r : rows) {
-      if (!r[i].is_null()) {
-        f.type = r[i].type();
-        break;
-      }
-    }
+    f.type = col_types[i];
     fields.push_back(std::move(f));
   }
-  return Dataset(Schema(std::move(fields)), std::move(rows));
+  return Schema(std::move(fields));
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsvString(const std::string& text, const CsvOptions& options,
+                               ReadReport* report) {
+  std::vector<Row> rows;
+  CLEANM_ASSIGN_OR_RETURN(
+      Schema schema, ParseCsvCore(text, options, report, [&](Row&& row) {
+        rows.push_back(std::move(row));
+        return Status::OK();
+      }));
+  return Dataset(std::move(schema), std::move(rows));
 }
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options,
@@ -188,6 +215,25 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options,
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseCsvString(buf.str(), options, report);
+}
+
+Result<PagedTable> ReadCsvPaged(const std::string& path, const CsvOptions& options,
+                                ReadReport* report) {
+  if (!options.read.page_store) {
+    return Status::InvalidArgument(
+        "ReadCsvPaged requires ReadOptions::page_store (see ReadOptions)");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Accepted rows stream into the page store a page-sized chunk at a time;
+  // only the builder's current open chunk is resident.
+  PagedTableBuilder builder(options.read.page_store);
+  CLEANM_ASSIGN_OR_RETURN(
+      Schema schema, ParseCsvCore(buf.str(), options, report,
+                                  [&](Row&& row) { return builder.Append(row); }));
+  return builder.Finish(std::move(schema));
 }
 
 Status WriteCsv(const Dataset& dataset, const std::string& path,

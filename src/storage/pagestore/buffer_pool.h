@@ -1,0 +1,77 @@
+// Byte-budget buffer pool over SingleFileStore pages.
+//
+// Pin/unpin protocol (the PartitionPin pattern from the partition cache):
+// Pin returns a shared-ownership lease on the page payload; LRU eviction
+// only drops the *pool's* reference, so a reader streaming from a pinned
+// page is never torn even if the frame is evicted under it — resident
+// accounting tracks what the pool's frame map holds, and an evicted-but-
+// pinned payload is charged to its reader, not the pool. A single payload
+// larger than the whole budget is admitted alone (same rule as the
+// partition cache), so resident bytes never exceed
+// max(budget, largest single page).
+//
+// Frames are keyed by (store_id, page_id). Store ids are process-unique
+// and never recycled, so frames of a destroyed store (a finished
+// execution's spill file) go stale harmlessly and age out by LRU instead
+// of aliasing a later store.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "storage/pagestore/single_file_store.h"
+
+namespace cleanm {
+
+/// Shared read lease on one page payload. Holding it keeps the bytes alive
+/// across evictions.
+using PagePin = std::shared_ptr<const std::string>;
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;    ///< pages read from disk
+    uint64_t evictions = 0; ///< frames dropped by the byte budget
+    uint64_t resident_bytes = 0;
+    uint64_t peak_resident_bytes = 0;
+  };
+
+  /// `byte_budget` bounds the summed payload bytes of resident frames;
+  /// 0 = unbounded.
+  explicit BufferPool(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pin on the page, reading it from `store` on a miss. The
+  /// disk read happens outside the pool mutex; two racing misses on the
+  /// same page both read, and the loser adopts the winner's frame.
+  Result<PagePin> Pin(const SingleFileStore& store, uint64_t page_id);
+
+  uint64_t byte_budget() const { return byte_budget_; }
+  Stats stats() const;
+
+ private:
+  using FrameKey = std::pair<uint64_t, uint64_t>;  ///< (store_id, page_id)
+  struct Frame {
+    PagePin data;
+    uint64_t last_used = 0;
+  };
+
+  void EvictToBudgetLocked(const FrameKey& keep);
+
+  const uint64_t byte_budget_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  uint64_t resident_bytes_ = 0;
+  std::map<FrameKey, Frame> frames_;
+  Stats stats_;
+};
+
+}  // namespace cleanm

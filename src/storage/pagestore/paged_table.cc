@@ -1,0 +1,62 @@
+#include "storage/pagestore/paged_table.h"
+
+#include <cstring>
+
+namespace cleanm {
+
+Status PagedTable::ScanRows(BufferPool* pool,
+                            const std::function<void(Row&&)>& emit) const {
+  for (const PageSpan& chunk : chunks_) {
+    PagePin pin;
+    if (pool != nullptr) {
+      CLEANM_ASSIGN_OR_RETURN(pin, pool->Pin(*store_, chunk.page_id));
+    } else {
+      CLEANM_ASSIGN_OR_RETURN(std::string payload,
+                              store_->ReadPage(chunk.page_id));
+      pin = std::make_shared<const std::string>(std::move(payload));
+    }
+    std::vector<Row> rows;
+    CLEANM_RETURN_NOT_OK(DecodeRowChunk(*pin, &rows));
+    if (rows.size() != chunk.rows) {
+      return Status::IOError("paged table: chunk row count mismatch");
+    }
+    for (auto& row : rows) emit(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status PagedTableBuilder::Append(const Row& row) {
+  EncodeRow(row, &pending_payload_);
+  pending_rows_++;
+  num_rows_++;
+  logical_bytes_ += RowByteSize(row);
+  // Flush when the open chunk fills its page (header + count prefix leave
+  // a little slack; oversized single rows span slots, see page.h).
+  if (pending_payload_.size() + sizeof(PageHeader) + 4 >= store_->page_bytes()) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status PagedTableBuilder::Flush() {
+  if (pending_rows_ == 0) return Status::OK();
+  std::string payload;
+  payload.reserve(4 + pending_payload_.size());
+  char count[4];
+  std::memcpy(count, &pending_rows_, 4);
+  payload.append(count, 4);
+  payload.append(pending_payload_);
+  CLEANM_ASSIGN_OR_RETURN(uint64_t page_id, store_->AppendPage(payload));
+  chunks_.push_back(PageSpan{page_id, pending_rows_});
+  pending_payload_.clear();
+  pending_rows_ = 0;
+  return Status::OK();
+}
+
+Result<PagedTable> PagedTableBuilder::Finish(Schema schema) {
+  CLEANM_RETURN_NOT_OK(Flush());
+  return PagedTable(std::move(schema), store_, std::move(chunks_), num_rows_,
+                    logical_bytes_);
+}
+
+}  // namespace cleanm

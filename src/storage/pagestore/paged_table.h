@@ -1,0 +1,80 @@
+// Paged table: a registered dataset's rows as row chunks in a
+// SingleFileStore, scanned through the buffer pool one pinned page at a
+// time instead of from a resident std::vector<Row>.
+//
+// The chunk list preserves ingestion row order exactly, so a paged scan
+// replays the same row sequence Cluster::Parallelize would see from the
+// resident dataset — the property that keeps paged and in-memory
+// executions bit-identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dataset.h"
+#include "storage/pagestore/buffer_pool.h"
+#include "storage/pagestore/page.h"
+#include "storage/pagestore/row_codec.h"
+
+namespace cleanm {
+
+class PagedTable {
+ public:
+  PagedTable(Schema schema, std::shared_ptr<SingleFileStore> store,
+             std::vector<PageSpan> chunks, uint64_t num_rows,
+             uint64_t logical_bytes)
+      : schema_(std::move(schema)),
+        store_(std::move(store)),
+        chunks_(std::move(chunks)),
+        num_rows_(num_rows),
+        logical_bytes_(logical_bytes) {}
+
+  const Schema& schema() const { return schema_; }
+  const SingleFileStore& store() const { return *store_; }
+  const std::vector<PageSpan>& chunks() const { return chunks_; }
+  uint64_t num_rows() const { return num_rows_; }
+  /// Summed RowByteSize of the ingested rows — the dataset-footprint
+  /// figure budgets are sized against.
+  uint64_t logical_bytes() const { return logical_bytes_; }
+
+  /// Streams every row in ingestion order: pin chunk → decode → emit →
+  /// unpin, so at most one chunk's payload is held per scan at a time
+  /// (plus whatever the pool keeps resident under its budget).
+  Status ScanRows(BufferPool* pool,
+                  const std::function<void(Row&&)>& emit) const;
+
+ private:
+  Schema schema_;
+  std::shared_ptr<SingleFileStore> store_;
+  std::vector<PageSpan> chunks_;
+  uint64_t num_rows_;
+  uint64_t logical_bytes_;
+};
+
+/// Builds a PagedTable by appending rows, flushing a chunk page whenever
+/// the encoded payload reaches the store's page granularity.
+class PagedTableBuilder {
+ public:
+  explicit PagedTableBuilder(std::shared_ptr<SingleFileStore> store)
+      : store_(std::move(store)) {}
+
+  Status Append(const Row& row);
+
+  /// Flushes the tail chunk and assembles the table. The builder is spent
+  /// afterwards.
+  Result<PagedTable> Finish(Schema schema);
+
+ private:
+  Status Flush();
+
+  std::shared_ptr<SingleFileStore> store_;
+  std::string pending_payload_;  ///< encoded rows of the open chunk
+  uint32_t pending_rows_ = 0;
+  std::vector<PageSpan> chunks_;
+  uint64_t num_rows_ = 0;
+  uint64_t logical_bytes_ = 0;
+};
+
+}  // namespace cleanm

@@ -1,0 +1,160 @@
+#include "storage/pagestore/single_file_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace cleanm {
+
+namespace {
+
+std::atomic<uint64_t> g_store_seq{0};
+
+Status Positioned(const std::string& path, uint64_t page_id, uint64_t offset,
+                  const std::string& what) {
+  std::ostringstream os;
+  os << path << ": page " << page_id << " at byte offset " << offset << ": "
+     << what;
+  return Status::IOError(os.str());
+}
+
+}  // namespace
+
+SingleFileStore::SingleFileStore(std::string path, int fd, size_t page_bytes,
+                                 bool remove_on_close)
+    : path_(std::move(path)),
+      fd_(fd),
+      page_bytes_(page_bytes),
+      remove_on_close_(remove_on_close),
+      store_id_(++g_store_seq) {}
+
+SingleFileStore::~SingleFileStore() {
+  if (fd_ >= 0) ::close(fd_);
+  if (remove_on_close_) ::unlink(path_.c_str());
+}
+
+Result<std::unique_ptr<SingleFileStore>> SingleFileStore::Create(
+    std::string path, size_t page_bytes, bool remove_on_close) {
+  if (page_bytes <= sizeof(PageHeader)) {
+    return Status::InvalidArgument("page_bytes must exceed the page header");
+  }
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  if (fd < 0) {
+    return Status::IOError(path + ": open: " + std::strerror(errno));
+  }
+  return std::unique_ptr<SingleFileStore>(
+      new SingleFileStore(std::move(path), fd, page_bytes, remove_on_close));
+}
+
+Result<std::unique_ptr<SingleFileStore>> SingleFileStore::CreateTemp(
+    const std::string& dir, const std::string& prefix, size_t page_bytes) {
+  std::error_code ec;
+  std::string base = dir;
+  if (base.empty()) {
+    base = std::filesystem::temp_directory_path(ec).string();
+    if (ec) return Status::IOError("temp_directory_path: " + ec.message());
+  } else {
+    std::filesystem::create_directories(base, ec);
+    if (ec) return Status::IOError(base + ": create_directories: " + ec.message());
+  }
+  // pid + a process-wide sequence makes the name unique across concurrent
+  // sessions and executions without coordinating through O_EXCL retries.
+  std::ostringstream name;
+  name << base << "/" << prefix << "." << ::getpid() << "."
+       << (g_store_seq.load() + 1) << ".cleanm-pages";
+  return Create(name.str(), page_bytes, /*remove_on_close=*/true);
+}
+
+Result<uint64_t> SingleFileStore::AppendPage(const std::string& payload) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("page payload exceeds 4 GiB");
+  }
+  PageHeader header;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.checksum = Fnv1a(payload.data(), payload.size());
+
+  const uint64_t total = sizeof(PageHeader) + payload.size();
+  const uint64_t slots = (total + page_bytes_ - 1) / page_bytes_;
+
+  std::lock_guard<std::mutex> lock(append_mu_);
+  const uint64_t page_id = next_slot_.load();
+  header.page_id = page_id;
+  const uint64_t offset = page_id * page_bytes_;
+
+  std::string buf(sizeof(PageHeader) + payload.size(), '\0');
+  std::memcpy(buf.data(), &header, sizeof(PageHeader));
+  std::memcpy(buf.data() + sizeof(PageHeader), payload.data(), payload.size());
+  size_t written = 0;
+  while (written < buf.size()) {
+    const ssize_t n = ::pwrite(fd_, buf.data() + written, buf.size() - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Positioned(path_, page_id, offset + written,
+                        std::string("pwrite: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Publish the slot advance only after the bytes are durably in the file
+  // (page-cache durable — crash safety is a non-goal for scratch), so a
+  // concurrent ReadPage of this id cannot see a torn page.
+  next_slot_.store(page_id + slots);
+  bytes_written_.fetch_add(buf.size());
+  return page_id;
+}
+
+Result<std::string> SingleFileStore::ReadPage(uint64_t page_id) const {
+  const uint64_t offset = page_id * page_bytes_;
+  PageHeader header;
+  ssize_t n = ::pread(fd_, &header, sizeof(header), static_cast<off_t>(offset));
+  if (n < 0) {
+    return Positioned(path_, page_id, offset,
+                      std::string("pread: ") + std::strerror(errno));
+  }
+  if (static_cast<size_t>(n) < sizeof(header)) {
+    return Positioned(path_, page_id, offset, "short read of page header");
+  }
+  if (header.magic != PageHeader::kMagic) {
+    return Positioned(path_, page_id, offset, "bad page magic (corrupt page)");
+  }
+  if (header.page_id != page_id) {
+    std::ostringstream os;
+    os << "page id mismatch (header says " << header.page_id << ")";
+    return Positioned(path_, page_id, offset, os.str());
+  }
+  std::string payload(header.payload_len, '\0');
+  size_t got = 0;
+  while (got < payload.size()) {
+    n = ::pread(fd_, payload.data() + got, payload.size() - got,
+                static_cast<off_t>(offset + sizeof(header) + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Positioned(path_, page_id, offset + sizeof(header) + got,
+                        std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Positioned(path_, page_id, offset + sizeof(header) + got,
+                        "short read of page payload");
+    }
+    got += static_cast<size_t>(n);
+  }
+  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  if (checksum != header.checksum) {
+    std::ostringstream os;
+    os << "checksum mismatch (stored " << header.checksum << ", computed "
+       << checksum << ")";
+    return Positioned(path_, page_id, offset, os.str());
+  }
+  return payload;
+}
+
+}  // namespace cleanm

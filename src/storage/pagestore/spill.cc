@@ -1,0 +1,72 @@
+#include "storage/pagestore/spill.h"
+
+#include <cstring>
+
+namespace cleanm {
+
+Result<std::vector<PageSpan>> SpillContext::SpillRows(
+    const std::vector<Row>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ == nullptr) {
+    CLEANM_ASSIGN_OR_RETURN(store_,
+                            SingleFileStore::CreateTemp(spill_dir_, "spill",
+                                                        page_bytes_));
+  }
+  std::vector<PageSpan> spans;
+  std::string payload;
+  uint32_t pending = 0;
+  auto flush = [&]() -> Status {
+    if (pending == 0) return Status::OK();
+    std::string chunk;
+    chunk.reserve(4 + payload.size());
+    char count[4];
+    std::memcpy(count, &pending, 4);
+    chunk.append(count, 4);
+    chunk.append(payload);
+    CLEANM_ASSIGN_OR_RETURN(uint64_t page_id, store_->AppendPage(chunk));
+    spans.push_back(PageSpan{page_id, pending});
+    bytes_spilled_.fetch_add(chunk.size());
+    payload.clear();
+    pending = 0;
+    return Status::OK();
+  };
+  for (size_t i = 0; i < rows.size(); i++) {
+    EncodeRow(rows[i], &payload);
+    pending++;
+    if (payload.size() + sizeof(PageHeader) + 4 >= store_->page_bytes()) {
+      CLEANM_RETURN_NOT_OK(flush());
+    }
+  }
+  CLEANM_RETURN_NOT_OK(flush());
+  return spans;
+}
+
+Status SpillContext::ReadBack(const std::vector<PageSpan>& chunks,
+                              std::vector<Row>* out) const {
+  const SingleFileStore* store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_.get();
+  }
+  if (store == nullptr) {
+    return chunks.empty() ? Status::OK()
+                          : Status::Internal("spill read-back before any spill");
+  }
+  for (const PageSpan& chunk : chunks) {
+    PagePin pin;
+    if (pool_ != nullptr) {
+      CLEANM_ASSIGN_OR_RETURN(pin, pool_->Pin(*store, chunk.page_id));
+    } else {
+      CLEANM_ASSIGN_OR_RETURN(std::string payload, store->ReadPage(chunk.page_id));
+      pin = std::make_shared<const std::string>(std::move(payload));
+    }
+    const size_t before = out->size();
+    CLEANM_RETURN_NOT_OK(DecodeRowChunk(*pin, out));
+    if (out->size() - before != chunk.rows) {
+      return Status::IOError("spill: chunk row count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cleanm

@@ -57,6 +57,18 @@ SCHEMA = {
         "morsels": None,
         "violations_identical": None,
     },
+    "out_of_core": {
+        "footprint_bytes": None,
+        "budget_bytes": None,
+        "bytes_spilled": None,  # >0 enforced by the bench's own --check
+        "pages_evicted": None,
+        "pool_peak_resident_bytes": None,
+        "within_budget": ("higher", "exact"),
+        "in_memory_s": None,
+        "out_of_core_s": None,
+        "slowdown": ("lower", "timing"),
+        "violations_identical": ("higher", "exact"),
+    },
     "concurrency": {
         "sessions": None,
         "serial_s": None,

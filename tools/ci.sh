@@ -58,10 +58,13 @@ set -x
 # within 1.3× of the built-in; the registered repair loop must match the
 # hand-rolled cell set; the morsel-driven pipeline must hold peak transient
 # memory ≥4× below the materialize-first path with bit-identical violation
-# sets; with 5% injected task failures the plan must retry its way to
-# bit-identical violations at ≤1.5× clean wall-clock; and a deadline at 10%
-# of the clean wall-clock must return kDeadlineExceeded promptly. Measured
-# numbers merge into BENCH_cluster.json next to the dispatch gate's.
+# sets; under a buffer pool budgeted at 1/8 of the dataset footprint the
+# plan must spill, keep pool residency within the budget, stay within 2× of
+# the in-memory wall-clock, and produce bit-identical violations; with 5%
+# injected task failures the plan must retry its way to bit-identical
+# violations at ≤1.5× clean wall-clock; and a deadline at 10% of the clean
+# wall-clock must return kDeadlineExceeded promptly. Measured numbers merge
+# into BENCH_cluster.json next to the dispatch gate's.
 ./build-release/bench_unified_cleaning --nonet --check \
   --out build-release/BENCH_cluster.json
 

@@ -23,7 +23,9 @@
 
 #include "baselines/baselines.h"
 #include "cleaning/prepared_query.h"
+#include "cleaning/query_profile.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "datagen/generators.h"
 #include "repair/repair_sink.h"
 
@@ -753,6 +755,98 @@ FaultAb RunFaultAb() {
   return ab;
 }
 
+// ---- Observability A/B: the pipelined 8-FD unified plan with profiling
+// off vs on, same cold-session config as the pipeline A/B (fresh CleanDB
+// per rep, morsel 32, best of 3). Tracing is compiled in unconditionally;
+// with no recorder installed every TraceScope is a few-branch no-op, so
+// the off arm must record literally zero spans and track the pipeline
+// A/B wall-clock (≤2%, advisory — both run profiling-off, so the ratio
+// bounds instrumentation-plus-noise). The profiled arm pays span
+// recording and the profile build (≤10% over off, advisory) and must
+// reconcile exactly: Σ self_counters over the operator tree equals the
+// flat QueryResult::metrics for every row-moving counter (hard gate —
+// if attribution drifts, the ANALYZE tree lies).
+
+struct ObservabilityAb {
+  double off_s = 0;
+  double profile_s = 0;
+  double off_overhead = 0;      ///< off_s / pipeline-A/B pipelined_s (≤1.02 advisory)
+  double profile_overhead = 0;  ///< profile_s / off_s (≤1.10 advisory)
+  uint64_t spans_off = 0;       ///< spans recorded during the off arm (0 gated)
+  size_t operator_spans = 0;    ///< operator-span instances, root excluded (≥6 gated)
+  size_t spans_total = 0;       ///< all spans in the profiled run
+  bool rows_reconciled = false; ///< profile totals() == flat metrics (gated)
+  uint64_t profile_rows_scanned = 0;
+  uint64_t flat_rows_scanned = 0;
+  std::string trace_path;       ///< set once a Chrome trace was written
+};
+
+ObservabilityAb RunObservabilityAb(double pipelined_baseline_s,
+                                   const std::string& trace_out) {
+  datagen::CustomerOptions copts;
+  copts.base_rows = std::max<size_t>(g_base_rows, 2000);
+  copts.duplicate_fraction = 0.10;
+  copts.max_duplicates = 40;
+  copts.fd_violation_fraction = 0.05;
+  const Dataset data = datagen::MakeCustomer(copts);
+  const size_t kGateMorselRows = 32;
+
+  ObservabilityAb ab;
+  for (int profiled = 0; profiled <= 1; profiled++) {
+    const uint64_t spans_before = TraceRecorder::TotalSpansRecorded();
+    double best = -1;
+    for (int rep = 0; rep < 3; rep++) {
+      CleanDB db(ManyOpOptions(/*legacy=*/false));
+      db.RegisterTable("customer", data);
+      auto prepared = db.Prepare(kManyOpQuery);
+      CLEANM_CHECK(prepared.ok());
+      ExecOptions eo;
+      eo.pipeline = true;
+      eo.morsel_rows = kGateMorselRows;
+      eo.profile = profiled != 0;
+      Timer timer;
+      auto result = prepared.value().Execute(eo).ValueOrDie();
+      const double s = timer.ElapsedSeconds();
+      if (best < 0 || s < best) best = s;
+      CLEANM_CHECK(result.ops.size() == 8);
+      if (profiled != 0 && rep == 2) {
+        CLEANM_CHECK(result.profile != nullptr);
+        const QueryProfile& prof = *result.profile;
+        for (const auto& op : prof.operators()) {
+          if (op.name != "execute") ab.operator_spans++;
+        }
+        ab.spans_total = prof.spans().size();
+        const MetricsCounters totals = prof.totals();
+        ab.profile_rows_scanned = totals.rows_scanned;
+        ab.flat_rows_scanned = result.metrics.rows_scanned;
+        // The out-of-core folds and cancellation counts land after the
+        // root span closes; the row-moving counters below are the ones
+        // attribution is exact for (see query_profile.h).
+        ab.rows_reconciled =
+            totals.rows_scanned == result.metrics.rows_scanned &&
+            totals.groups_built == result.metrics.groups_built &&
+            totals.rows_shuffled == result.metrics.rows_shuffled &&
+            totals.comparisons == result.metrics.comparisons &&
+            totals.morsels_processed == result.metrics.morsels_processed;
+        if (!trace_out.empty()) {
+          CLEANM_CHECK(prof.WriteChromeTrace(trace_out).ok());
+          ab.trace_path = trace_out;
+        }
+      }
+    }
+    if (profiled == 0) {
+      ab.off_s = best;
+      ab.spans_off = TraceRecorder::TotalSpansRecorded() - spans_before;
+    } else {
+      ab.profile_s = best;
+    }
+  }
+  ab.off_overhead =
+      pipelined_baseline_s > 0 ? ab.off_s / pipelined_baseline_s : 0;
+  ab.profile_overhead = ab.off_s > 0 ? ab.profile_s / ab.off_s : 0;
+  return ab;
+}
+
 /// Inserts/replaces `"key": object` in the flat JSON file at `path`
 /// (written by bench_cluster_primitives), preserving the other sections.
 /// Sections written this way live on a single line, so replacement is a
@@ -821,6 +915,7 @@ int main(int argc, char** argv) {
   using namespace cleanm;
   bool check = false;
   std::string out_path;
+  std::string trace_out;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     if (arg == "--smoke") g_base_rows = 400;
@@ -828,6 +923,7 @@ int main(int argc, char** argv) {
     if (arg == "--legacy") g_legacy = true;
     if (arg == "--check") check = true;
     if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
   }
   std::printf("=== E4 — Figure 5: unified cleaning (FD1 + FD2 + DEDUP on customer) ===\n");
   std::printf("paper: CleanDB merges the three ops into one aggregation "
@@ -950,6 +1046,28 @@ int main(int argc, char** argv) {
               fab.violations, fab.identical ? "bit-identical" : "DIFFER",
               static_cast<unsigned long long>(fab.executions_cancelled));
 
+  std::printf("\n=== observability A/B: profiling off vs on (8 FDs, pipelined, "
+              "fresh sessions, pure compute) ===\n");
+  const ObservabilityAb obs = RunObservabilityAb(pab.pipelined_s, trace_out);
+  std::printf("profiling off                         %8.4f s  (%.3fx vs "
+              "pipeline A/B, %llu spans recorded)\n",
+              obs.off_s, obs.off_overhead,
+              static_cast<unsigned long long>(obs.spans_off));
+  std::printf("profiling on                          %8.4f s  (%.3fx vs off; "
+              "%zu operator spans, %zu spans total)\n",
+              obs.profile_s, obs.profile_overhead, obs.operator_spans,
+              obs.spans_total);
+  std::printf("[measured] profile row counters %s the flat metrics "
+              "(rows_scanned %llu vs %llu)\n",
+              obs.rows_reconciled ? "reconcile exactly with" : "DIVERGE from",
+              static_cast<unsigned long long>(obs.profile_rows_scanned),
+              static_cast<unsigned long long>(obs.flat_rows_scanned));
+  if (!obs.trace_path.empty()) {
+    std::printf("[written] Chrome trace: %s (chrome://tracing / "
+                "ui.perfetto.dev)\n",
+                obs.trace_path.c_str());
+  }
+
   if (!out_path.empty()) {
     char object[256];
     std::snprintf(object, sizeof(object),
@@ -1015,6 +1133,18 @@ int main(int argc, char** argv) {
                   fab.identical ? 1 : 0, fab.deadline_clean_s,
                   fab.deadline_run_s, fab.deadline_exceeded ? 1 : 0);
     MergeJsonSection(out_path, "fault_tolerance", fault_object);
+    char obs_object[384];
+    std::snprintf(obs_object, sizeof(obs_object),
+                  "{\"off_s\": %.6f, \"profile_s\": %.6f, "
+                  "\"off_overhead\": %.3f, \"profile_overhead\": %.3f, "
+                  "\"spans_recorded_off\": %llu, \"operator_spans\": %zu, "
+                  "\"spans_total\": %zu, \"rows_reconciled\": %d}",
+                  obs.off_s, obs.profile_s, obs.off_overhead,
+                  obs.profile_overhead,
+                  static_cast<unsigned long long>(obs.spans_off),
+                  obs.operator_spans, obs.spans_total,
+                  obs.rows_reconciled ? 1 : 0);
+    MergeJsonSection(out_path, "observability", obs_object);
   }
 
   if (check) {
@@ -1215,6 +1345,51 @@ int main(int argc, char** argv) {
                 fab.overhead, kMaxFaultOverhead,
                 static_cast<unsigned long long>(fab.tasks_retried),
                 fab.violations, fab.deadline_run_s, fab.deadline_clean_s);
+
+    // Observability gates: with no recorder installed the compiled-in
+    // instrumentation must record literally zero spans (hard); the
+    // profile's per-operator self-counters must sum exactly to the flat
+    // execution metrics (hard — the ANALYZE tree must not lie about row
+    // movement); and the 8-FD plan must resolve at least 6 operator-span
+    // instances (hard — the operator attribution path is alive). The
+    // timing ratios are advisory: a WARNING, not a failure, because
+    // wall-clock at bench scale is noisy.
+    if (obs.spans_off != 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: %llu spans recorded with profiling off "
+                   "(the disabled path must record none)\n",
+                   static_cast<unsigned long long>(obs.spans_off));
+      return 1;
+    }
+    if (!obs.rows_reconciled) {
+      std::fprintf(stderr,
+                   "[check] FAILED: profile operator counters do not sum to "
+                   "the flat metrics (rows_scanned %llu vs %llu)\n",
+                   static_cast<unsigned long long>(obs.profile_rows_scanned),
+                   static_cast<unsigned long long>(obs.flat_rows_scanned));
+      return 1;
+    }
+    if (obs.operator_spans < 6) {
+      std::fprintf(stderr,
+                   "[check] FAILED: only %zu operator spans in the profile "
+                   "of the 8-FD plan (expected ≥6)\n",
+                   obs.operator_spans);
+      return 1;
+    }
+    if (obs.off_overhead > 1.02) {
+      std::printf("[check] WARNING: profiling-off wall-clock is %.3fx the "
+                  "pipeline A/B baseline (advisory budget 1.02x)\n",
+                  obs.off_overhead);
+    }
+    if (obs.profile_overhead > 1.10) {
+      std::printf("[check] WARNING: profiling-on wall-clock is %.3fx the "
+                  "profiling-off run (advisory budget 1.10x)\n",
+                  obs.profile_overhead);
+    }
+    std::printf("[check] observability gate passed (0 spans when off, "
+                "%zu operator spans, row counters reconciled; overhead "
+                "%.3fx off / %.3fx profiled, advisory)\n",
+                obs.operator_spans, obs.off_overhead, obs.profile_overhead);
   }
   return 0;
 }

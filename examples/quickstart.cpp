@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "cleaning/prepared_query.h"
+#include "cleaning/query_profile.h"
 
 using namespace cleanm;
 
@@ -80,6 +81,10 @@ int main() {
   std::printf("Nest stages coalesced by the optimizer: %d\n",
               prepared.value().nests_coalesced());
 
+  // EXPLAIN: the prepared plan — operators, coalesced Nest stages, and
+  // cache-residency expectations — rendered without executing anything.
+  std::printf("\nExplain():\n%s", prepared.value().Explain().c_str());
+
   std::printf("\nStreaming execution (violations arrive through the sink):\n");
   PrintingSink sink;
   auto status = prepared.value().ExecuteInto(sink);
@@ -90,11 +95,22 @@ int main() {
 
   // The materializing form is one call away when a QueryResult is wanted;
   // this re-execution reuses the cached partitionings from the first run.
-  auto result = prepared.value().Execute().ValueOrDie();
+  // With `profile` on, the result carries a QueryProfile — the EXPLAIN
+  // ANALYZE tree (per-operator wall/self time, row counts, per-node
+  // distribution) — and WriteChromeTrace exports every recorded span for
+  // chrome://tracing / ui.perfetto.dev.
+  ExecOptions exec_opts;
+  exec_opts.profile = true;
+  auto result = prepared.value().Execute(exec_opts).ValueOrDie();
   std::printf("\nRe-executed (materialized): %zu dirty entities, "
               "%llu scan cache hits, %llu scan cache misses.\n",
               result.dirty_entities.size(),
               static_cast<unsigned long long>(result.cache.scan_hits),
               static_cast<unsigned long long>(result.cache.scan_misses));
+  std::printf("\nEXPLAIN ANALYZE (QueryProfile::ToString):\n%s",
+              result.profile->ToString().c_str());
+  if (result.profile->WriteChromeTrace("quickstart_trace.json").ok()) {
+    std::printf("\nChrome trace written to quickstart_trace.json\n");
+  }
   return 0;
 }

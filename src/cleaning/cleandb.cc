@@ -1,6 +1,7 @@
 #include "cleaning/cleandb.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <unordered_set>
 
@@ -479,6 +480,27 @@ Result<Dataset> CleanDB::Transform(const std::string& table, const TransformSpec
   if (fill_idx.ok()) current = apply_fill(current);
   if (split_idx.ok()) current = apply_split(current);
   return current;
+}
+
+std::string CleanDB::ExportMetricsText() const {
+  // Prometheus text exposition format over the session-cumulative counters.
+  // Generated from CLEANM_METRICS_FIELDS: Add-fold fields are counters
+  // (suffix _total per convention), Max-fold fields are gauges.
+  const MetricsCounters c = cluster_->session_metrics().Snapshot();
+  std::string out;
+  auto emit = [&out](const char* name, const char* fold, uint64_t value) {
+    const bool is_counter = std::strcmp(fold, "Add") == 0;
+    const std::string metric =
+        std::string("cleandb_") + name + (is_counter ? "_total" : "");
+    out += "# TYPE " + metric + (is_counter ? " counter\n" : " gauge\n");
+    out += metric + ' ' + std::to_string(value) + '\n';
+  };
+#define CLEANM_X(name, fold) emit(#name, #fold, c.name);
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+  emit("bytes_materialized_now", "Max",
+       cluster_->session_metrics().bytes_materialized_now.load());
+  return out;
 }
 
 }  // namespace cleanm

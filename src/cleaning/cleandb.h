@@ -37,6 +37,7 @@
 namespace cleanm {
 
 class PreparedQuery;
+class QueryProfile;
 class ViolationSink;
 struct ExecOptions;
 
@@ -94,6 +95,18 @@ struct CleanDBOptions {
   /// blacklisting (see engine::FaultOptions; off by default). Probability /
   /// seed / retry knobs are overridable per call via ExecOptions.
   engine::FaultOptions fault;
+  /// Record operator-level tracing spans on every execution and attach a
+  /// QueryProfile to each QueryResult (see DESIGN.md, "Tracing &
+  /// profiling"). Off by default; overridable per call via
+  /// ExecOptions::profile.
+  bool profile = false;
+  /// Skew threshold for profile warnings: an operator whose per-node row
+  /// distribution has ImbalanceFactor (max/mean) above this is flagged.
+  double skew_warn_factor = 2.0;
+  /// When profiling, write each execution's Chrome-trace JSON here (empty =
+  /// none; overridable per call via ExecOptions::trace_path). Successive
+  /// executions overwrite the file.
+  std::string trace_path;
 };
 
 /// Output of one cleaning operation.
@@ -123,6 +136,10 @@ struct QueryResult {
   /// Poison rows recorded and skipped by the quarantine (empty unless
   /// ExecOptions::max_quarantined_rows enabled it).
   std::vector<engine::QuarantinedRow> quarantined;
+  /// The execution's trace-derived profile (EXPLAIN ANALYZE: per-operator
+  /// timings, rows, per-node skew, counter attribution). Null unless
+  /// profiling was on (ExecOptions::profile / CleanDBOptions::profile).
+  std::shared_ptr<const QueryProfile> profile;
 };
 
 /// \brief The CleanDB engine. Register tables, then Prepare/Execute CleanM
@@ -247,6 +264,12 @@ class CleanDB {
   /// (options().buffer_pool_bytes == 0). Stats expose resident/peak bytes
   /// for the out-of-core CI gate.
   const BufferPool* buffer_pool() const { return pool_.get(); }
+
+  /// The session-cumulative engine counters rendered in Prometheus text
+  /// exposition format (one `cleandb_<counter>_total` counter per
+  /// QueryMetrics field, plus the materialization peak/now gauges) — ready
+  /// to serve from a /metrics endpoint or diff across executions.
+  std::string ExportMetricsText() const;
 
   /// Samples k-means centers for a grouping clause: from the dictionary
   /// when given, else from the data column.

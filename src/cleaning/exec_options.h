@@ -89,6 +89,20 @@ struct ExecOptions {
 
   /// Page granularity of this execution's spill file.
   std::optional<size_t> page_bytes;
+
+  // Observability (see DESIGN.md, "Tracing & profiling").
+
+  /// Record operator-level tracing spans for this execution and attach a
+  /// QueryProfile (per-operator wall/self time, rows, per-node skew, engine
+  /// counters) to the QueryResult. Off by default: with profiling off the
+  /// instrumentation costs one thread-local load per site and records zero
+  /// spans (CI-gated ≤ 2% overhead).
+  std::optional<bool> profile;
+
+  /// When profiling is on, additionally write the execution's spans to this
+  /// path as Chrome/Perfetto trace_event JSON (chrome://tracing,
+  /// ui.perfetto.dev). Empty = no file.
+  std::optional<std::string> trace_path;
 };
 
 }  // namespace cleanm

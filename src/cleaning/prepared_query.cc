@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
 
+#include "cleaning/query_profile.h"
 #include "cleaning/select_builder.h"
+#include "common/trace.h"
 #include "physical/tuple.h"
 
 namespace cleanm {
@@ -361,6 +365,140 @@ Result<PreparedQuery> CleanDB::PrepareDenialConstraint(const std::string& table,
   return pq;
 }
 
+// ---- EXPLAIN ----
+
+namespace {
+
+const char* ExplainAlgoName(FilteringAlgo algo) {
+  switch (algo) {
+    case FilteringAlgo::kTokenFiltering: return "tf";
+    case FilteringAlgo::kKMeans: return "kmeans";
+    case FilteringAlgo::kExactKey: return "exact";
+  }
+  return "?";
+}
+
+/// One-line operator headline, same notation as AlgOp::ToString().
+std::string ExplainHeadline(const AlgOp& op) {
+  std::string out = AlgKindName(op.kind);
+  switch (op.kind) {
+    case AlgKind::kScan:
+      out += '(' + op.table + " as " + op.var + ')';
+      break;
+    case AlgKind::kSelect:
+      out += '[' + op.pred->ToString() + ']';
+      break;
+    case AlgKind::kJoin:
+    case AlgKind::kOuterJoin:
+      out += '[';
+      if (op.left_key) {
+        out += op.left_key->ToString() + " = " + op.right_key->ToString();
+        if (op.pred) out += " && " + op.pred->ToString();
+      } else if (op.pred) {
+        out += op.pred->ToString();
+      } else {
+        out += "true";
+      }
+      out += ']';
+      break;
+    case AlgKind::kUnnest:
+    case AlgKind::kOuterUnnest:
+      out += '[' + op.path_var + " <- " + op.path->ToString() + ']';
+      break;
+    case AlgKind::kReduce:
+      out += '[' + op.monoid + " / " + op.head->ToString() + ']';
+      break;
+    case AlgKind::kNest: {
+      out += std::string("[by ") + ExplainAlgoName(op.group.algo) + '(' +
+             op.group.term->ToString() + ')';
+      for (const auto& agg : op.aggs) {
+        out += ", " + agg.name + "=" + agg.monoid + '(' + agg.expr->ToString() + ')';
+      }
+      if (op.having) out += ", having " + op.having->ToString();
+      out += ']';
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PreparedQuery::Explain(const ExecOptions& opts) const {
+  if (!status_.ok()) return "<unprepared query: " + status_.message() + ">";
+  const bool unify =
+      opts.unify_operations.value_or(db_ != nullptr ? db_->options().unify_operations
+                                                    : true);
+  std::string out = "PreparedQuery: " + std::to_string(plans_.size()) +
+                    " operation(s), unify=";
+  out += unify ? "on" : "off";
+  if (unify && nests_coalesced_ > 0) {
+    out += " (" + std::to_string(nests_coalesced_) + " Nest stage(s) coalesced)";
+  }
+  out += '\n';
+
+  auto root_of = [&](size_t i) -> const AlgOpPtr& {
+    return unify && i < unified_roots_.size() ? unified_roots_[i] : plans_[i].plan;
+  };
+
+  // Pointer-identity sharing across the chosen roots: a subtree reached more
+  // than once is a coalesced stage — executed once, its output served from
+  // the partition cache to every other consumer.
+  std::map<const AlgOp*, int> uses;
+  std::function<void(const AlgOpPtr&)> count = [&](const AlgOpPtr& op) {
+    if (!op) return;
+    uses[op.get()]++;
+    count(op->input);
+    count(op->right);
+  };
+  for (size_t i = 0; i < plans_.size(); i++) count(root_of(i));
+
+  std::map<const AlgOp*, int> shared_id;
+  int next_shared = 1;
+  std::function<void(const AlgOpPtr&, int)> render = [&](const AlgOpPtr& op,
+                                                         int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    if (!op) {
+      out += "<null>\n";
+      return;
+    }
+    out += ExplainHeadline(*op);
+    bool first_visit = true;
+    if (uses[op.get()] > 1) {
+      auto [it, inserted] = shared_id.emplace(op.get(), next_shared);
+      if (inserted) next_shared++;
+      first_visit = inserted;
+      out += "  [shared S" + std::to_string(it->second);
+      if (inserted) {
+        out += ": executed once; output cache-resident for the other plans";
+        if (persist_cache_) out += " and for re-executions";
+      } else {
+        out += ": see above";
+      }
+      out += ']';
+    }
+    if (op->kind == AlgKind::kScan && db_ != nullptr) {
+      const uint64_t gen = db_->TableGeneration(op->table);
+      if (gen == 0) {
+        out += "  [not registered yet; binds at execute]";
+      } else {
+        out += "  [generation " + std::to_string(gen) +
+               "; partitioned scan cached per node width]";
+      }
+    }
+    out += '\n';
+    if (!first_visit) return;
+    if (op->input) render(op->input, depth + 1);
+    if (op->right) render(op->right, depth + 1);
+  };
+
+  for (size_t i = 0; i < plans_.size(); i++) {
+    out += "== " + plans_[i].op_name + " ==\n";
+    render(root_of(i), 0);
+  }
+  return out;
+}
+
 // ---- Execution ----
 
 std::vector<std::string> PreparedQuery::operation_names() const {
@@ -424,6 +562,20 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   // counters; the session totals accumulate on completion below.
   QueryMetrics exec_metrics;
   engine::MetricsScope metrics_scope(&exec_metrics);
+
+  // Observability (DESIGN.md, "Tracing & profiling"): with profiling on, a
+  // per-execution recorder collects spans from every instrumented engine
+  // site — fan-out points re-install it on workers exactly like the metrics
+  // scope — and is drained into a QueryProfile after the run. Off (the
+  // default), no recorder is installed and every TraceScope in the engine
+  // is a thread-local load + null check.
+  const bool profile_on = opts.profile.value_or(options_.profile);
+  std::optional<TraceRecorder> trace_recorder;
+  std::optional<TraceRecorderScope> trace_install;
+  if (profile_on) {
+    trace_recorder.emplace();
+    trace_install.emplace(&*trace_recorder);
+  }
 
   // Cancellation sources for this execution: the query's CancelToken plus
   // the per-call deadline. The scope travels with the engine calls the same
@@ -568,12 +720,23 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   };
 
   Status status;
-  try {
-    status = run_plans();
-  } catch (const engine::StatusException& e) {
-    status = e.status();
-  } catch (const std::exception& e) {
-    status = Status::Internal(std::string("execution failed: ") + e.what());
+  {
+    // Root span of the profile tree: every operator span nests under it, so
+    // its counter delta is the whole run's movement and the profile's
+    // Σ self_counters reconciles against it exactly. (The out-of-core /
+    // cancellation folds below happen after it closes and are deliberately
+    // outside the attribution.)
+    std::optional<TraceScope> exec_span;
+    if (profile_on) {
+      exec_span.emplace("operator", "execute", nullptr, -1, &exec_metrics);
+    }
+    try {
+      status = run_plans();
+    } catch (const engine::StatusException& e) {
+      status = e.status();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("execution failed: ") + e.what());
+    }
   }
   if (status.code() == StatusCode::kCancelled ||
       status.code() == StatusCode::kDeadlineExceeded) {
@@ -595,7 +758,30 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
     exec_metrics.pages_evicted += pool_after.evictions - pool_before.evictions;
   }
 
+  // Drain the recorder (all workers have joined by now) and build the
+  // profile; the trace file is written regardless of the run's status so a
+  // failed execution can still be inspected.
+  std::shared_ptr<const QueryProfile> profile_out;
+  if (profile_on) {
+    std::map<const void*, std::string> op_labels;
+    for (size_t i = 0; i < pq.plans_.size(); i++) {
+      op_labels[pq.plans_[i].plan.get()] = pq.plans_[i].op_name;
+      if (i < pq.unified_roots_.size()) {
+        op_labels[pq.unified_roots_[i].get()] = pq.plans_[i].op_name;
+      }
+    }
+    auto qp = std::make_shared<QueryProfile>(QueryProfile::Build(
+        trace_recorder->Drain(), op_labels, options_.skew_warn_factor));
+    const std::string trace_path = opts.trace_path.value_or(options_.trace_path);
+    if (!trace_path.empty()) {
+      const Status trace_status = qp->WriteChromeTrace(trace_path);
+      if (status.ok() && !trace_status.ok()) status = trace_status;
+    }
+    profile_out = std::move(qp);
+  }
+
   if (summary) {
+    summary->profile = profile_out;
     summary->nests_coalesced = unify ? pq.nests_coalesced_ : 0;
     summary->total_seconds = total.ElapsedSeconds();
     summary->quarantined = quarantine.TakeRows();

@@ -61,6 +61,14 @@ class PreparedQuery {
   const std::vector<std::string>& repair_fields() const { return repair_fields_; }
   const std::string& repair_table() const { return repair_table_; }
 
+  /// EXPLAIN: renders the plan forms this query would execute under `opts`
+  /// (only `unify_operations` matters here) — one tree per cleaning
+  /// operation, with coalesced Nest stages marked as shared and the scans'
+  /// partition-cache residency expectations against the session cache's
+  /// current state. No execution happens; see
+  /// QueryResult::profile->ToString() for the EXPLAIN ANALYZE counterpart.
+  std::string Explain(const ExecOptions& opts = {}) const;
+
   /// Runs the prepared plans and materializes a QueryResult (via
   /// QueryResultSink). `opts` fields override the session defaults for
   /// this call only.

@@ -1,0 +1,350 @@
+#include "cleaning/query_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace cleanm {
+
+namespace {
+
+std::string FmtMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendCountersJson(const MetricsCounters& c, std::string* out) {
+  *out += '{';
+  const char* sep = "";
+#define CLEANM_X(name, fold)                              \
+  *out += sep;                                            \
+  *out += "\"" #name "\":" + std::to_string(c.name);      \
+  sep = ",";
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+  *out += '}';
+}
+
+/// Nonzero fields of `c` as "name=value name=value"; empty when all zero.
+std::string NonzeroCounters(const MetricsCounters& c) {
+  std::string out;
+#define CLEANM_X(name, fold)                                  \
+  if (c.name != 0) {                                          \
+    if (!out.empty()) out += ' ';                             \
+    out += #name "=" + std::to_string(c.name);                \
+  }
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+  return out;
+}
+
+bool IsWorkerLeafSpan(const TraceSpan& s) {
+  if (s.node < 0) return false;
+  return std::strcmp(s.name, "task") == 0 || std::strcmp(s.name, "produce") == 0;
+}
+
+bool IsOperatorSpan(const TraceSpan& s) {
+  return std::strcmp(s.category, "operator") == 0;
+}
+
+}  // namespace
+
+QueryProfile QueryProfile::Build(
+    std::vector<TraceSpan> spans,
+    const std::map<const void*, std::string>& op_labels,
+    double skew_warn_factor) {
+  QueryProfile profile;
+  profile.spans_ = std::move(spans);
+  const std::vector<TraceSpan>& all = profile.spans_;
+
+  // Span indexes: by id, and children-by-parent adjacency.
+  std::unordered_map<uint64_t, size_t> by_id;
+  std::unordered_map<uint64_t, std::vector<size_t>> kids;
+  by_id.reserve(all.size());
+  for (size_t i = 0; i < all.size(); i++) {
+    by_id.emplace(all[i].id, i);
+    kids[all[i].parent].push_back(i);
+  }
+
+  // One OperatorProfile per operator-span instance, in start order (spans_
+  // is start-ordered from Drain).
+  std::unordered_map<uint64_t, size_t> op_of_span;  // span id -> operator idx
+  for (size_t i = 0; i < all.size(); i++) {
+    const TraceSpan& s = all[i];
+    if (!IsOperatorSpan(s)) continue;
+    OperatorProfile op;
+    op.name = s.name;
+    if (s.op != nullptr) {
+      auto it = op_labels.find(s.op);
+      if (it != op_labels.end()) op.label = it->second;
+    }
+    op.start_ns = s.start_ns;
+    op.wall_ns = s.dur_ns;
+    op.self_ns = s.dur_ns;
+    op.rows_in = s.rows_in;
+    op.rows_out = s.rows_out;
+    op.node_rows = s.node_rows;
+    if (s.has_counters) {
+      op.counters = s.counters;
+      op.self_counters = s.counters;
+    }
+    LoadReport load;
+    load.rows_per_node = op.node_rows;
+    op.imbalance = load.ImbalanceFactor();
+    op.skew_warning =
+        !op.node_rows.empty() && op.imbalance > skew_warn_factor;
+    op_of_span.emplace(s.id, profile.operators_.size());
+    profile.operators_.push_back(std::move(op));
+  }
+
+  // Link the operator tree: each operator's parent is its nearest ancestor
+  // operator span; spans with none are roots. Self time/counters subtract
+  // the direct children.
+  for (const auto& [span_id, op_idx] : op_of_span) {
+    const TraceSpan& s = all[by_id.at(span_id)];
+    uint64_t p = s.parent;
+    size_t parent_op = static_cast<size_t>(-1);
+    while (p != 0) {
+      auto found = op_of_span.find(p);
+      if (found != op_of_span.end()) {
+        parent_op = found->second;
+        break;
+      }
+      auto pi = by_id.find(p);
+      if (pi == by_id.end()) break;
+      p = all[pi->second].parent;
+    }
+    if (parent_op == static_cast<size_t>(-1)) {
+      profile.roots_.push_back(op_idx);
+    } else {
+      profile.operators_[parent_op].children.push_back(op_idx);
+      OperatorProfile& par = profile.operators_[parent_op];
+      const OperatorProfile& child = profile.operators_[op_idx];
+      par.self_ns -= std::min(par.self_ns, child.wall_ns);
+      par.self_counters = CountersDelta(par.self_counters, child.counters);
+    }
+  }
+  // Deterministic ordering (the maps above iterate in hash order).
+  auto by_start = [&](size_t a, size_t b) {
+    return profile.operators_[a].start_ns < profile.operators_[b].start_ns;
+  };
+  std::sort(profile.roots_.begin(), profile.roots_.end(), by_start);
+  for (auto& op : profile.operators_) {
+    std::sort(op.children.begin(), op.children.end(), by_start);
+  }
+
+  // Per-node time: walk each operator's span subtree; a task/produce span
+  // attributes its whole duration to (operator, node) and is not descended
+  // (its nested dispatches would double-count), and descent stops at nested
+  // operator spans (their time is their own).
+  for (const auto& [span_id, op_idx] : op_of_span) {
+    OperatorProfile& op = profile.operators_[op_idx];
+    std::vector<uint64_t> stack = {span_id};
+    while (!stack.empty()) {
+      const uint64_t id = stack.back();
+      stack.pop_back();
+      auto k = kids.find(id);
+      if (k == kids.end()) continue;
+      for (size_t ci : k->second) {
+        const TraceSpan& child = all[ci];
+        if (IsOperatorSpan(child)) continue;
+        if (IsWorkerLeafSpan(child)) {
+          const size_t n = static_cast<size_t>(child.node);
+          if (op.node_time_ns.size() <= n) op.node_time_ns.resize(n + 1, 0);
+          op.node_time_ns[n] += child.dur_ns;
+          continue;
+        }
+        stack.push_back(child.id);
+      }
+    }
+  }
+  return profile;
+}
+
+MetricsCounters QueryProfile::totals() const {
+  MetricsCounters sum;
+  for (const auto& op : operators_) {
+#define CLEANM_X(name, fold) sum.name += op.self_counters.name;
+    CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+  }
+  return sum;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  // Recursive tree render, EXPLAIN ANALYZE style.
+  auto render = [&](auto&& self, size_t idx, int depth) -> void {
+    const OperatorProfile& op = operators_[idx];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += "-> " + op.name;
+    if (!op.label.empty()) out += " [" + op.label + "]";
+    out += "  (wall " + FmtMs(op.wall_ns) + " ms, self " + FmtMs(op.self_ns) +
+           " ms, rows " + std::to_string(op.rows_in) + " -> " +
+           std::to_string(op.rows_out) + ")";
+    if (op.skew_warning) out += "  SKEW";
+    out += '\n';
+    const std::string pad(static_cast<size_t>(depth) * 2 + 3, ' ');
+    if (!op.node_rows.empty() || !op.node_time_ns.empty()) {
+      out += pad + "nodes:";
+      if (!op.node_rows.empty()) {
+        out += " rows[";
+        for (size_t i = 0; i < op.node_rows.size(); i++) {
+          if (i) out += ' ';
+          out += std::to_string(op.node_rows[i]);
+        }
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "] imbalance %.2f", op.imbalance);
+        out += buf;
+      }
+      if (!op.node_time_ns.empty()) {
+        out += " time_ms[";
+        for (size_t i = 0; i < op.node_time_ns.size(); i++) {
+          if (i) out += ' ';
+          out += FmtMs(op.node_time_ns[i]);
+        }
+        out += ']';
+      }
+      out += '\n';
+    }
+    const std::string counters = NonzeroCounters(op.self_counters);
+    if (!counters.empty()) out += pad + "counters: " + counters + '\n';
+    for (size_t c : op.children) self(self, c, depth + 1);
+  };
+  for (size_t r : roots_) render(render, r, 0);
+  if (!roots_.empty()) {
+    out += "totals: " + totals().ToString() + '\n';
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out;
+  auto render = [&](auto&& self, size_t idx) -> void {
+    const OperatorProfile& op = operators_[idx];
+    out += "{\"name\":\"";
+    AppendJsonEscaped(op.name, &out);
+    out += "\",\"label\":\"";
+    AppendJsonEscaped(op.label, &out);
+    out += "\",\"wall_ns\":" + std::to_string(op.wall_ns);
+    out += ",\"self_ns\":" + std::to_string(op.self_ns);
+    out += ",\"rows_in\":" + std::to_string(op.rows_in);
+    out += ",\"rows_out\":" + std::to_string(op.rows_out);
+    out += ",\"node_rows\":[";
+    for (size_t i = 0; i < op.node_rows.size(); i++) {
+      if (i) out += ',';
+      out += std::to_string(op.node_rows[i]);
+    }
+    out += "],\"node_time_ns\":[";
+    for (size_t i = 0; i < op.node_time_ns.size(); i++) {
+      if (i) out += ',';
+      out += std::to_string(op.node_time_ns[i]);
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "],\"imbalance\":%.4f", op.imbalance);
+    out += buf;
+    out += ",\"skew_warning\":";
+    out += op.skew_warning ? "true" : "false";
+    out += ",\"self_counters\":";
+    AppendCountersJson(op.self_counters, &out);
+    out += ",\"counters\":";
+    AppendCountersJson(op.counters, &out);
+    out += ",\"children\":[";
+    for (size_t i = 0; i < op.children.size(); i++) {
+      if (i) out += ',';
+      self(self, op.children[i]);
+    }
+    out += "]}";
+  };
+  out += "{\"operators\":[";
+  for (size_t i = 0; i < roots_.size(); i++) {
+    if (i) out += ',';
+    render(render, roots_[i]);
+  }
+  out += "],\"totals\":";
+  AppendCountersJson(totals(), &out);
+  out += ",\"span_count\":" + std::to_string(spans_.size());
+  out += '}';
+  return out;
+}
+
+std::string QueryProfile::ChromeTraceJson() const {
+  // trace_event format: a JSON array of events; ts/dur are microseconds
+  // (fractional, so the nanosecond nesting is preserved exactly). One track
+  // per (node, thread): pid = node + 1 (driver work at pid 0), tid = the
+  // recording thread's ordinal.
+  std::string out = "[";
+  const char* sep = "\n";
+  // Process-name metadata, one per distinct pid.
+  std::vector<int> pids;
+  for (const auto& s : spans_) {
+    const int pid = s.node + 1;
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  for (int pid : pids) {
+    out += sep;
+    sep = ",\n";
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           (pid == 0 ? std::string("driver")
+                     : "node " + std::to_string(pid - 1)) +
+           "\"}}";
+  }
+  for (const auto& s : spans_) {
+    out += sep;
+    sep = ",\n";
+    char buf[64];
+    out += "{\"ph\":\"X\",\"name\":\"";
+    AppendJsonEscaped(s.name, &out);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(s.category, &out);
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3);
+    out += buf;
+    out += ",\"pid\":" + std::to_string(s.node + 1);
+    out += ",\"tid\":" + std::to_string(s.thread);
+    out += ",\"args\":{\"span_id\":" + std::to_string(s.id);
+    out += ",\"parent\":" + std::to_string(s.parent);
+    if (s.rows_in != 0) out += ",\"rows_in\":" + std::to_string(s.rows_in);
+    if (s.rows_out != 0) out += ",\"rows_out\":" + std::to_string(s.rows_out);
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status QueryProfile::WriteChromeTrace(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open trace file: " + path);
+  const std::string json = ChromeTraceJson();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.close();
+  if (!f) return Status::IOError("cannot write trace file: " + path);
+  return Status::OK();
+}
+
+}  // namespace cleanm

@@ -6,20 +6,12 @@ namespace cleanm {
 
 std::string MetricsCounters::ToString() const {
   std::ostringstream os;
-  os << "rows_shuffled=" << rows_shuffled << " bytes_shuffled=" << bytes_shuffled
-     << " shuffle_batches=" << shuffle_batches << " comparisons=" << comparisons
-     << " rows_scanned=" << rows_scanned << " groups_built=" << groups_built
-     << " udf_calls=" << udf_calls << " repairs_applied=" << repairs_applied
-     << " peak_bytes_materialized=" << peak_bytes_materialized
-     << " morsels_processed=" << morsels_processed
-     << " tasks_failed=" << tasks_failed << " tasks_retried=" << tasks_retried
-     << " nodes_blacklisted=" << nodes_blacklisted
-     << " rows_quarantined=" << rows_quarantined
-     << " executions_cancelled=" << executions_cancelled
-     << " bytes_spilled=" << bytes_spilled
-     << " pages_evicted=" << pages_evicted
-     << " buffer_pool_hits=" << buffer_pool_hits
-     << " buffer_pool_misses=" << buffer_pool_misses;
+  const char* sep = "";
+#define CLEANM_X(name, fold) \
+  os << sep << #name "=" << name; \
+  sep = " ";
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
   return os.str();
 }
 

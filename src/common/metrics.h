@@ -13,118 +13,126 @@
 
 namespace cleanm {
 
+// Single source of truth for the engine counter fields. Every per-field
+// operation (declaration, ToString, operator==, Accumulate, Reset, Snapshot,
+// the Prometheus exporter) is generated from this list, so adding a counter
+// is a one-line change that cannot be silently dropped from any of them.
+//
+// X(name, Fold) — Fold selects how Accumulate combines the field across
+// executions: Add for plain additive counts, Max for high-water marks
+// (concurrent executions each report their own peak; summing them would
+// claim memory that was never live at once).
+//
+// Field semantics:
+//   rows_shuffled / bytes_shuffled — cross-node traffic routed by Shuffle
+//     and BroadcastAll.
+//   shuffle_batches — network messages: one per flushed remote
+//     (source, destination) batch.
+//   comparisons — pairwise similarity checks.
+//   rows_scanned — rows pushed through Cluster::Parallelize.
+//   groups_built — Nest/aggregate hash groups finalized per node.
+//   udf_calls — registered user-function invocations (scalar, repair, and
+//     aggregate unit/merge calls) on the physical path.
+//   repairs_applied — cells overwritten by the repair applier (src/repair/).
+//   peak_bytes_materialized — high-water mark of *logical* bytes
+//     (RowByteSize, the same accounting the shuffle meter and the partition
+//     cache use) held in transient operator-output buffers at any instant of
+//     the execution: whole materialized operator outputs on the
+//     materialize-first path, in-flight morsels on the pipelined path.
+//     Cache-resident partitionings (scans, shared Nest outputs) and
+//     breaker-internal state (aggregation hash tables, shuffle buffers) are
+//     identical on both paths and excluded.
+//   morsels_processed — morsels flushed through the pipelined execution path
+//     (0 on the materialize-first path).
+//   tasks_failed — task attempts that failed with an (injected)
+//     node-unavailable fault.
+//   tasks_retried — failed task attempts that were retried (per-node
+//     partition re-execution; tasks_failed - tasks_retried were fatal).
+//   nodes_blacklisted — nodes taken out of service after
+//     node_blacklist_threshold consecutive failures; their partitions
+//     re-shuffle across the surviving width.
+//   rows_quarantined — poison rows recorded and skipped by the quarantine
+//     instead of aborting the execution.
+//   executions_cancelled — executions that ended with kCancelled or
+//     kDeadlineExceeded.
+//   bytes_spilled — bytes written to the execution's spill file by pipeline
+//     breakers (Nest partials, hash-join build sides) and the partition
+//     cache's page write-back. 0 when the run fit in the pool budget.
+//   pages_evicted — buffer-pool frames dropped by its byte budget.
+//   buffer_pool_hits / buffer_pool_misses — page pins served from resident
+//     frames / read from disk.
+#define CLEANM_METRICS_FIELDS(X)    \
+  X(rows_shuffled, Add)             \
+  X(bytes_shuffled, Add)            \
+  X(shuffle_batches, Add)           \
+  X(comparisons, Add)               \
+  X(rows_scanned, Add)              \
+  X(groups_built, Add)              \
+  X(udf_calls, Add)                 \
+  X(repairs_applied, Add)           \
+  X(peak_bytes_materialized, Max)   \
+  X(morsels_processed, Add)         \
+  X(tasks_failed, Add)              \
+  X(tasks_retried, Add)             \
+  X(nodes_blacklisted, Add)         \
+  X(rows_quarantined, Add)          \
+  X(executions_cancelled, Add)      \
+  X(bytes_spilled, Add)             \
+  X(pages_evicted, Add)             \
+  X(buffer_pool_hits, Add)          \
+  X(buffer_pool_misses, Add)
+
 /// \brief Plain copyable point-in-time copy of the engine counters — the
 /// form results and tests carry around (QueryMetrics itself is atomic and
 /// non-copyable). Produced by QueryMetrics::Snapshot().
 struct MetricsCounters {
-  uint64_t rows_shuffled = 0;
-  uint64_t bytes_shuffled = 0;
-  /// Network messages: one per flushed remote (source, destination) batch.
-  uint64_t shuffle_batches = 0;
-  uint64_t comparisons = 0;  ///< pairwise similarity checks
-  uint64_t rows_scanned = 0;
-  uint64_t groups_built = 0;
-  /// Registered user-function invocations (scalar, repair, and aggregate
-  /// unit/merge calls) on the physical path.
-  uint64_t udf_calls = 0;
-  /// Cells overwritten by the repair applier (src/repair/).
-  uint64_t repairs_applied = 0;
-  /// High-water mark of *logical* bytes (RowByteSize, the same accounting
-  /// the shuffle meter and the partition cache use) held in transient
-  /// operator-output buffers at any instant of the execution: whole
-  /// materialized operator outputs on the materialize-first path, in-flight
-  /// morsels on the pipelined path. Cache-resident partitionings (scans,
-  /// shared Nest outputs) and breaker-internal state (aggregation hash
-  /// tables, shuffle buffers) are identical on both paths and excluded.
-  uint64_t peak_bytes_materialized = 0;
-  /// Morsels flushed through the pipelined execution path (0 on the
-  /// materialize-first path).
-  uint64_t morsels_processed = 0;
-  /// Task attempts that failed with an (injected) node-unavailable fault.
-  uint64_t tasks_failed = 0;
-  /// Failed task attempts that were retried (per-node partition
-  /// re-execution; tasks_failed - tasks_retried attempts were fatal).
-  uint64_t tasks_retried = 0;
-  /// Nodes taken out of service after node_blacklist_threshold consecutive
-  /// failures; their partitions re-shuffle across the surviving width.
-  uint64_t nodes_blacklisted = 0;
-  /// Poison rows recorded and skipped by the quarantine instead of
-  /// aborting the execution.
-  uint64_t rows_quarantined = 0;
-  /// Executions that ended with kCancelled or kDeadlineExceeded.
-  uint64_t executions_cancelled = 0;
-  /// Bytes written to the execution's spill file by pipeline breakers
-  /// (Nest partials, hash-join build sides) and the partition cache's
-  /// page write-back. 0 when the run fit in the pool budget.
-  uint64_t bytes_spilled = 0;
-  /// Buffer-pool frames dropped by its byte budget during the execution.
-  uint64_t pages_evicted = 0;
-  /// Page pins served from resident frames / read from disk.
-  uint64_t buffer_pool_hits = 0;
-  uint64_t buffer_pool_misses = 0;
+#define CLEANM_X(name, fold) uint64_t name = 0;
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
 
   std::string ToString() const;
 
   friend bool operator==(const MetricsCounters& a, const MetricsCounters& b) {
-    return a.rows_shuffled == b.rows_shuffled &&
-           a.bytes_shuffled == b.bytes_shuffled &&
-           a.shuffle_batches == b.shuffle_batches &&
-           a.comparisons == b.comparisons && a.rows_scanned == b.rows_scanned &&
-           a.groups_built == b.groups_built && a.udf_calls == b.udf_calls &&
-           a.repairs_applied == b.repairs_applied &&
-           a.peak_bytes_materialized == b.peak_bytes_materialized &&
-           a.morsels_processed == b.morsels_processed &&
-           a.tasks_failed == b.tasks_failed &&
-           a.tasks_retried == b.tasks_retried &&
-           a.nodes_blacklisted == b.nodes_blacklisted &&
-           a.rows_quarantined == b.rows_quarantined &&
-           a.executions_cancelled == b.executions_cancelled &&
-           a.bytes_spilled == b.bytes_spilled &&
-           a.pages_evicted == b.pages_evicted &&
-           a.buffer_pool_hits == b.buffer_pool_hits &&
-           a.buffer_pool_misses == b.buffer_pool_misses;
+    bool eq = true;
+#define CLEANM_X(name, fold) eq = eq && a.name == b.name;
+    CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+    return eq;
   }
   friend bool operator!=(const MetricsCounters& a, const MetricsCounters& b) {
     return !(a == b);
   }
 };
 
+/// Per-field saturating difference `after - before`. Used by the tracer to
+/// attribute counter movement to the span that was open while it happened.
+/// (The Max-fold peak field subtracts like the others; a span-level "peak
+/// delta" is only meaningful when `before` was captured at a lower level.)
+inline MetricsCounters CountersDelta(const MetricsCounters& after,
+                                     const MetricsCounters& before) {
+  MetricsCounters d;
+#define CLEANM_X(name, fold) \
+  d.name = after.name >= before.name ? after.name - before.name : 0;
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
+  return d;
+}
+
 /// \brief Counters for one engine run. Thread-safe.
 struct QueryMetrics {
-  std::atomic<uint64_t> rows_shuffled{0};
-  std::atomic<uint64_t> bytes_shuffled{0};
-  /// Network messages: one per flushed remote (source, destination) batch.
-  std::atomic<uint64_t> shuffle_batches{0};
-  std::atomic<uint64_t> comparisons{0};       ///< pairwise similarity checks
-  std::atomic<uint64_t> rows_scanned{0};
-  std::atomic<uint64_t> groups_built{0};
-  /// Registered user-function invocations (scalar, repair, aggregate units).
-  std::atomic<uint64_t> udf_calls{0};
-  /// Cells overwritten by the repair applier.
-  std::atomic<uint64_t> repairs_applied{0};
+#define CLEANM_X(name, fold) std::atomic<uint64_t> name{0};
+  CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
   /// Live transient operator-output bytes right now (gauge); see
-  /// MetricsCounters::peak_bytes_materialized for what counts.
+  /// peak_bytes_materialized above for what counts. Reset but never
+  /// snapshotted — a finished execution's gauge is 0 by construction.
   std::atomic<uint64_t> bytes_materialized_now{0};
-  std::atomic<uint64_t> peak_bytes_materialized{0};
-  std::atomic<uint64_t> morsels_processed{0};
-  std::atomic<uint64_t> tasks_failed{0};
-  std::atomic<uint64_t> tasks_retried{0};
-  std::atomic<uint64_t> nodes_blacklisted{0};
-  std::atomic<uint64_t> rows_quarantined{0};
-  std::atomic<uint64_t> executions_cancelled{0};
-  std::atomic<uint64_t> bytes_spilled{0};
-  std::atomic<uint64_t> pages_evicted{0};
-  std::atomic<uint64_t> buffer_pool_hits{0};
-  std::atomic<uint64_t> buffer_pool_misses{0};
 
   /// Adds `bytes` of transient buffer to the gauge and folds the new level
   /// into the peak. Thread-safe (workers charge in-flight morsels).
   void ChargeMaterialized(uint64_t bytes) {
     const uint64_t now = bytes_materialized_now.fetch_add(bytes) + bytes;
-    uint64_t peak = peak_bytes_materialized.load();
-    while (now > peak &&
-           !peak_bytes_materialized.compare_exchange_weak(peak, now)) {
-    }
+    FoldMax(peak_bytes_materialized, now);
   }
 
   /// Removes a buffer charged by ChargeMaterialized from the gauge.
@@ -132,84 +140,38 @@ struct QueryMetrics {
     bytes_materialized_now.fetch_sub(bytes);
   }
 
-  /// Folds one completed execution's counters into a cumulative total:
-  /// counts add, while the materialization high-water mark folds as a
-  /// running maximum (concurrent executions each report their own peak —
-  /// summing them would claim memory that was never live at once).
+  /// Folds one completed execution's counters into a cumulative total,
+  /// per-field Add or Max as declared in CLEANM_METRICS_FIELDS.
   void Accumulate(const MetricsCounters& s) {
-    rows_shuffled += s.rows_shuffled;
-    bytes_shuffled += s.bytes_shuffled;
-    shuffle_batches += s.shuffle_batches;
-    comparisons += s.comparisons;
-    rows_scanned += s.rows_scanned;
-    groups_built += s.groups_built;
-    udf_calls += s.udf_calls;
-    repairs_applied += s.repairs_applied;
-    morsels_processed += s.morsels_processed;
-    tasks_failed += s.tasks_failed;
-    tasks_retried += s.tasks_retried;
-    nodes_blacklisted += s.nodes_blacklisted;
-    rows_quarantined += s.rows_quarantined;
-    executions_cancelled += s.executions_cancelled;
-    bytes_spilled += s.bytes_spilled;
-    pages_evicted += s.pages_evicted;
-    buffer_pool_hits += s.buffer_pool_hits;
-    buffer_pool_misses += s.buffer_pool_misses;
-    uint64_t peak = peak_bytes_materialized.load();
-    while (s.peak_bytes_materialized > peak &&
-           !peak_bytes_materialized.compare_exchange_weak(
-               peak, s.peak_bytes_materialized)) {
-    }
+#define CLEANM_X(name, fold) Fold##fold(name, s.name);
+    CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
   }
 
   void Reset() {
-    rows_shuffled = 0;
-    bytes_shuffled = 0;
-    shuffle_batches = 0;
-    comparisons = 0;
-    rows_scanned = 0;
-    groups_built = 0;
-    udf_calls = 0;
-    repairs_applied = 0;
+#define CLEANM_X(name, fold) name = 0;
+    CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
     bytes_materialized_now = 0;
-    peak_bytes_materialized = 0;
-    morsels_processed = 0;
-    tasks_failed = 0;
-    tasks_retried = 0;
-    nodes_blacklisted = 0;
-    rows_quarantined = 0;
-    executions_cancelled = 0;
-    bytes_spilled = 0;
-    pages_evicted = 0;
-    buffer_pool_hits = 0;
-    buffer_pool_misses = 0;
   }
 
   MetricsCounters Snapshot() const {
     MetricsCounters s;
-    s.rows_shuffled = rows_shuffled.load();
-    s.bytes_shuffled = bytes_shuffled.load();
-    s.shuffle_batches = shuffle_batches.load();
-    s.comparisons = comparisons.load();
-    s.rows_scanned = rows_scanned.load();
-    s.groups_built = groups_built.load();
-    s.udf_calls = udf_calls.load();
-    s.repairs_applied = repairs_applied.load();
-    s.peak_bytes_materialized = peak_bytes_materialized.load();
-    s.morsels_processed = morsels_processed.load();
-    s.tasks_failed = tasks_failed.load();
-    s.tasks_retried = tasks_retried.load();
-    s.nodes_blacklisted = nodes_blacklisted.load();
-    s.rows_quarantined = rows_quarantined.load();
-    s.executions_cancelled = executions_cancelled.load();
-    s.bytes_spilled = bytes_spilled.load();
-    s.pages_evicted = pages_evicted.load();
-    s.buffer_pool_hits = buffer_pool_hits.load();
-    s.buffer_pool_misses = buffer_pool_misses.load();
+#define CLEANM_X(name, fold) s.name = name.load();
+    CLEANM_METRICS_FIELDS(CLEANM_X)
+#undef CLEANM_X
     return s;
   }
 
   std::string ToString() const { return Snapshot().ToString(); }
+
+ private:
+  static void FoldAdd(std::atomic<uint64_t>& a, uint64_t v) { a += v; }
+  static void FoldMax(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load();
+    while (v > cur && !a.compare_exchange_weak(cur, v)) {
+    }
+  }
 };
 
 /// \brief Per-node load sample used to quantify skew-induced imbalance.

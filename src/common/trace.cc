@@ -1,0 +1,160 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace cleanm {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<uint64_t> g_total_spans{0};
+std::atomic<uint64_t> g_recorder_generation{1};
+std::atomic<uint64_t> g_next_thread_ordinal{1};
+
+struct TlsTrace {
+  TraceRecorder* rec = nullptr;
+  uint64_t parent = 0;
+  // Cached per-thread buffer for `rec`; valid only while `gen` matches the
+  // recorder's generation (guards against a dead recorder reallocated at
+  // the same address).
+  void* buf = nullptr;
+  uint64_t gen = 0;
+};
+thread_local TlsTrace tls_trace;
+
+}  // namespace
+
+uint64_t TraceThreadOrdinal() {
+  thread_local uint64_t ord =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ord;
+}
+
+struct TraceRecorder::LocalBuf {
+  uint64_t owner = 0;  // TraceThreadOrdinal of the only thread that appends
+  std::vector<TraceSpan> spans;
+};
+
+struct TraceRecorder::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<LocalBuf>> bufs;
+};
+
+TraceRecorder::TraceRecorder()
+    : impl_(new Impl),
+      generation_(g_recorder_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(SteadyNowNs()) {}
+
+TraceRecorder::~TraceRecorder() { delete impl_; }
+
+uint64_t TraceRecorder::NowNs() const {
+  const uint64_t now = SteadyNowNs();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+TraceRecorder::LocalBuf* TraceRecorder::BufForThisThread() {
+  if (tls_trace.rec == this && tls_trace.gen == generation_ && tls_trace.buf) {
+    return static_cast<LocalBuf*>(tls_trace.buf);
+  }
+  const uint64_t ord = TraceThreadOrdinal();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  LocalBuf* buf = nullptr;
+  for (auto& b : impl_->bufs) {
+    if (b->owner == ord) {
+      buf = b.get();
+      break;
+    }
+  }
+  if (!buf) {
+    impl_->bufs.push_back(std::make_unique<LocalBuf>());
+    buf = impl_->bufs.back().get();
+    buf->owner = ord;
+  }
+  if (tls_trace.rec == this) {
+    tls_trace.buf = buf;
+    tls_trace.gen = generation_;
+  }
+  return buf;
+}
+
+void TraceRecorder::Record(TraceSpan&& span) {
+  BufForThisThread()->spans.push_back(std::move(span));
+  g_total_spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceSpan> TraceRecorder::Drain() {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& buf : impl_->bufs) {
+    for (auto& s : buf->spans) out.push_back(std::move(s));
+    buf->spans.clear();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+uint64_t TraceRecorder::TotalSpansRecorded() {
+  return g_total_spans.load(std::memory_order_relaxed);
+}
+
+TraceRecorderScope::TraceRecorderScope(TraceRecorder* rec, uint64_t parent)
+    : prev_rec_(tls_trace.rec), prev_parent_(tls_trace.parent) {
+  tls_trace.rec = rec;
+  tls_trace.parent = parent;
+  tls_trace.buf = nullptr;
+  tls_trace.gen = 0;
+}
+
+TraceRecorderScope::~TraceRecorderScope() {
+  tls_trace.rec = prev_rec_;
+  tls_trace.parent = prev_parent_;
+  tls_trace.buf = nullptr;
+  tls_trace.gen = 0;
+}
+
+TraceRecorder* TraceRecorderScope::Current() { return tls_trace.rec; }
+
+uint64_t TraceRecorderScope::CurrentParent() { return tls_trace.parent; }
+
+TraceScope::TraceScope(const char* category, const char* name, const void* op,
+                       int node, const QueryMetrics* counters_src)
+    : rec_(tls_trace.rec) {
+  if (!rec_) return;
+  counters_src_ = counters_src;
+  span_.id = rec_->NextId();
+  span_.parent = tls_trace.parent;
+  span_.category = category;
+  span_.name = name;
+  span_.op = op;
+  span_.node = node;
+  span_.thread = TraceThreadOrdinal();
+  span_.start_ns = rec_->NowNs();
+  saved_parent_ = tls_trace.parent;
+  tls_trace.parent = span_.id;
+  if (counters_src_) before_ = counters_src_->Snapshot();
+}
+
+TraceScope::~TraceScope() {
+  if (!rec_) return;
+  tls_trace.parent = saved_parent_;
+  span_.dur_ns = rec_->NowNs() - span_.start_ns;
+  if (counters_src_) {
+    span_.counters = CountersDelta(counters_src_->Snapshot(), before_);
+    span_.has_counters = true;
+  }
+  rec_->Record(std::move(span_));
+}
+
+}  // namespace cleanm

@@ -1,0 +1,160 @@
+// Execution tracing: thread-safe, low-overhead RAII span recording.
+//
+// A TraceRecorder is installed for one execution (TraceRecorderScope, a TLS
+// pattern mirroring engine::MetricsScope); TraceScope then records spans
+// wherever the engine is instrumented. When no recorder is installed — the
+// default — a TraceScope costs one thread-local load and a null check, so
+// the instrumentation can stay compiled in everywhere (the bench gate keeps
+// the disabled path within a ≤2% overhead budget).
+//
+// Spans are appended to per-thread buffers (owner-thread-only writes; no
+// lock on the hot path) and merged by Drain() after the execution's workers
+// have joined, which is what makes the merge race-free: the join provides
+// the happens-before edge, not a lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace cleanm {
+
+/// \brief One completed span: a named, timed region of an execution,
+/// attributed to a plan operator (`op`), a virtual node (`node`, -1 =
+/// driver), and the OS thread that ran it.
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< id of the enclosing span; 0 = root
+  /// Static-lifetime category string: "operator", "cluster", "pipeline",
+  /// "io", "fault", "repair".
+  const char* category = "";
+  /// Static-lifetime span name (operator kind, primitive name, ...).
+  const char* name = "";
+  /// Plan-node identity (the AlgOp* the span executes), nullptr if none.
+  /// Opaque to this layer; the profiler uses it to group spans per operator.
+  const void* op = nullptr;
+  int node = -1;        ///< virtual node id; -1 = driver-side work
+  uint64_t thread = 0;  ///< stable per-thread ordinal (trace track id)
+  uint64_t start_ns = 0;  ///< relative to the recorder's epoch
+  uint64_t dur_ns = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  /// Optional per-node row distribution (Nest routing, partition sizes).
+  std::vector<uint64_t> node_rows;
+  /// Engine-counter movement while the span was open (driver-side operator
+  /// spans only; concurrent spans would double-count shared counters).
+  bool has_counters = false;
+  MetricsCounters counters;
+};
+
+/// \brief Collects spans for one execution. Thread-safe: each thread writes
+/// to its own buffer; Drain() merges them once the execution has joined all
+/// its workers.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Monotonic nanoseconds since this recorder was created.
+  uint64_t NowNs() const;
+
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Appends a finished span to the calling thread's buffer.
+  void Record(TraceSpan&& span);
+
+  /// Merges and returns all per-thread buffers, ordered by start time.
+  /// Only call after every thread that recorded into this recorder has been
+  /// joined (or its pool epoch finished) — that join is the happens-before
+  /// edge that makes the lock-free per-thread appends visible here.
+  std::vector<TraceSpan> Drain();
+
+  /// Process-wide count of spans ever recorded (all recorders). Lets tests
+  /// assert that profiling off means literally zero spans, not just an
+  /// empty result.
+  static uint64_t TotalSpansRecorded();
+
+ private:
+  struct LocalBuf;
+  LocalBuf* BufForThisThread();
+
+  struct Impl;
+  Impl* impl_;
+  std::atomic<uint64_t> next_id_{1};
+  /// Distinguishes this recorder from a dead one reallocated at the same
+  /// address, so a thread's cached buffer pointer can never dangle.
+  uint64_t generation_;
+  uint64_t epoch_ns_;
+};
+
+/// \brief RAII installer: makes `rec` the calling thread's active recorder
+/// and `parent` the id under which new TraceScopes nest. Mirrors
+/// engine::MetricsScope — fan-out points capture the current recorder and
+/// span id driver-side and re-install them inside worker lambdas.
+class TraceRecorderScope {
+ public:
+  explicit TraceRecorderScope(TraceRecorder* rec, uint64_t parent = 0);
+  ~TraceRecorderScope();
+  TraceRecorderScope(const TraceRecorderScope&) = delete;
+  TraceRecorderScope& operator=(const TraceRecorderScope&) = delete;
+
+  /// The calling thread's active recorder, or nullptr (tracing disabled).
+  static TraceRecorder* Current();
+  /// The span id new scopes on this thread nest under (0 = root).
+  static uint64_t CurrentParent();
+
+ private:
+  TraceRecorder* prev_rec_;
+  uint64_t prev_parent_;
+};
+
+/// \brief RAII span. A no-op (one TLS load) when no recorder is installed
+/// on the calling thread. `category` and `name` must have static lifetime.
+/// When `counters_src` is given, the span captures the counter delta
+/// between construction and destruction — only meaningful for spans that
+/// are sequential on their thread (the driver's operator spans).
+class TraceScope {
+ public:
+  TraceScope(const char* category, const char* name, const void* op = nullptr,
+             int node = -1, const QueryMetrics* counters_src = nullptr);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return rec_ != nullptr; }
+  /// This span's id, for parenting fan-out work under it; 0 when inactive.
+  uint64_t id() const { return rec_ ? span_.id : 0; }
+
+  void SetRows(uint64_t in, uint64_t out) {
+    if (!rec_) return;
+    span_.rows_in = in;
+    span_.rows_out = out;
+  }
+  void SetRowsIn(uint64_t n) {
+    if (rec_) span_.rows_in = n;
+  }
+  void SetRowsOut(uint64_t n) {
+    if (rec_) span_.rows_out = n;
+  }
+  void SetNodeRows(std::vector<uint64_t> rows) {
+    if (!rec_) return;
+    span_.node_rows = std::move(rows);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  const QueryMetrics* counters_src_ = nullptr;
+  TraceSpan span_;
+  MetricsCounters before_;
+  uint64_t saved_parent_ = 0;
+};
+
+/// Stable small ordinal for the calling thread, used as the trace track id.
+uint64_t TraceThreadOrdinal();
+
+}  // namespace cleanm

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/trace.h"
+
 namespace cleanm::engine {
 
 namespace {
@@ -72,6 +74,8 @@ void Cluster::RunWithFaults(size_t n,
     if (fo.retry_backoff_ns > 0) {
       const uint64_t backoff = fo.retry_backoff_ns
                                << (attempt < 6 ? attempt : 6);
+      TraceScope backoff_span("fault", "retry_backoff", nullptr,
+                              static_cast<int>(n));
       std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
     }
   }
@@ -112,9 +116,18 @@ void Cluster::RunOnNodes(const std::function<void(size_t)>& fn) const {
   // saw.
   QueryMetrics* driver_metrics = MetricsScope::Current();
   const ExecControl* driver_control = ExecControlScope::Current();
-  const auto task = [this, &fn, active, driver_metrics, driver_control](size_t n) {
+  // Like the metrics/control scopes, tracing context propagates explicitly:
+  // the dispatch span opens driver-side, and each per-node task re-installs
+  // the driver's recorder so its "task" span parents under the dispatch.
+  TraceScope dispatch_span("cluster", "dispatch");
+  TraceRecorder* driver_rec = TraceRecorderScope::Current();
+  const uint64_t trace_parent = TraceRecorderScope::CurrentParent();
+  const auto task = [this, &fn, active, driver_metrics, driver_control,
+                     driver_rec, trace_parent](size_t n) {
     MetricsScope scope(driver_metrics);
     ExecControlScope control_scope(driver_control);
+    TraceRecorderScope trace_scope(driver_rec, trace_parent);
+    TraceScope task_span("cluster", "task", nullptr, static_cast<int>(n));
     if (n < active) RunWithFaults(n, fn);
   };
   if (pool_ && (pool_->OnWorkerThread() || pool_->TryAcquireDriver())) {
@@ -242,6 +255,7 @@ void Cluster::ChargeNetwork(uint64_t bytes, uint64_t batches) const {
   if (ns <= 0) return;
   auto remaining = std::chrono::nanoseconds(static_cast<int64_t>(ns));
   if (remaining.count() <= 0) return;
+  TraceScope net_span("cluster", "network");
   // Sleep in slices so a deadline or cancellation interrupts a
   // network-dominated epoch promptly instead of after the whole transfer.
   const ExecControl* control = ExecControlScope::Current();
@@ -269,6 +283,8 @@ struct ShuffleBuffer {
 
 Partitioned Cluster::Shuffle(const Partitioned& in,
                              const std::function<uint64_t(const Row&)>& route) {
+  TraceScope shuffle_span("cluster", "shuffle");
+  shuffle_span.SetRows(TotalRows(in), TotalRows(in));
   const size_t n_nodes = active_nodes_;
   const size_t batch_rows = options_.shuffle_batch_rows;
   // staged[src][dst] holds the flushed batches in routing order, so the
@@ -324,6 +340,8 @@ Partitioned Cluster::Shuffle(const Partitioned& in,
 }
 
 Partition Cluster::BroadcastAll(const Partitioned& in) {
+  TraceScope broadcast_span("cluster", "broadcast");
+  broadcast_span.SetRows(TotalRows(in), TotalRows(in));
   const size_t n_nodes = active_nodes_;
   const size_t receivers = n_nodes - 1;
   // Offsets let every source copy its slice into the shared result

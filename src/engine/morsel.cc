@@ -24,6 +24,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/trace.h"
 #include "engine/cluster.h"
 
 namespace cleanm::engine {
@@ -93,6 +94,7 @@ void Cluster::PumpOnWorkers(
     const Partitioned& source, const MorselSpec& spec, const MorselExpand& expand,
     const std::function<void(size_t node, Partition&&)>& consume) const {
   const size_t morsel_rows = spec.morsel_rows < 1 ? 1 : spec.morsel_rows;
+  TraceScope pump_span("pipeline", "pump_workers");
   std::vector<MorselStats> stats(active_nodes_);
   RunOnNodes([&](size_t n) {
     if (n >= source.size()) return;
@@ -112,6 +114,7 @@ Status Cluster::PumpToDriver(
   const size_t n_nodes = active_nodes_;
   const size_t morsel_rows = spec.morsel_rows < 1 ? 1 : spec.morsel_rows;
   const size_t window = spec.queue_window < 1 ? 1 : spec.queue_window;
+  TraceScope pump_span("pipeline", "pump");
   std::vector<MorselStats> stats(n_nodes);
 
   // Nested invocation (an operator running inside a worker task): drive the
@@ -151,10 +154,16 @@ Status Cluster::PumpToDriver(
   // the retry re-produces that node's stream from the start with the queue
   // still empty — delivery stays bit-identical.
   QueryMetrics* driver_metrics = MetricsScope::Current();
-  auto produce = [&, driver_metrics, exec_control](size_t n) {
+  TraceRecorder* driver_rec = TraceRecorderScope::Current();
+  const uint64_t trace_parent = TraceRecorderScope::CurrentParent();
+  auto produce = [&, driver_metrics, exec_control, driver_rec,
+                  trace_parent](size_t n) {
     MetricsScope metrics_scope(driver_metrics);
     ExecControlScope control_scope(exec_control);
+    TraceRecorderScope trace_scope(driver_rec, trace_parent);
     if (n >= n_nodes) return;
+    TraceScope produce_span("pipeline", "produce", nullptr,
+                            static_cast<int>(n));
     auto mark_done = [&] {
       std::lock_guard<std::mutex> lock(mu);
       queues[n].done = true;

@@ -24,6 +24,7 @@
 #include <atomic>
 
 #include "algebra/algebra_eval.h"
+#include "common/trace.h"
 #include "engine/aggregate.h"
 #include "functions/function_registry.h"
 #include "monoid/monoid.h"
@@ -212,6 +213,10 @@ Result<Executor::PipelineSegment> CollectInput(Executor* ex, const AlgOpPtr& pla
 Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
                                              size_t morsel_rows) {
   const size_t nodes = cluster->num_nodes();
+  // The breaker's operator span; cache hits record too (near-zero duration,
+  // which is exactly what a profile should show for a shared Nest).
+  TraceScope op_span("operator", AlgKindName(plan->kind), plan.get(), -1,
+                     &cluster->metrics());
   // local_nests entries live exactly as long as this per-execution Executor,
   // which outlives every segment built from them — a non-owning alias pin
   // is safe and avoids copying the partitioning into shared storage.
@@ -223,12 +228,16 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
   // session cache (see below), and later consumers in this execution must
   // share it rather than rebuild.
   auto local = local_nests.find(plan.get());
-  if (local != local_nests.end()) return local_pin(local->second);
+  if (local != local_nests.end()) {
+    op_span.SetRowsOut(engine::Cluster::TotalRows(local->second));
+    return local_pin(local->second);
+  }
   if (persist_nests) {
     const Catalog& cat = *catalog;
     if (PartitionPin cached = cache->FindNest(
             plan.get(), nodes,
             [&cat](const std::string& t) { return cat.GenerationOf(t); })) {
+      op_span.SetRowsOut(engine::Cluster::TotalRows(*cached));
       return cached;
     }
   }
@@ -260,7 +269,13 @@ Result<PartitionPin> Executor::PipelinedNest(const AlgOpPtr& plan,
                            agg.Accumulate(n, std::move(morsel));
                          });
   seg.ReleaseNow();
-  Partitioned result = agg.Finish();
+  LoadReport load;
+  Partitioned result = agg.Finish(&load);
+  if (op_span.active()) {
+    // Routed (pre-aggregation) per-node distribution: the skew signal.
+    op_span.SetNodeRows(std::move(load.rows_per_node));
+    op_span.SetRowsOut(engine::Cluster::TotalRows(result));
+  }
 
   // A Nest built while rows were being quarantined is missing those rows —
   // publishing it to the session cache would serve the incomplete
@@ -305,6 +320,8 @@ Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
     }
     case AlgKind::kJoin:
     case AlgKind::kOuterJoin: {
+      TraceScope join_span("operator", AlgKindName(source->kind), source.get(),
+                           -1, &cluster->metrics());
       CLEANM_ASSIGN_OR_RETURN(PipelineSegment left,
                               CollectInput(this, source->input, morsel_rows));
       // Resolving the right side may mutate the cache (its Nest build
@@ -318,6 +335,15 @@ Result<Executor::PipelineSegment> Executor::BuildSegment(const AlgOpPtr& plan,
       seg.owned_bytes = PartitionedLogicalBytes(seg.owned);
       seg.gauge = &cluster->metrics();
       seg.gauge->ChargeMaterialized(seg.owned_bytes);
+      if (join_span.active()) {
+        join_span.SetRows(engine::Cluster::TotalRows(left.data()) +
+                              engine::Cluster::TotalRows(right.data()),
+                          engine::Cluster::TotalRows(seg.owned));
+        std::vector<uint64_t> node_rows;
+        node_rows.reserve(seg.owned.size());
+        for (const auto& p : seg.owned) node_rows.push_back(p.size());
+        join_span.SetNodeRows(std::move(node_rows));
+      }
       break;
     }
     case AlgKind::kReduce:
@@ -356,9 +382,15 @@ Status Executor::RunPipelined(
   if (plan->kind == AlgKind::kReduce) {
     return Status::InvalidArgument("Reduce root must go through RunToValuePipelined");
   }
+  // The root operator span for the fused transform chain: Select/Unnest
+  // stages compile into the segment's expansion, so the chain's work (and
+  // counter movement) lands here rather than on per-stage spans.
+  TraceScope op_span("operator", AlgKindName(plan->kind), plan.get(), -1,
+                     &cluster->metrics());
   CLEANM_ASSIGN_OR_RETURN(PipelineSegment seg, BuildSegment(plan, morsel_rows));
   engine::MorselSpec spec;
   spec.morsel_rows = morsel_rows;
+  op_span.SetRowsIn(engine::Cluster::TotalRows(seg.data()));
   return cluster->PumpToDriver(seg.data(), spec, seg.expand, consume);
 }
 
@@ -386,6 +418,8 @@ Result<Value> Executor::RunToValuePipelined(const AlgOpPtr& plan, size_t morsel_
   const AggregateFunction* udf = nullptr;
   CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
                           ResolveAggregateMonoid(functions, plan->monoid, &udf));
+  TraceScope op_span("operator", AlgKindName(plan->kind), plan.get(), -1,
+                     &cluster->metrics());
   CLEANM_ASSIGN_OR_RETURN(PipelineSegment seg, BuildSegment(plan->input, morsel_rows));
   const TupleLayout layout = CollectVars(plan->input);
   CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout, Env()));
@@ -413,6 +447,7 @@ Result<Value> Executor::RunToValuePipelined(const AlgOpPtr& plan, size_t morsel_
                          });
   Value acc = monoid->zero();
   for (auto& p : partials) acc = monoid->Merge(std::move(acc), p);
+  op_span.SetRowsIn(rows_folded.load());
   if (udf) cluster->metrics().udf_calls += rows_folded.load();
   if (udf && udf->finalize) return udf->finalize({acc});
   return acc;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "functions/function_registry.h"
 #include "monoid/monoid.h"
 #include "physical/tuple.h"
@@ -281,9 +282,21 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
   if (!plan) return Status::Internal("null physical plan");
   if (!cache) return Status::Internal("Executor has no partition cache");
   QueryMetrics& metrics = cluster->metrics();
-  auto charge = [&metrics, out_bytes](const Partitioned& data) {
+  // Operator span: driver-side and sequential (the recursion below runs on
+  // this thread), so the counter delta it captures nests exactly and the
+  // profile's self-time partitioning stays exact.
+  TraceScope op_span("operator", AlgKindName(plan->kind), plan.get(), -1,
+                     &metrics);
+  auto charge = [&metrics, out_bytes, &op_span](const Partitioned& data) {
     *out_bytes = PartitionedLogicalBytes(data);
     metrics.ChargeMaterialized(*out_bytes);
+    if (op_span.active()) {
+      op_span.SetRowsOut(engine::Cluster::TotalRows(data));
+      std::vector<uint64_t> node_rows;
+      node_rows.reserve(data.size());
+      for (const auto& p : data) node_rows.push_back(p.size());
+      op_span.SetNodeRows(std::move(node_rows));
+    }
   };
   switch (plan->kind) {
     case AlgKind::kScan: {
@@ -298,6 +311,7 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
     case AlgKind::kSelect: {
       GaugeRelease in_release{&metrics};
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
+      op_span.SetRowsIn(engine::Cluster::TotalRows(in));
       const TupleLayout layout = CollectVars(plan->input);
       CLEANM_ASSIGN_OR_RETURN(auto pred, CompilePredicate(plan->pred, layout, Env()));
       Partitioned out =
@@ -313,6 +327,8 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
                               RunTracked(plan->input, &left_release.bytes));
       CLEANM_ASSIGN_OR_RETURN(Partitioned right,
                               RunTracked(plan->right, &right_release.bytes));
+      op_span.SetRowsIn(engine::Cluster::TotalRows(left) +
+                        engine::Cluster::TotalRows(right));
       CLEANM_ASSIGN_OR_RETURN(Partitioned out, ExecJoin(plan, left, right));
       charge(out);
       return out;
@@ -322,6 +338,7 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
     case AlgKind::kOuterUnnest: {
       GaugeRelease in_release{&metrics};
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
+      op_span.SetRowsIn(engine::Cluster::TotalRows(in));
       const TupleLayout layout = CollectVars(plan->input);
       CLEANM_ASSIGN_OR_RETURN(CompiledExpr path, CompileExpr(plan->path, layout, Env()));
       const std::string var = plan->path_var;
@@ -371,6 +388,7 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
       CLEANM_ASSIGN_OR_RETURN(CompiledNest compiled, CompileNestStage(plan));
       GaugeRelease in_release{&metrics};
       CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
+      op_span.SetRowsIn(engine::Cluster::TotalRows(in));
 
       // Phase 1 (materialize-first): the whole keyed expansion exists as a
       // Partitioned before aggregation — the buffer the pipelined Nest
@@ -383,9 +401,14 @@ Result<engine::Partitioned> Executor::RunTracked(const AlgOpPtr& plan,
       metrics.ChargeMaterialized(keyed_release.bytes);
 
       // Phase 2: monoid aggregation under the configured shuffle strategy.
+      LoadReport load;
       Partitioned result = engine::AggregateByKey(*cluster, keyed, compiled.spec,
-                                                  options.aggregate_strategy);
+                                                  options.aggregate_strategy,
+                                                  &load);
       charge(result);
+      // The routed (pre-aggregation) distribution is the skew signal the
+      // profile reports for a Nest, not the per-node group counts.
+      if (op_span.active()) op_span.SetNodeRows(std::move(load.rows_per_node));
       if (!persist_nests) {
         local_nests.emplace(plan.get(), result);
       } else {
@@ -426,8 +449,17 @@ Result<Value> Executor::RunToValue(const AlgOpPtr& plan) {
   const AggregateFunction* udf = nullptr;
   CLEANM_ASSIGN_OR_RETURN(const Monoid* monoid,
                           ResolveAggregateMonoid(functions, plan->monoid, &udf));
+  TraceScope op_span("operator", AlgKindName(plan->kind), plan.get(), -1,
+                     &metrics);
   GaugeRelease in_release{&metrics};
   CLEANM_ASSIGN_OR_RETURN(Partitioned in, RunTracked(plan->input, &in_release.bytes));
+  op_span.SetRowsIn(engine::Cluster::TotalRows(in));
+  if (op_span.active()) {
+    std::vector<uint64_t> node_rows;
+    node_rows.reserve(in.size());
+    for (const auto& p : in) node_rows.push_back(p.size());
+    op_span.SetNodeRows(std::move(node_rows));
+  }
   const TupleLayout layout = CollectVars(plan->input);
   CLEANM_ASSIGN_OR_RETURN(CompiledExpr head, CompileExpr(plan->head, layout, Env()));
   // Fold locally per node, then merge the partials on the driver — legal

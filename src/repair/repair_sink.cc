@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "algebra/algebra_eval.h"  // RowToRecord
+#include "common/trace.h"
 
 namespace cleanm {
 
@@ -136,6 +137,8 @@ Status RepairSink::OnDirtyEntity(const Value& entity,
 
 Result<RepairSummary> RepairSink::Commit() {
   if (db_ == nullptr) return Status::Internal("RepairSink has no CleanDB");
+  TraceScope commit_span("repair", "repair_commit");
+  commit_span.SetRowsIn(actions_.size());
   // Read-modify-write under the session commit lock: no other committer can
   // replace the source table between reading it and re-registering the
   // repaired copy, so concurrent Commits serialize instead of losing

@@ -1,5 +1,7 @@
 #include "storage/pagestore/buffer_pool.h"
 
+#include "common/trace.h"
+
 namespace cleanm {
 
 BufferPool::Stats BufferPool::stats() const {
@@ -20,6 +22,7 @@ Result<PagePin> BufferPool::Pin(const SingleFileStore& store, uint64_t page_id) 
   }
   // Miss: read outside the mutex so concurrent misses on *different* pages
   // overlap their I/O (the tsan stress test churns exactly this path).
+  TraceScope miss_span("io", "page_miss");
   CLEANM_ASSIGN_OR_RETURN(std::string payload, store.ReadPage(page_id));
   auto pin = std::make_shared<const std::string>(std::move(payload));
 

@@ -2,10 +2,14 @@
 
 #include <cstring>
 
+#include "common/trace.h"
+
 namespace cleanm {
 
 Result<std::vector<PageSpan>> SpillContext::SpillRows(
     const std::vector<Row>& rows) {
+  TraceScope spill_span("io", "spill_write");
+  spill_span.SetRowsIn(rows.size());
   std::lock_guard<std::mutex> lock(mu_);
   if (store_ == nullptr) {
     CLEANM_ASSIGN_OR_RETURN(store_,
@@ -43,6 +47,7 @@ Result<std::vector<PageSpan>> SpillContext::SpillRows(
 
 Status SpillContext::ReadBack(const std::vector<PageSpan>& chunks,
                               std::vector<Row>* out) const {
+  TraceScope readback_span("io", "spill_readback");
   const SingleFileStore* store;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -66,6 +71,7 @@ Status SpillContext::ReadBack(const std::vector<PageSpan>& chunks,
       return Status::IOError("spill: chunk row count mismatch");
     }
   }
+  readback_span.SetRowsOut(out->size());
   return Status::OK();
 }
 

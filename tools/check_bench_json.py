@@ -87,6 +87,16 @@ SCHEMA = {
         "deadline_run_s": None,
         "deadline_exceeded": ("higher", "exact"),
     },
+    "observability": {
+        "off_s": None,
+        "profile_s": None,
+        "off_overhead": ("lower", "timing"),
+        "profile_overhead": ("lower", "timing"),
+        "spans_recorded_off": None,  # ==0 enforced by the bench's own --check
+        "operator_spans": ("higher", "exact"),
+        "spans_total": None,
+        "rows_reconciled": ("higher", "exact"),
+    },
 }
 
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file (QueryProfile::WriteChromeTrace).
+
+Stdlib-only. Checks:
+  * the file is a JSON array of event objects,
+  * every "X" (complete) event carries ph/ts/dur/pid/tid/name with numeric
+    non-negative ts/dur,
+  * within each (pid, tid) track, spans nest properly: two spans either
+    don't overlap or one contains the other (the RAII discipline of
+    TraceScope guarantees this per recording thread; a violation means the
+    exporter or the recorder is broken).
+
+Timestamps are microseconds with fractional (nanosecond) precision; the
+nesting check tolerates EPS for the decimal->double round-trip.
+
+Usage: check_trace_json.py TRACE.json
+Exit 0 when valid; 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+EPS = 0.002  # µs; ~2 ns of float tolerance
+
+REQUIRED_X_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+
+
+def fail(msg):
+    print(f"check_trace_json: FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} TRACE.json")
+    path = sys.argv[1]
+    try:
+        with open(path, "rb") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(events, list):
+        fail(f"{path}: top-level value must be a JSON array of events")
+    if not events:
+        fail(f"{path}: trace is empty")
+
+    tracks = {}
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event #{i} has no 'ph' key")
+        if ph != "X":
+            continue  # metadata ("M") and other phases: no further checks
+        for key in REQUIRED_X_KEYS:
+            if key not in ev:
+                fail(f"event #{i} ({ev.get('name', '?')}): missing '{key}'")
+        ts, dur = ev["ts"], ev["dur"]
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            fail(f"event #{i} ({ev['name']}): ts/dur must be numbers")
+        if ts < 0 or dur < 0:
+            fail(f"event #{i} ({ev['name']}): negative ts/dur")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event #{i}: 'name' must be a non-empty string")
+        n_complete += 1
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+
+    if n_complete == 0:
+        fail(f"{path}: no complete ('X') events")
+
+    # Per-track nesting: sweep spans by (start, -dur); maintain the stack of
+    # open spans. Each span must close before (or exactly when, for
+    # zero-duration spans) every span still on the stack does.
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (ts, end, name)
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][1] - EPS:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS:
+                fail(
+                    f"track pid={pid} tid={tid}: span '{ev['name']}' "
+                    f"[{start}, {end}] crosses enclosing "
+                    f"'{stack[-1][2]}' [{stack[-1][0]}, {stack[-1][1]}]"
+                )
+            stack.append((start, end, ev["name"]))
+
+    print(
+        f"check_trace_json: OK: {n_complete} spans on {len(tracks)} "
+        f"track(s) in {path}"
+    )
+
+
+if __name__ == "__main__":
+    main()

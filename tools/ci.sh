@@ -63,10 +63,21 @@ set -x
 # the in-memory wall-clock, and produce bit-identical violations; with 5%
 # injected task failures the plan must retry its way to bit-identical
 # violations at ≤1.5× clean wall-clock; and a deadline at 10% of the clean
-# wall-clock must return kDeadlineExceeded promptly. Measured numbers merge
-# into BENCH_cluster.json next to the dispatch gate's.
+# wall-clock must return kDeadlineExceeded promptly. The observability gate
+# rides the same binary: zero spans recorded with profiling off, the
+# profile's per-operator counters summing exactly to the flat metrics, ≥6
+# operator spans on the 8-FD plan, and a Chrome trace written for the
+# validator below. Measured numbers merge into BENCH_cluster.json next to
+# the dispatch gate's.
 ./build-release/bench_unified_cleaning --nonet --check \
-  --out build-release/BENCH_cluster.json
+  --out build-release/BENCH_cluster.json \
+  --trace-out build-release/trace_unified.json
+
+# The exported Chrome trace must be a structurally valid trace_event file:
+# a JSON array of events, every "X" event carrying ph/ts/dur/pid/tid/name,
+# and spans nesting properly within each (pid, tid) track — a crossing
+# means the recorder or the exporter is broken.
+python3 tools/check_trace_json.py build-release/trace_unified.json
 
 # Fault-injection seed sweep under ThreadSanitizer: three deterministic
 # failure schedules through the session-concurrency stress suite. Each seed
@@ -90,4 +101,4 @@ python3 tools/check_bench_json.py build-release/BENCH_cluster.json \
   --baseline BENCH_cluster.json
 
 set +x
-echo "CI OK: release + asan + ubsan + tsan presets built and tested clean; dispatch, prepared-reexec, UDF-aggregate, pipeline, and fault-tolerance gates passed; fault seed sweep clean under tsan; bench JSON validated."
+echo "CI OK: release + asan + ubsan + tsan presets built and tested clean; dispatch, prepared-reexec, UDF-aggregate, pipeline, fault-tolerance, and observability gates passed; fault seed sweep clean under tsan; bench JSON and Chrome trace validated."

@@ -847,6 +847,186 @@ ObservabilityAb RunObservabilityAb(double pipelined_baseline_s,
   return ab;
 }
 
+// ---- Delta-incremental A/B: full re-execution vs incremental
+// re-validation after a 1% mutation on the 8-FD unified plan (pure
+// compute). Both arms follow the same session pattern: register, prepare,
+// bootstrap execute (untimed — it seeds the incremental state), then per
+// round append the same 1% delta chunk and re-execute the prepared query.
+// The full arm pins ExecOptions::incremental=false, so every round
+// re-partitions the scan and rebuilds all eight Nest states from scratch;
+// the incremental arm is served entirely from the delta log (monoid-merged
+// group partials, touched keys re-finalized). Gates: the incremental arm's
+// merged violation multiset must equal a cold execution over the
+// post-delta table under canonical normalization (aggregated collections
+// are fold-order sensitive, so bit-identity is the wrong comparison here),
+// zero re-partitions and one incremental execution per round, the
+// delta-scaling row ratio (rows a full round scans / rows an incremental
+// round processes) ≥10 (deterministic), and wall-clock speedup ≥10
+// (machine-local at measure time; advisory in the cross-machine JSON diff).
+
+/// Renders a Value with struct fields sorted by name and list elements
+/// sorted lexicographically — equal results compare equal regardless of
+/// the merge-tree order that built an aggregated collection.
+std::string CanonicalString(const Value& v) {
+  if (v.type() == ValueType::kStruct) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const auto& [name, field] : v.AsStruct()) {
+      fields.emplace_back(name, CanonicalString(field));
+    }
+    std::sort(fields.begin(), fields.end());
+    std::string out = "{";
+    for (const auto& [name, repr] : fields) out += name + ":" + repr + ",";
+    return out + "}";
+  }
+  if (v.type() == ValueType::kList) {
+    std::vector<std::string> elems;
+    for (const auto& e : v.AsList()) elems.push_back(CanonicalString(e));
+    std::sort(elems.begin(), elems.end());
+    std::string out = "[";
+    for (const auto& e : elems) out += e + ",";
+    return out + "]";
+  }
+  return v.ToString();
+}
+
+struct DeltaIncrementalAb {
+  size_t base_rows = 0;
+  size_t delta_rows = 0;     ///< appended per round (1% of base)
+  size_t rounds = 3;
+  double full_reexec_s = 0;  ///< best full (incremental=false) round
+  double incremental_s = 0;  ///< best incremental round
+  double speedup = 0;        ///< full / incremental (≥ 10 gated locally)
+  uint64_t full_rows_scanned = 0;     ///< per full round (average)
+  uint64_t delta_rows_processed = 0;  ///< per incremental round (average)
+  double row_ratio = 0;  ///< full_rows_scanned / delta_rows_processed (≥ 10)
+  uint64_t groups_remerged = 0;
+  uint64_t incremental_executions = 0;  ///< across timed rounds (== rounds)
+  uint64_t incremental_repartitions = 0;  ///< scan+nest misses (0 gated)
+  bool identical = false;  ///< merged set == cold post-delta execution
+};
+
+DeltaIncrementalAb RunDeltaIncrementalAb() {
+  // Mostly-clean table: the incremental arm's cost is O(delta + touched
+  // groups + emitted violations), so a low violation rate keeps the
+  // emission term from washing out the delta scaling at bench size.
+  datagen::CustomerOptions copts;
+  copts.base_rows = std::max<size_t>(g_base_rows, 4000);
+  copts.duplicate_fraction = 0.01;
+  copts.max_duplicates = 3;
+  copts.fd_violation_fraction = 0.005;
+  Dataset dirty = datagen::MakeCustomer(copts);
+  // Uniquify the name column: datagen draws names from a small pool, which
+  // floods the three name-keyed FDs with hundreds of violations that have
+  // nothing to do with the delta. A mostly-clean table keeps the violation
+  // set — whose emission cost both arms pay identically — dominated by the
+  // injected address-FD dirtiness instead.
+  {
+    const size_t name_idx = dirty.schema().IndexOf("name").ValueOrDie();
+    size_t i = 0;
+    for (auto& row : dirty.mutable_rows()) {
+      row[name_idx] =
+          Value(row[name_idx].AsString() + " #" + std::to_string(i++));
+    }
+  }
+  const Dataset base = std::move(dirty);
+  const size_t nation_idx = base.schema().IndexOf("nationkey").ValueOrDie();
+
+  DeltaIncrementalAb ab;
+  ab.base_rows = base.rows().size();
+  ab.delta_rows = std::max<size_t>(1, ab.base_rows / 100);
+
+  // Round r's chunk: mostly clean inserts (fresh singleton groups under
+  // every FD key) plus ~10% nationkey-bumped copies of existing rows that
+  // land in existing address/custkey groups and break several of the eight
+  // FDs. A realistic mutation stream: the delta genuinely changes the
+  // violation sets, but the violation count — whose emission cost both
+  // arms pay identically — stays proportional to the table's dirtiness
+  // instead of compounding every round.
+  const size_t violating = std::max<size_t>(1, ab.delta_rows / 10);
+  auto chunk = [&](size_t r) {
+    std::vector<Row> rows;
+    rows.reserve(ab.delta_rows);
+    for (size_t i = 0; i < violating; i++) {
+      Row row = base.rows()[(r * violating + i) % base.rows().size()];
+      row[nation_idx] =
+          Value(row[nation_idx].AsInt() + static_cast<int64_t>(100 + r));
+      rows.push_back(std::move(row));
+    }
+    for (size_t i = violating; i < ab.delta_rows; i++) {
+      const uint64_t uid = 1000000000ull + r * ab.delta_rows + i;
+      const std::string tag = std::to_string(uid);
+      rows.push_back({Value(static_cast<int64_t>(uid)),
+                      Value("delta customer " + tag),
+                      Value("delta lane " + tag), Value(tag),
+                      Value(static_cast<int64_t>(uid % 25))});
+    }
+    return rows;
+  };
+
+  QueryResult last_incremental;
+  for (int incremental = 0; incremental <= 1; incremental++) {
+    CleanDB db(ManyOpOptions(/*legacy=*/false));
+    db.RegisterTable("customer", base);
+    auto prepared = db.Prepare(kManyOpQuery);
+    CLEANM_CHECK(prepared.ok());
+    (void)prepared.value().Execute().ValueOrDie();  // bootstrap (untimed)
+    double best = -1;
+    for (size_t r = 0; r < ab.rounds; r++) {
+      CLEANM_CHECK(db.AppendRows("customer", chunk(r)).ok());
+      ExecOptions eo;
+      eo.incremental = incremental != 0;
+      Timer timer;
+      auto result = prepared.value().Execute(eo).ValueOrDie();
+      const double s = timer.ElapsedSeconds();
+      if (best < 0 || s < best) best = s;
+      CLEANM_CHECK(result.ops.size() == 8);
+      if (incremental != 0) {
+        ab.delta_rows_processed += result.metrics.delta_rows_processed;
+        ab.groups_remerged += result.metrics.groups_remerged;
+        ab.incremental_executions += result.metrics.incremental_executions;
+        ab.incremental_repartitions +=
+            result.cache.scan_misses + result.cache.nest_misses;
+        if (r == ab.rounds - 1) last_incremental = std::move(result);
+      } else {
+        ab.full_rows_scanned += result.metrics.rows_scanned;
+      }
+    }
+    (incremental != 0 ? ab.incremental_s : ab.full_reexec_s) = best;
+  }
+  ab.full_rows_scanned /= ab.rounds;
+  ab.delta_rows_processed /= ab.rounds;
+
+  // Merged-result identity: the incremental arm's final violation multiset
+  // must equal a cold execution over the post-delta table.
+  Dataset post(base.schema());
+  for (const auto& row : base.rows()) post.Append(row);
+  for (size_t r = 0; r < ab.rounds; r++) {
+    for (auto& row : chunk(r)) post.Append(std::move(row));
+  }
+  CleanDB cold_db(ManyOpOptions(/*legacy=*/false));
+  cold_db.RegisterTable("customer", std::move(post));
+  auto cold = cold_db.Execute(kManyOpQuery).ValueOrDie();
+  auto canon = [](const QueryResult& r) {
+    std::vector<std::string> out;
+    for (const auto& op : r.ops) {
+      for (const auto& v : op.violations) {
+        out.push_back(op.op_name + "|" + CanonicalString(v));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto merged = canon(last_incremental);
+  ab.identical = !merged.empty() && merged == canon(cold);
+
+  ab.speedup = ab.incremental_s > 0 ? ab.full_reexec_s / ab.incremental_s : 0;
+  ab.row_ratio = ab.delta_rows_processed > 0
+                     ? static_cast<double>(ab.full_rows_scanned) /
+                           static_cast<double>(ab.delta_rows_processed)
+                     : 0;
+  return ab;
+}
+
 /// Inserts/replaces `"key": object` in the flat JSON file at `path`
 /// (written by bench_cluster_primitives), preserving the other sections.
 /// Sections written this way live on a single line, so replacement is a
@@ -1068,6 +1248,27 @@ int main(int argc, char** argv) {
                 obs.trace_path.c_str());
   }
 
+  std::printf("\n=== delta-incremental A/B: full re-execution vs incremental "
+              "re-validation at a 1%% delta (8 FDs, pure compute) ===\n");
+  const DeltaIncrementalAb dab = RunDeltaIncrementalAb();
+  std::printf("table %zu rows, %zu appended per round (%zu rounds)\n",
+              dab.base_rows, dab.delta_rows, dab.rounds);
+  std::printf("full re-execution per delta round     %8.4f s  (%llu rows "
+              "scanned)\n",
+              dab.full_reexec_s,
+              static_cast<unsigned long long>(dab.full_rows_scanned));
+  std::printf("incremental re-validation per round   %8.4f s  (%llu delta "
+              "rows, %llu groups re-merged)\n",
+              dab.incremental_s,
+              static_cast<unsigned long long>(dab.delta_rows_processed),
+              static_cast<unsigned long long>(dab.groups_remerged));
+  std::printf("[measured] incremental speedup %.2fx, delta-scaling row ratio "
+              "%.1fx; %llu re-partitions; merged violation set %s the cold "
+              "post-delta run\n",
+              dab.speedup, dab.row_ratio,
+              static_cast<unsigned long long>(dab.incremental_repartitions),
+              dab.identical ? "identical to" : "DIFFERS from");
+
   if (!out_path.empty()) {
     char object[256];
     std::snprintf(object, sizeof(object),
@@ -1145,6 +1346,24 @@ int main(int argc, char** argv) {
                   obs.operator_spans, obs.spans_total,
                   obs.rows_reconciled ? 1 : 0);
     MergeJsonSection(out_path, "observability", obs_object);
+    char delta_object[448];
+    std::snprintf(delta_object, sizeof(delta_object),
+                  "{\"base_rows\": %zu, \"delta_rows\": %zu, "
+                  "\"full_reexec_s\": %.6f, \"incremental_s\": %.6f, "
+                  "\"speedup\": %.3f, \"full_rows_scanned\": %llu, "
+                  "\"delta_rows_processed\": %llu, \"row_ratio\": %.3f, "
+                  "\"groups_remerged\": %llu, "
+                  "\"incremental_repartitions\": %llu, "
+                  "\"violations_identical\": %d}",
+                  dab.base_rows, dab.delta_rows, dab.full_reexec_s,
+                  dab.incremental_s, dab.speedup,
+                  static_cast<unsigned long long>(dab.full_rows_scanned),
+                  static_cast<unsigned long long>(dab.delta_rows_processed),
+                  dab.row_ratio,
+                  static_cast<unsigned long long>(dab.groups_remerged),
+                  static_cast<unsigned long long>(dab.incremental_repartitions),
+                  dab.identical ? 1 : 0);
+    MergeJsonSection(out_path, "delta_incremental", delta_object);
   }
 
   if (check) {
@@ -1390,6 +1609,59 @@ int main(int argc, char** argv) {
                 "%zu operator spans, row counters reconciled; overhead "
                 "%.3fx off / %.3fx profiled, advisory)\n",
                 obs.operator_spans, obs.off_overhead, obs.profile_overhead);
+
+    // Delta-incremental gates: the merged (violations − retractions + new)
+    // multiset must equal a cold execution over the post-delta table under
+    // canonical normalization; every timed round must actually take the
+    // incremental path with zero re-partitions; the delta-scaling row
+    // ratio is deterministic and must clear 10×; and the wall-clock
+    // speedup must clear 10× at a 1% delta (machine-local — the JSON diff
+    // treats it as advisory across machines).
+    const double kMinIncrementalSpeedup = 10.0;
+    if (!dab.identical) {
+      std::fprintf(stderr,
+                   "[check] FAILED: incremental merged violation set differs "
+                   "from the cold post-delta execution\n");
+      return 1;
+    }
+    if (dab.incremental_executions != dab.rounds) {
+      std::fprintf(stderr,
+                   "[check] FAILED: %llu of %zu delta rounds took the "
+                   "incremental path (the rest fell back to full execution)\n",
+                   static_cast<unsigned long long>(dab.incremental_executions),
+                   dab.rounds);
+      return 1;
+    }
+    if (dab.incremental_repartitions != 0) {
+      std::fprintf(stderr,
+                   "[check] FAILED: %llu re-partitions during incremental "
+                   "delta rounds (expected 0)\n",
+                   static_cast<unsigned long long>(dab.incremental_repartitions));
+      return 1;
+    }
+    if (dab.row_ratio < kMinIncrementalSpeedup) {
+      std::fprintf(stderr,
+                   "[check] FAILED: delta-scaling row ratio %.1fx is below "
+                   "the %.0fx gate (%llu rows scanned per full round vs %llu "
+                   "delta rows processed)\n",
+                   dab.row_ratio, kMinIncrementalSpeedup,
+                   static_cast<unsigned long long>(dab.full_rows_scanned),
+                   static_cast<unsigned long long>(dab.delta_rows_processed));
+      return 1;
+    }
+    if (dab.speedup < kMinIncrementalSpeedup) {
+      std::fprintf(stderr,
+                   "[check] FAILED: incremental re-validation speedup %.2fx "
+                   "is below the %.0fx gate (%.4f s full vs %.4f s "
+                   "incremental)\n",
+                   dab.speedup, kMinIncrementalSpeedup, dab.full_reexec_s,
+                   dab.incremental_s);
+      return 1;
+    }
+    std::printf("[check] delta-incremental gate passed (%.2fx ≥ %.0fx "
+                "speedup, row ratio %.1fx, 0 re-partitions, merged set "
+                "identical to cold)\n",
+                dab.speedup, kMinIncrementalSpeedup, dab.row_ratio);
   }
   return 0;
 }

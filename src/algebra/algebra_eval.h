@@ -17,6 +17,7 @@
 namespace cleanm {
 
 class PagedTable;
+class DeltaLog;
 
 /// Name → table binding used to resolve Scan operators.
 struct Catalog {
@@ -27,9 +28,24 @@ struct Catalog {
   /// Dataset. The reference evaluator ignores this map.
   std::map<std::string, const PagedTable*> paged;
   /// Monotonic per-table versions, bumped by the owning session on every
-  /// (re-)registration. The physical layer keys its partition cache on
-  /// them; 0 means the owner does not track generations.
+  /// (re-)registration *and* every mutation (AppendRows / UpdateRows /
+  /// DeleteRows). The physical layer keys its partition cache on them; 0
+  /// means the owner does not track generations.
   std::map<std::string, uint64_t> generations;
+  /// Major registration epoch per table: bumped only by RegisterTable /
+  /// UnregisterTable (the invalidating events), never by mutations.
+  std::map<std::string, uint64_t> majors;
+  /// Mutations since the table's last registration (reset to 0 by
+  /// RegisterTable). generations[t] - minors[t] is the version the current
+  /// major epoch started at.
+  std::map<std::string, uint64_t> minors;
+  /// Mutation delta logs of the current major epoch (absent or empty when
+  /// the table has not been mutated since registration).
+  std::map<std::string, const DeltaLog*> deltas;
+  /// The dataset as registered at the current major epoch's start — the
+  /// base the incremental validator bootstraps from (the effective,
+  /// mutation-applied dataset lives in `tables`).
+  std::map<std::string, const Dataset*> bases;
   /// Session function registry (may be null): plans referencing registered
   /// scalar/aggregate/repair functions resolve against it in both the
   /// reference evaluator and the physical executor.
@@ -56,6 +72,28 @@ struct Catalog {
   const PagedTable* FindPaged(const std::string& name) const {
     auto it = paged.find(name);
     return it == paged.end() ? nullptr : it->second;
+  }
+
+  uint64_t MajorOf(const std::string& name) const {
+    auto it = majors.find(name);
+    return it == majors.end() ? 0 : it->second;
+  }
+
+  uint64_t MinorOf(const std::string& name) const {
+    auto it = minors.find(name);
+    return it == minors.end() ? 0 : it->second;
+  }
+
+  /// The mutation delta log of `name`, or null when it has none.
+  const DeltaLog* FindDelta(const std::string& name) const {
+    auto it = deltas.find(name);
+    return it == deltas.end() ? nullptr : it->second;
+  }
+
+  /// The base (as-registered) dataset of `name`, or null when untracked.
+  const Dataset* FindBase(const std::string& name) const {
+    auto it = bases.find(name);
+    return it == bases.end() ? nullptr : it->second;
   }
 };
 

@@ -78,6 +78,14 @@ void CleanDB::RegisterTable(const std::string& name, Dataset dataset) {
     std::unique_lock<std::shared_mutex> lock(table_mu_);
     tables_[name] = table;
     generations_[name]++;
+    // A registration opens a new major epoch: the registered dataset is the
+    // base future incremental bootstraps fold from, the minor counter
+    // restarts, and the previous epoch's delta log is dropped (snapshot
+    // holders keep theirs alive through their leases).
+    base_tables_[name] = table;
+    majors_[name]++;
+    minors_[name] = 0;
+    delta_logs_.erase(name);
     // The old paged copy is stale the moment the new registration is
     // visible; drop it in the same critical section so no snapshot can
     // pair the new resident table with old pages. The fresh copy is
@@ -114,9 +122,17 @@ void CleanDB::RegisterTable(const std::string& name, Dataset dataset) {
 
 void CleanDB::UnregisterTable(const std::string& name) {
   {
+    // One exclusive critical section drops the table, its paged copy, its
+    // base, its delta log, and its minor counter together (and closes the
+    // major epoch), so a mutation racing the drop either completed before
+    // it or observes the table as gone — never a log without its table.
     std::unique_lock<std::shared_mutex> lock(table_mu_);
     if (tables_.erase(name) == 0) return;
     paged_tables_.erase(name);
+    base_tables_.erase(name);
+    delta_logs_.erase(name);
+    minors_.erase(name);
+    majors_[name]++;
     generations_[name]++;
   }
   cache_.InvalidateTable(name);
@@ -126,6 +142,160 @@ uint64_t CleanDB::TableGeneration(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(table_mu_);
   auto it = generations_.find(name);
   return it == generations_.end() ? 0 : it->second;
+}
+
+uint64_t CleanDB::TableMajor(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  auto it = majors_.find(name);
+  return it == majors_.end() ? 0 : it->second;
+}
+
+uint64_t CleanDB::TableMinor(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  auto it = minors_.find(name);
+  return it == minors_.end() ? 0 : it->second;
+}
+
+Result<CleanDB::MutationResult> CleanDB::MutateTable(const std::string& table,
+                                                     const MutationFn& fn) {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::KeyError("unknown table '" + table + "'");
+  }
+  const Dataset& current = *it->second;
+  auto next = std::make_shared<Dataset>(current.schema());
+  auto delta = std::make_shared<TableDelta>();
+  CLEANM_RETURN_NOT_OK(fn(current, next.get(), delta.get()));
+
+  MutationResult result;
+  result.major = majors_[table];
+  if (delta->added.empty() && delta->removed.empty()) {
+    // No-op mutation: publish nothing, bump nothing — the cache stays
+    // reachable and a repair fixpoint that converged does not spuriously
+    // advance the version.
+    result.generation = generations_[table];
+    result.minor = minors_[table];
+    return result;
+  }
+  result.rows_affected = std::max(delta->added.size(), delta->removed.size());
+  result.generation = ++generations_[table];
+  result.minor = ++minors_[table];
+  delta->generation = result.generation;
+  delta->minor = result.minor;
+  // Copy-then-append keeps published logs immutable: snapshots taken before
+  // this mutation keep reading the old log object.
+  auto log = std::make_shared<DeltaLog>();
+  if (auto lit = delta_logs_.find(table); lit != delta_logs_.end()) {
+    *log = *lit->second;
+  }
+  log->Append(std::move(delta));
+  delta_logs_[table] = std::move(log);
+  tables_[table] = std::move(next);
+  // The paged copy describes the pre-mutation rows; it is not rebuilt here
+  // (mutations stay cheap), so the table reverts to resident scans until
+  // the next registration re-ingests it.
+  paged_tables_.erase(table);
+  return result;
+}
+
+Result<CleanDB::MutationResult> CleanDB::AppendRows(const std::string& table,
+                                                    std::vector<Row> rows) {
+  return MutateTable(
+      table, [&rows](const Dataset& cur, Dataset* next, TableDelta* delta) {
+        const size_t width = cur.schema().fields().size();
+        for (const auto& r : rows) {
+          if (r.size() != width) {
+            return Status::InvalidArgument(
+                "appended row has " + std::to_string(r.size()) +
+                " values; table schema has " + std::to_string(width));
+          }
+        }
+        for (const auto& r : cur.rows()) next->Append(r);
+        for (auto& r : rows) {
+          delta->added.push_back(r);
+          next->Append(std::move(r));
+        }
+        return Status::OK();
+      });
+}
+
+Result<CleanDB::MutationResult> CleanDB::UpdateRows(const std::string& table,
+                                                    const RowMatcher& matcher,
+                                                    const ValueStruct& sets) {
+  return MutateTable(
+      table, [&](const Dataset& cur, Dataset* next, TableDelta* delta) {
+        std::vector<std::pair<size_t, const Value*>> targets;
+        targets.reserve(sets.size());
+        for (const auto& [name, value] : sets) {
+          CLEANM_ASSIGN_OR_RETURN(const size_t idx, cur.schema().IndexOf(name));
+          targets.emplace_back(idx, &value);
+        }
+        for (const auto& row : cur.rows()) {
+          if (matcher(cur.schema(), row)) {
+            Row updated = row;
+            bool changed = false;
+            for (const auto& [idx, value] : targets) {
+              if (!updated[idx].Equals(*value)) {
+                updated[idx] = *value;
+                changed = true;
+              }
+            }
+            if (changed) {
+              delta->removed.push_back(row);
+              delta->added.push_back(updated);
+              next->Append(std::move(updated));
+              continue;
+            }
+          }
+          next->Append(row);
+        }
+        return Status::OK();
+      });
+}
+
+Result<CleanDB::MutationResult> CleanDB::UpdateRowsWith(const std::string& table,
+                                                        const RowEditor& editor) {
+  return MutateTable(
+      table, [&editor](const Dataset& cur, Dataset* next, TableDelta* delta) {
+        const size_t width = cur.schema().fields().size();
+        for (const auto& row : cur.rows()) {
+          Row edited = row;
+          if (editor(cur.schema(), &edited)) {
+            if (edited.size() != width) {
+              return Status::InvalidArgument(
+                  "row editor changed the row width");
+            }
+            bool changed = false;
+            for (size_t i = 0; i < width && !changed; i++) {
+              changed = !edited[i].Equals(row[i]);
+            }
+            if (changed) {
+              delta->removed.push_back(row);
+              delta->added.push_back(edited);
+              next->Append(std::move(edited));
+              continue;
+            }
+          }
+          next->Append(row);
+        }
+        return Status::OK();
+      });
+}
+
+Result<CleanDB::MutationResult> CleanDB::DeleteRows(const std::string& table,
+                                                    const RowMatcher& matcher) {
+  return MutateTable(
+      table, [&matcher](const Dataset& cur, Dataset* next, TableDelta* delta) {
+        for (const auto& row : cur.rows()) {
+          if (matcher(cur.schema(), row)) {
+            delta->removed.push_back(row);
+          } else {
+            next->Append(row);
+          }
+        }
+        return Status::OK();
+      });
 }
 
 Result<const Dataset*> CleanDB::GetTable(const std::string& name) const {
@@ -156,7 +326,19 @@ CleanDB::TableSnapshot CleanDB::SnapshotTables() const {
     snapshot.catalog.paged[name] = paged.get();
     snapshot.paged_leases.push_back(paged);
   }
+  snapshot.base_leases.reserve(base_tables_.size());
+  for (const auto& [name, base] : base_tables_) {
+    snapshot.catalog.bases[name] = base.get();
+    snapshot.base_leases.push_back(base);
+  }
+  snapshot.delta_leases.reserve(delta_logs_.size());
+  for (const auto& [name, log] : delta_logs_) {
+    snapshot.catalog.deltas[name] = log.get();
+    snapshot.delta_leases.push_back(log);
+  }
   snapshot.catalog.generations = generations_;
+  snapshot.catalog.majors = majors_;
+  snapshot.catalog.minors = minors_;
   snapshot.catalog.functions = &functions_;
   return snapshot;
 }
@@ -209,70 +391,25 @@ std::vector<std::string> CleanDB::SampleCenters(const std::string& table,
   return ReservoirSample(values, k, options_.filtering.seed);
 }
 
-Result<OpResult> CleanDB::RunCleaningPlan(Executor& exec, const CleaningPlan& cp) {
-  Timer timer;
-  OpResult result;
-  result.op_name = cp.op_name;
-  // The programmatic ops honor the session's pipeline default just like
-  // PreparedQuery executions: morsel-driven below the (here: collecting)
-  // consumer, with the same ViolationDeduper semantics on both paths.
-  if (options_.pipeline && cp.plan->kind != AlgKind::kReduce) {
-    ViolationDeduper dedup(cp);
-    CLEANM_RETURN_NOT_OK(exec.RunPipelined(
-        cp.plan, std::max<size_t>(1, options_.morsel_rows),
-        [&](size_t, engine::Partition&& morsel) {
-          for (const auto& row : morsel) {
-            const Value& v = PhysicalTupleOf(row);
-            if (dedup.ShouldEmit(v)) result.violations.push_back(v);
-          }
-          return Status::OK();
-        }));
-  } else {
-    Value out;
-    if (options_.pipeline) {
-      CLEANM_ASSIGN_OR_RETURN(
-          out, exec.RunToValuePipelined(cp.plan,
-                                        std::max<size_t>(1, options_.morsel_rows)));
-    } else {
-      CLEANM_ASSIGN_OR_RETURN(out, exec.RunToValue(cp.plan));
-    }
-    CLEANM_RETURN_NOT_OK(ForEachDedupedViolation(out, cp, [&result](const Value& v) {
-      result.violations.push_back(v);
-      return Status::OK();
-    }));
+Result<OpResult> CleanDB::RunProgrammaticOp(CleaningPlan cp) {
+  // A programmatic op is exactly a one-operation prepared query executed
+  // once: wrap the plan in a transient PreparedQuery and run it through the
+  // shared ExecutePrepared path (snapshot, admission, config lock, metrics
+  // scope, out-of-core wiring, sink emission — one code path, not two).
+  // Cache persistence is off because the plan's nodes are never seen again;
+  // incremental_ stays null, so these one-shots never take the delta path.
+  PreparedQuery pq;
+  pq.db_ = this;
+  pq.status_ = Status::OK();
+  pq.unified_roots_ = {cp.plan};
+  pq.plans_.push_back(std::move(cp));
+  pq.persist_cache_ = false;
+  QueryResultSink sink;
+  CLEANM_RETURN_NOT_OK(ExecutePrepared(pq, ExecOptions{}, sink, &sink.result()));
+  if (sink.result().ops.empty()) {
+    return Status::Internal("programmatic op produced no operation result");
   }
-  result.seconds = timer.ElapsedSeconds();
-  return result;
-}
-
-Result<OpResult> CleanDB::RunProgrammaticOp(const CleaningPlan& cp) {
-  TableSnapshot snapshot = SnapshotTables();
-  // Programmatic ops always run under the session cluster configuration;
-  // the shared lock keeps a concurrent ExecutePrepared carrying cluster
-  // overrides (which holds it exclusively) from reconfiguring mid-run.
-  std::shared_lock<std::shared_mutex> config(config_mu_);
-  // Per-op metrics scope: workers charge into op_metrics (the engine
-  // re-installs the scope on its threads), folded into the session totals
-  // when the op completes.
-  QueryMetrics op_metrics;
-  engine::MetricsScope metrics_scope(&op_metrics);
-  // Out-of-core sessions give programmatic ops the same paged scans and
-  // breaker spilling as prepared executions; the per-op spill file (lazy,
-  // remove-on-close) dies with this scope.
-  std::optional<SpillContext> spill;
-  if (pool_) {
-    spill.emplace(options_.spill_dir, options_.page_bytes,
-                  options_.buffer_pool_bytes, pool_.get());
-  }
-  // Transient plan: its nodes are never seen again, so nests stay local.
-  Executor exec{cluster_.get(), &snapshot.catalog, options_.physical, &cache_,
-                /*persist_nests_in=*/false};
-  exec.pool = pool_.get();
-  exec.spill = spill ? &*spill : nullptr;
-  auto result = RunCleaningPlan(exec, cp);
-  if (spill) op_metrics.bytes_spilled += spill->bytes_spilled();
-  cluster_->session_metrics().Accumulate(op_metrics.Snapshot());
-  return result;
+  return std::move(sink.result().ops.front());
 }
 
 Result<QueryResult> CleanDB::Execute(const std::string& query_text) {
@@ -290,19 +427,24 @@ Result<QueryResult> CleanDB::ExecuteQuery(const CleanMQuery& query) {
 Result<OpResult> CleanDB::CheckFd(const std::string& table, const std::string& var,
                                   const FdClause& fd) {
   CLEANM_ASSIGN_OR_RETURN(CleaningPlan cp, BuildFdPlan(table, var, fd));
-  return RunProgrammaticOp(cp);
+  return RunProgrammaticOp(std::move(cp));
 }
 
 Result<OpResult> CleanDB::CheckDenialConstraint(const std::string& table, ExprPtr pred,
                                                 ExprPtr prefilter) {
-  AlgOpPtr left = Scan(table, "t1");
-  if (prefilter) left = SelectOp(std::move(left), prefilter);
-  AlgOpPtr join = JoinOp(std::move(left), Scan(table, "t2"), std::move(pred));
-  CleaningPlan cp;
-  cp.op_name = "DC";
-  cp.plan = std::move(join);
-  cp.entity_vars = {"t1", "t2"};
-  return RunProgrammaticOp(cp);
+  // Thin wrapper over the prepared lifecycle: the DC plan is built by
+  // PrepareDenialConstraint and executed once, with cache persistence off
+  // like every other one-shot.
+  CLEANM_ASSIGN_OR_RETURN(
+      PreparedQuery pq,
+      PrepareDenialConstraint(table, std::move(pred), std::move(prefilter)));
+  pq.persist_cache_ = false;
+  QueryResultSink sink;
+  CLEANM_RETURN_NOT_OK(ExecutePrepared(pq, ExecOptions{}, sink, &sink.result()));
+  if (sink.result().ops.empty()) {
+    return Status::Internal("denial constraint produced no operation result");
+  }
+  return std::move(sink.result().ops.front());
 }
 
 Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::string& var,
@@ -316,7 +458,7 @@ Result<OpResult> CleanDB::Deduplicate(const std::string& table, const std::strin
   }
   CLEANM_ASSIGN_OR_RETURN(
       CleaningPlan cp, BuildDedupPlan(table, var, dedup, fopts, std::move(centers)));
-  return RunProgrammaticOp(cp);
+  return RunProgrammaticOp(std::move(cp));
 }
 
 Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
@@ -369,7 +511,7 @@ Result<OpResult> CleanDB::ValidateTerms(const std::string& data_table,
     UnregisterTable(tmp_name);
     return build.status();
   }
-  auto result = RunProgrammaticOp(build.value());
+  auto result = RunProgrammaticOp(build.MoveValue());
   UnregisterTable(tmp_name);
   return result;
 }

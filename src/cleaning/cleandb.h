@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,11 +26,13 @@
 
 #include "algebra/rewriter.h"
 #include "cleaning/plan_builder.h"
+#include "cleaning/session_knobs.h"
 #include "common/timer.h"
 #include "functions/function_registry.h"
 #include "language/parser.h"
 #include "physical/partition_cache.h"
 #include "physical/planner.h"
+#include "storage/delta.h"
 #include "storage/pagestore/buffer_pool.h"
 #include "storage/pagestore/paged_table.h"
 #include "storage/pagestore/spill.h"
@@ -42,48 +45,31 @@ class ViolationSink;
 struct ExecOptions;
 
 struct CleanDBOptions {
+  // Shared session knobs, generated from CLEANM_SESSION_KNOBS
+  // (cleaning/session_knobs.h) so the session default, the per-call
+  // ExecOptions optional, and the per-execution resolution stay one list.
+  // In brief (see exec_options.h for the full per-knob documentation):
+  //   unify_operations   — Nest-coalesced plan forms (Figure-5 ablation).
+  //   shuffle_*          — simulated interconnect model.
+  //   pipeline / morsel_rows — morsel-driven execution below the sink.
+  //   incremental        — serve minor-generation (mutation) re-executions
+  //     from the incremental delta path instead of a full run.
+  //   buffer_pool_bytes / spill_dir / page_bytes — out-of-core storage
+  //     (DESIGN.md, "Out-of-core storage & spill"); buffer_pool_bytes > 0
+  //     additionally ingests registered tables into a paged store.
+  //   profile / trace_path — operator-level tracing spans + QueryProfile.
+#define CLEANM_X(type, name, default_value) type name = default_value;
+  CLEANM_SESSION_KNOBS(CLEANM_X)
+#undef CLEANM_X
+
   size_t num_nodes = 4;
-  /// Simulated interconnect cost (see engine::ClusterOptions).
-  double shuffle_ns_per_byte = 1.0;
-  /// Shuffle batching + thread-model knobs (see engine::ClusterOptions).
-  size_t shuffle_batch_rows = 1024;
-  double shuffle_ns_per_batch = 0.0;
   bool use_worker_pool = true;
   PhysicalOptions physical;
   /// Defaults for token filtering / k-means parameters (q, k, delta, seed).
   FilteringOptions filtering;
-  /// When false, cleaning clauses run as standalone plans with no Nest
-  /// coalescing — the ablation knob for Figure 5. Overridable per
-  /// execution via ExecOptions::unify_operations.
-  bool unify_operations = true;
   /// Byte budget of the session partition cache (cached scans / wrapped
   /// scans / Nest outputs, LRU-evicted). 0 = unbounded.
   size_t partition_cache_bytes = size_t{256} << 20;
-  /// Out-of-core storage (DESIGN.md, "Out-of-core storage & spill"): byte
-  /// budget of the session buffer pool. When > 0, registered tables are
-  /// additionally ingested into a paged single-file store and scanned
-  /// through the pool, pipeline breakers (Nest partials, hash-join build
-  /// sides) spill over-budget state to a per-execution temp file, and
-  /// partition-cache eviction pages cold entries out instead of discarding
-  /// them. 0 = fully in-memory (the default). Overridable per call via
-  /// ExecOptions::buffer_pool_bytes.
-  uint64_t buffer_pool_bytes = 0;
-  /// Directory for page-store / spill temp files; empty = the system temp
-  /// directory. Every file is unlinked on close, on all exit paths.
-  std::string spill_dir;
-  /// Page granularity of the single-file stores.
-  size_t page_bytes = kDefaultPageBytes;
-  /// Operator-level pipelining (morsel-driven execution below the sink).
-  /// When true (default), plans stream fixed-size morsels from resident
-  /// sources through Select/Unnest chains to the violation sink, breaking
-  /// the pipeline only at Nest/Reduce/shuffle boundaries; peak transient
-  /// memory scales with morsel_rows instead of the largest intermediate.
-  /// false restores the materialize-first execution. Overridable per call
-  /// via ExecOptions::pipeline.
-  bool pipeline = true;
-  /// Rows per morsel on the pipelined path (ExecOptions::morsel_rows
-  /// overrides per call).
-  size_t morsel_rows = 4096;
   /// Admission control for concurrent executions: bound on the summed
   /// admission charges (logical input bytes, or the per-call
   /// ExecOptions::admission_bytes override) of in-flight
@@ -95,18 +81,9 @@ struct CleanDBOptions {
   /// blacklisting (see engine::FaultOptions; off by default). Probability /
   /// seed / retry knobs are overridable per call via ExecOptions.
   engine::FaultOptions fault;
-  /// Record operator-level tracing spans on every execution and attach a
-  /// QueryProfile to each QueryResult (see DESIGN.md, "Tracing &
-  /// profiling"). Off by default; overridable per call via
-  /// ExecOptions::profile.
-  bool profile = false;
   /// Skew threshold for profile warnings: an operator whose per-node row
   /// distribution has ImbalanceFactor (max/mean) above this is flagged.
   double skew_warn_factor = 2.0;
-  /// When profiling, write each execution's Chrome-trace JSON here (empty =
-  /// none; overridable per call via ExecOptions::trace_path). Successive
-  /// executions overwrite the file.
-  std::string trace_path;
 };
 
 /// Output of one cleaning operation.
@@ -174,9 +151,62 @@ class CleanDB {
   /// alive for the lease's lifetime even if the name is re-registered.
   Result<std::shared_ptr<const Dataset>> GetTableShared(
       const std::string& name) const;
-  /// Current generation of `name` (bumped by every RegisterTable /
-  /// UnregisterTable); 0 = never registered.
+  /// Current generation (version) of `name`, bumped by every RegisterTable
+  /// / UnregisterTable *and* every effective mutation (AppendRows /
+  /// UpdateRows / DeleteRows); 0 = never registered.
   uint64_t TableGeneration(const std::string& name) const;
+  /// Major registration epoch of `name`: bumped only by RegisterTable /
+  /// UnregisterTable (the events that invalidate cached partitionings);
+  /// 0 = never registered.
+  uint64_t TableMajor(const std::string& name) const;
+  /// Mutations applied to `name` since its last registration (reset to 0 by
+  /// RegisterTable).
+  uint64_t TableMinor(const std::string& name) const;
+
+  // ---- Table mutation (minor generations) ----
+  //
+  // Mutations publish a new effective dataset plus a delta-log entry and
+  // bump the table's generation and *minor* counter — but, unlike
+  // RegisterTable, they do NOT invalidate cached partitionings: entries of
+  // older versions simply become unreachable (the LRU reclaims them), and
+  // pinned readers are untouched. A re-execution whose snapshot differs
+  // from the cached state only by minor generations is then served by the
+  // incremental delta path (see DESIGN.md, "Incremental validation & the
+  // delta log"). All three are thread-safe and atomic (exclusive table
+  // lock); a mutation that changes nothing (no matches, sets equal to the
+  // current values) publishes nothing and bumps nothing.
+
+  /// Row predicate for UpdateRows/DeleteRows.
+  using RowMatcher = std::function<bool(const Schema&, const Row&)>;
+  /// In-place row editor for UpdateRowsWith: return true after modifying
+  /// `*row`, false to leave the row untouched.
+  using RowEditor = std::function<bool(const Schema&, Row*)>;
+
+  /// What a mutation did: the table's resulting (generation, major, minor)
+  /// and how many rows it touched (0 = no-op, nothing was published).
+  struct MutationResult {
+    uint64_t generation = 0;
+    uint64_t major = 0;
+    uint64_t minor = 0;
+    size_t rows_affected = 0;
+  };
+
+  /// Appends `rows` (schema-checked for width) to `table`.
+  Result<MutationResult> AppendRows(const std::string& table,
+                                    std::vector<Row> rows);
+  /// Sets the columns named in `sets` on every row `matcher` accepts. Rows
+  /// whose matched values already equal the targets are not counted (and
+  /// contribute no delta).
+  Result<MutationResult> UpdateRows(const std::string& table,
+                                    const RowMatcher& matcher,
+                                    const ValueStruct& sets);
+  /// Generalized update: `editor` may rewrite any cell of the rows it
+  /// returns true for (the form RepairSink::CommitDelta routes through).
+  Result<MutationResult> UpdateRowsWith(const std::string& table,
+                                        const RowEditor& editor);
+  /// Removes every row `matcher` accepts.
+  Result<MutationResult> DeleteRows(const std::string& table,
+                                    const RowMatcher& matcher);
 
   /// Serializes table read-modify-write commits (repair Commit): holding
   /// the returned lock guarantees no other committer replaces the table
@@ -290,14 +320,21 @@ class CleanDB {
     /// Leases on the paged copies bound in catalog.paged (out-of-core
     /// sessions only) — same survival rule as `leases`.
     std::vector<std::shared_ptr<const PagedTable>> paged_leases;
+    /// Leases on the base (as-registered) datasets bound in catalog.bases
+    /// and on the mutation delta logs bound in catalog.deltas — same
+    /// survival rule as `leases`.
+    std::vector<std::shared_ptr<const Dataset>> base_leases;
+    std::vector<std::shared_ptr<const DeltaLog>> delta_leases;
   };
   TableSnapshot SnapshotTables() const;
 
-  Result<OpResult> RunCleaningPlan(Executor& exec, const CleaningPlan& cp);
-  /// Shared execution wrapper of the programmatic ops: snapshots the
-  /// catalog, takes the config lock shared, scopes per-op metrics, and runs
-  /// `cp` with a transient executor.
-  Result<OpResult> RunProgrammaticOp(const CleaningPlan& cp);
+  /// Shared execution wrapper of the programmatic ops: wraps `cp` in a
+  /// transient single-operation PreparedQuery and runs it through
+  /// ExecutePrepared — the same code path (snapshot, admission, config
+  /// lock, metrics scope, sink emission) as Prepare→Execute, with cache
+  /// persistence off so the throwaway plan's Nest outputs never pollute
+  /// the session cache.
+  Result<OpResult> RunProgrammaticOp(CleaningPlan cp);
   /// Shared Prepare body; `query_text` (when available) positions the
   /// kKeyError of an unknown function / arity mismatch at the recorded
   /// call offset. Defined in prepared_query.cc.
@@ -320,14 +357,42 @@ class CleanDB {
   CleanDBOptions options_;
   std::unique_ptr<engine::Cluster> cluster_;
 
-  /// Guards tables_ and generations_ (shared: lookups/snapshots; exclusive:
-  /// registrations). Ordered before the cache's internal mutex and never
-  /// held while executing.
+  /// One mutation's dataset rewrite: fill `next` (constructed empty over
+  /// the current schema) from `current`, recording the row-level effect in
+  /// `delta`. Runs under the exclusive table lock.
+  using MutationFn = std::function<Status(const Dataset& current,
+                                          Dataset* next, TableDelta* delta)>;
+  /// Shared mutation body: applies `fn` to the current registration of
+  /// `table` and — iff the delta is non-empty — publishes the new dataset,
+  /// bumps generation + minor, and appends to the table's delta log, all in
+  /// one exclusive table_mu_ critical section. Never invalidates the cache.
+  Result<MutationResult> MutateTable(const std::string& table,
+                                     const MutationFn& fn);
+
+  /// Guards tables_, generations_, and the mutation state (base_tables_,
+  /// majors_, minors_, delta_logs_) — shared: lookups/snapshots; exclusive:
+  /// registrations and mutations. Lock order: commit_mu_ → config_mu_ →
+  /// table_mu_ → the cache's internal mutex; never held while executing.
+  /// UnregisterTable drops the table, its counters, and its delta log in
+  /// one exclusive critical section, so a concurrent mutation either
+  /// completes before the drop or fails with kKeyError — a log can never
+  /// survive its table.
   mutable std::shared_mutex table_mu_;
   /// Datasets are shared-owned so snapshot leases survive re-registration.
   std::map<std::string, std::shared_ptr<const Dataset>> tables_;
-  /// Per-table registration counters backing the cache's staleness keys.
+  /// Per-table version counters backing the cache's staleness keys; bumped
+  /// by registrations and mutations alike.
   std::map<std::string, uint64_t> generations_;
+  /// The dataset as last *registered* (mutations replace tables_ but not
+  /// this): the incremental validator's bootstrap input.
+  std::map<std::string, std::shared_ptr<const Dataset>> base_tables_;
+  /// Major registration epochs (bumped by Register/UnregisterTable only).
+  std::map<std::string, uint64_t> majors_;
+  /// Mutations since the last registration (reset by RegisterTable).
+  std::map<std::string, uint64_t> minors_;
+  /// Immutable delta-log snapshots; a mutation publishes a copied+extended
+  /// log so snapshot holders keep reading a frozen one.
+  std::map<std::string, std::shared_ptr<const DeltaLog>> delta_logs_;
   /// Paged copies of registered tables (out-of-core sessions; guarded by
   /// table_mu_ like tables_). A table may lack one — paged ingestion is an
   /// optimization, never a correctness dependency.

@@ -7,6 +7,42 @@
 // the per-call deltas instead: every field defaults to "inherit the
 // session value", and the cluster is restored to the session configuration
 // when the execution returns.
+//
+// The fields shared with CleanDBOptions are generated from
+// CLEANM_SESSION_KNOBS (cleaning/session_knobs.h) so the session default,
+// the per-call optional, and the resolution below can never drift apart:
+//
+//   unify_operations — run the Nest-coalesced (unified) plan forms vs. the
+//     standalone per-operation plans (the Figure-5 ablation, per call).
+//   shuffle_ns_per_byte / shuffle_ns_per_batch / shuffle_batch_rows —
+//     simulated interconnect model (see engine::ClusterOptions).
+//   pipeline — operator-level pipelining below the sink (morsel-driven
+//     chains with breakers at Nest/Reduce/shuffle boundaries); false = the
+//     materialize-first A/B baseline. Violation sets are bit-identical
+//     either way (CI-gated).
+//   morsel_rows — rows per morsel on the pipelined path (clamped to ≥ 1).
+//   incremental — serve a re-execution whose table snapshot differs from
+//     the cached state only by *minor* generations (mutations via
+//     AppendRows/UpdateRows/DeleteRows) from the incremental delta path:
+//     only delta rows are processed and cached Nest group partials are
+//     merged/re-folded per the monoid annotation, with retractions and
+//     additions tagged through ViolationSink::OnViolationRetracted /
+//     OnViolationNew. false forces a full (cold) execution and also
+//     disables the planner's delta-extended scan rebuild. See DESIGN.md,
+//     "Incremental validation & the delta log".
+//   buffer_pool_bytes — buffer-pool byte budget for this execution.
+//     Overriding away from the session value runs the call under an
+//     execution-local pool; 0 disables spilling for this call even on an
+//     out-of-core session (paged table scans also revert to the resident
+//     datasets).
+//   spill_dir — directory for this execution's spill file (empty = system
+//     temp dir); created lazily on first spill, removed on close on every
+//     exit path.
+//   page_bytes — page granularity of this execution's spill file.
+//   profile — record operator-level tracing spans and attach a
+//     QueryProfile to the QueryResult (CI-gated ≤ 2% overhead when off).
+//   trace_path — when profiling, additionally write the spans as
+//     Chrome/Perfetto trace_event JSON to this path (empty = no file).
 #pragma once
 
 #include <cstddef>
@@ -14,36 +50,20 @@
 #include <optional>
 #include <string>
 
+#include "cleaning/session_knobs.h"
+
 namespace cleanm {
 
 struct ExecOptions {
-  /// Run the Nest-coalesced (unified) plan forms vs. the standalone
-  /// per-operation plans — the Figure-5 ablation, now per call.
-  std::optional<bool> unify_operations;
+  // Shared session knobs: empty optional = inherit the session default.
+#define CLEANM_X(type, name, default_value) std::optional<type> name;
+  CLEANM_SESSION_KNOBS(CLEANM_X)
+#undef CLEANM_X
 
   /// Caps execution to the first N virtual nodes (clamped to the cluster
   /// width). Partitionings are cached per active width, so alternating caps
   /// never mixes layouts.
   std::optional<size_t> max_nodes;
-
-  // Simulated interconnect model (see engine::ClusterOptions).
-  std::optional<double> shuffle_ns_per_byte;
-  std::optional<double> shuffle_ns_per_batch;
-  std::optional<size_t> shuffle_batch_rows;
-
-  /// Operator-level pipelining below the sink: plans execute as
-  /// MorselSource → Transform* → SinkDriver chains moving fixed-size row
-  /// batches, with pipeline breakers only at Nest/Reduce/shuffle
-  /// boundaries, and violations stream to the sink as each morsel
-  /// completes. false = the materialize-first A/B baseline (every
-  /// operator's whole output exists before its consumer runs). Violation
-  /// sets are bit-identical either way (CI-gated).
-  std::optional<bool> pipeline;
-
-  /// Rows per morsel on the pipelined path (session default 4096; clamped
-  /// to ≥ 1). Smaller morsels bound memory tighter at more per-batch
-  /// overhead.
-  std::optional<size_t> morsel_rows;
 
   /// Admission-control charge for this execution, in logical bytes —
   /// overrides the default estimate (the summed ByteSize of every table the
@@ -72,37 +92,31 @@ struct ExecOptions {
   std::optional<uint64_t> fault_seed;
   std::optional<size_t> max_task_retries;
   std::optional<uint64_t> retry_backoff_ns;
-
-  // Out-of-core overrides (see CleanDBOptions::buffer_pool_bytes /
-  // spill_dir / page_bytes and DESIGN.md, "Out-of-core storage & spill").
-
-  /// Buffer-pool byte budget for this execution. Overriding away from the
-  /// session value runs the call under an execution-local pool; 0 disables
-  /// spilling for this call even on an out-of-core session (paged table
-  /// scans also revert to the resident datasets).
-  std::optional<uint64_t> buffer_pool_bytes;
-
-  /// Directory for this execution's spill file (empty = system temp dir).
-  /// The file is created lazily on first spill and removed on close on
-  /// every exit path.
-  std::optional<std::string> spill_dir;
-
-  /// Page granularity of this execution's spill file.
-  std::optional<size_t> page_bytes;
-
-  // Observability (see DESIGN.md, "Tracing & profiling").
-
-  /// Record operator-level tracing spans for this execution and attach a
-  /// QueryProfile (per-operator wall/self time, rows, per-node skew, engine
-  /// counters) to the QueryResult. Off by default: with profiling off the
-  /// instrumentation costs one thread-local load per site and records zero
-  /// spans (CI-gated ≤ 2% overhead).
-  std::optional<bool> profile;
-
-  /// When profiling is on, additionally write the execution's spans to this
-  /// path as Chrome/Perfetto trace_event JSON (chrome://tracing,
-  /// ui.perfetto.dev). Empty = no file.
-  std::optional<std::string> trace_path;
 };
+
+/// The shared knobs of one execution after per-call overrides were applied
+/// over the session defaults — the single place ExecutePrepared reads them
+/// from (instead of a value_or chain at every use site).
+struct ResolvedExecOptions {
+#define CLEANM_X(type, name, default_value) type name = default_value;
+  CLEANM_SESSION_KNOBS(CLEANM_X)
+#undef CLEANM_X
+};
+
+/// Resolves the shared knobs: each ExecOptions field that is set overrides
+/// the session default. Templated over the session-options type only to
+/// avoid an include cycle with cleandb.h; the session type must carry one
+/// plain field per CLEANM_SESSION_KNOBS entry (CleanDBOptions does, by
+/// construction — its fields are generated from the same list).
+template <typename SessionOptions>
+ResolvedExecOptions ResolveExecOptions(const ExecOptions& opts,
+                                       const SessionOptions& session) {
+  ResolvedExecOptions out;
+#define CLEANM_X(type, name, default_value) \
+  out.name = opts.name.has_value() ? *opts.name : session.name;
+  CLEANM_SESSION_KNOBS(CLEANM_X)
+#undef CLEANM_X
+  return out;
+}
 
 }  // namespace cleanm

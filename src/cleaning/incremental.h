@@ -1,0 +1,117 @@
+// Driver-side incremental validator: serves re-executions whose table
+// snapshot differs from the cached state only by *minor* (mutation)
+// generations without re-running the engine.
+//
+// Eligibility is structural and all-or-nothing per prepared query: every
+// active plan root must peel — through Select / Unnest / OuterUnnest
+// transforms only — down to an exact-key Nest whose input is directly a
+// Scan (the FD / DEDUP / user-GROUP-BY shapes, standalone or coalesced).
+// Join-rooted plans (denial constraints, CLUSTER BY), Reduce roots, and
+// grouping-monoid Nests (token filtering / k-means redistribute rows across
+// groups non-locally) fall back to the full engine path — which still
+// benefits from the planner's delta-extended scan rebuild.
+//
+// The state caches, per Nest node, every group's member bag and merged
+// monoid accumulator list, and per operation the post-chain outputs per
+// group. An execution advances the state by the delta-log window between
+// the state's version and the snapshot's generation: removed rows erase one
+// Equals-matching member and force a re-fold of the group's accumulators
+// from the member bag (sidestepping monoid invertibility — subtractive
+// re-grouping of exactly the affected keys); added rows merge fresh units
+// into a DeepCopy of the cached accumulator. Touched groups are
+// re-finalized and re-chained; the per-operation diff is emitted through
+// ViolationSink::OnViolationRetracted / OnViolationNew so
+// (previous − retracted + new) equals a cold full re-execution. Any
+// inconsistency (non-contiguous delta coverage, a removed row the state
+// never saw, a closed major epoch) resets the affected state and reports
+// kIneligible, and the caller runs the ordinary engine path.
+//
+// See DESIGN.md, "Incremental validation & the delta log".
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "cleaning/plan_builder.h"
+#include "cleaning/violation_sink.h"
+#include "physical/planner.h"
+
+namespace cleanm {
+
+struct IncrementalValueHash {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+struct IncrementalValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+/// One cached group of an exact-key Nest: the member bag (wrapped
+/// {var: record} tuples in insertion order) and the merged accumulator
+/// list (AggregateSpec layout: one accumulator Value per aggregation).
+struct IncrementalGroup {
+  std::vector<Value> members;
+  /// Never merged into in place once operation outputs were derived from
+  /// it: finalized tuples share nested storage with the accumulators, so
+  /// updates go through a DeepCopy-merge or a fresh re-fold.
+  Value accs;
+};
+
+/// Cached state of one Nest node (shared by every operation the optimizer
+/// coalesced onto it).
+struct IncrementalNestState {
+  std::string table;
+  /// Major epoch the state belongs to; a re-registration closes it.
+  uint64_t major = 0;
+  /// Table generation the groups reflect.
+  uint64_t version = 0;
+  /// First-occurrence key order — the engine's group-order determinism
+  /// contract, preserved so emission order is reproducible.
+  std::vector<Value> key_order;
+  std::unordered_map<Value, IncrementalGroup, IncrementalValueHash,
+                     IncrementalValueEq>
+      groups;
+};
+
+/// Cached per-operation outputs (post-finalize, post-transform-chain,
+/// pre-dedup) per group key — the baseline the retraction diff runs
+/// against.
+struct IncrementalOpState {
+  const AlgOp* nest = nullptr;
+  uint64_t version = 0;
+  std::unordered_map<Value, std::vector<Value>, IncrementalValueHash,
+                     IncrementalValueEq>
+      outputs;
+};
+
+/// \brief Mutable incremental cache of one PreparedQuery, shared across its
+/// executions (and across moves of the PreparedQuery). The mutex serializes
+/// concurrent incremental executions of the same query; the engine path
+/// never touches it.
+struct IncrementalState {
+  std::mutex mu;
+  std::map<const AlgOp*, IncrementalNestState> nests;
+  std::map<const AlgOp*, IncrementalOpState> ops;
+};
+
+enum class IncrementalRun {
+  kRan,        ///< the execution was fully served; the sink has everything
+  kIneligible  ///< run the ordinary engine path (state left consistent)
+};
+
+/// Attempts to serve one execution of `plans` (with active roots `roots`,
+/// same order) from `state`. On kRan the whole sink protocol — OnOpBegin,
+/// retractions, the deduplicated current violation set with OnViolationNew
+/// tags, OnOpEnd, OnDirtyEntity — has been delivered and the
+/// delta_rows_processed / groups_remerged / incremental_executions counters
+/// charged. `exec` supplies the catalog snapshot, compile environment, and
+/// metrics; no engine (cluster) work is issued.
+Result<IncrementalRun> RunIncrementalValidation(IncrementalState& state,
+                                                const std::vector<CleaningPlan>& plans,
+                                                const std::vector<AlgOpPtr>& roots,
+                                                Executor& exec, ViolationSink& sink);
+
+}  // namespace cleanm

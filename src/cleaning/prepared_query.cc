@@ -9,6 +9,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "cleaning/incremental.h"
 #include "cleaning/query_profile.h"
 #include "cleaning/select_builder.h"
 #include "common/trace.h"
@@ -342,6 +343,7 @@ Result<PreparedQuery> CleanDB::PrepareQueryImpl(const CleanMQuery& query,
   CoalescedPlans coalesced = CoalesceNests(roots, &stats);
   pq.unified_roots_ = std::move(coalesced.roots);
   pq.nests_coalesced_ = coalesced.groups_merged;
+  pq.incremental_ = std::make_shared<IncrementalState>();
   return pq;
 }
 
@@ -362,6 +364,9 @@ Result<PreparedQuery> CleanDB::PrepareDenialConstraint(const std::string& table,
   pq.status_ = Status::OK();
   pq.unified_roots_ = {cp.plan};
   pq.plans_.push_back(std::move(cp));
+  // Join-rooted, so always incrementally ineligible — but allocating keeps
+  // the eligibility decision in one place (the validator).
+  pq.incremental_ = std::make_shared<IncrementalState>();
   return pq;
 }
 
@@ -522,7 +527,13 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
                                 ViolationSink& sink, QueryResult* summary) {
   CLEANM_RETURN_NOT_OK(pq.status_);
   if (!pq.db_) return Status::Internal("PreparedQuery is not bound to a CleanDB");
-  const bool unify = opts.unify_operations.value_or(options_.unify_operations);
+  // All CLEANM_SESSION_KNOBS shared between the session and the per-call
+  // overrides resolve once, here. (The cluster-reconfiguration knobs —
+  // shuffle model, fault injection — are applied from the raw optionals by
+  // ScopedClusterConfig below because "unset" means "leave the cluster
+  // alone", not "re-apply the session value".)
+  const ResolvedExecOptions knobs = ResolveExecOptions(opts, options_);
+  const bool unify = knobs.unify_operations;
 
   // Registration snapshot: the catalog binds the tables and generations
   // visible right now, and the snapshot's leases keep those datasets alive
@@ -569,7 +580,7 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   // scope — and is drained into a QueryProfile after the run. Off (the
   // default), no recorder is installed and every TraceScope in the engine
   // is a thread-local load + null check.
-  const bool profile_on = opts.profile.value_or(options_.profile);
+  const bool profile_on = knobs.profile;
   std::optional<TraceRecorder> trace_recorder;
   std::optional<TraceRecorderScope> trace_install;
   if (profile_on) {
@@ -602,10 +613,9 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   // spill context is stack-owned, so its lazily-created temp file is
   // unlinked on every exit path — success, sink abort, cancellation or
   // deadline unwind, retry exhaustion — purely by scope exit.
-  const uint64_t pool_bytes =
-      opts.buffer_pool_bytes.value_or(options_.buffer_pool_bytes);
-  const size_t page_bytes = opts.page_bytes.value_or(options_.page_bytes);
-  const std::string spill_dir = opts.spill_dir.value_or(options_.spill_dir);
+  const uint64_t pool_bytes = knobs.buffer_pool_bytes;
+  const size_t page_bytes = knobs.page_bytes;
+  const std::string spill_dir = knobs.spill_dir;
   std::unique_ptr<BufferPool> local_pool;
   BufferPool* pool = nullptr;
   if (pool_bytes > 0) {
@@ -628,6 +638,7 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   exec.quarantine = max_quarantined > 0 ? &quarantine : nullptr;
   exec.pool = pool;
   exec.spill = spill ? &*spill : nullptr;
+  exec.delta_scan = knobs.incremental;
 
   // The unified violation report: entity → operations it violates (the
   // Section-4.4 outer join), built incrementally as violations stream.
@@ -639,9 +650,8 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   };
   std::unordered_map<Value, std::vector<std::string>, ValueHash, ValueEq> entities;
 
-  const bool pipeline = opts.pipeline.value_or(options_.pipeline);
-  const size_t morsel_rows =
-      std::max<size_t>(1, opts.morsel_rows.value_or(options_.morsel_rows));
+  const bool pipeline = knobs.pipeline;
+  const size_t morsel_rows = std::max<size_t>(1, knobs.morsel_rows);
 
   // The engine propagates worker failures as exceptions (see
   // engine/fault.h): retries exhausted (kUnavailable), cancellation and
@@ -649,6 +659,25 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
   // rows. Catch them at this session boundary so every failure mode
   // surfaces as an ordinary Status with all workers joined.
   auto run_plans = [&]() -> Status {
+  // Incremental delta path (cleaning/incremental.h): when the snapshot has
+  // only advanced by mutation (minor) generations since the cached state,
+  // an eligible query is served entirely from the delta log — no engine
+  // work, no scan/Nest cache traffic. Ineligible or cold states fall
+  // through to the ordinary loop below (which still benefits from the
+  // planner's delta-extended scan rebuild).
+  if (knobs.incremental && pq.incremental_) {
+    std::vector<AlgOpPtr> inc_roots;
+    inc_roots.reserve(pq.plans_.size());
+    for (size_t i = 0; i < pq.plans_.size(); i++) {
+      inc_roots.push_back(unify && i < pq.unified_roots_.size()
+                              ? pq.unified_roots_[i]
+                              : pq.plans_[i].plan);
+    }
+    Result<IncrementalRun> inc =
+        RunIncrementalValidation(*pq.incremental_, pq.plans_, inc_roots, exec, sink);
+    CLEANM_RETURN_NOT_OK(inc.status());
+    if (inc.value() == IncrementalRun::kRan) return Status::OK();
+  }
   for (size_t i = 0; i < pq.plans_.size(); i++) {
     const CleaningPlan& cp = pq.plans_[i];
     Timer op_timer;
@@ -772,7 +801,7 @@ Status CleanDB::ExecutePrepared(const PreparedQuery& pq, const ExecOptions& opts
     }
     auto qp = std::make_shared<QueryProfile>(QueryProfile::Build(
         trace_recorder->Drain(), op_labels, options_.skew_warn_factor));
-    const std::string trace_path = opts.trace_path.value_or(options_.trace_path);
+    const std::string trace_path = knobs.trace_path;
     if (!trace_path.empty()) {
       const Status trace_status = qp->WriteChromeTrace(trace_path);
       if (status.ok() && !trace_status.ok()) status = trace_status;

@@ -30,6 +30,8 @@
 
 namespace cleanm {
 
+struct IncrementalState;
+
 /// \brief An optimized, session-bound CleanM query (or programmatic
 /// cleaning program). Create via CleanDB::Prepare / PrepareQuery /
 /// PrepareDenialConstraint; must not outlive its CleanDB.
@@ -108,6 +110,11 @@ class PreparedQuery {
   /// thread holds a reference to cancel through.
   std::shared_ptr<engine::CancelToken> cancel_token_ =
       std::make_shared<engine::CancelToken>();
+  /// Cached per-Nest group state of the incremental delta path (see
+  /// cleaning/incremental.h). Null when this preparation never takes the
+  /// incremental path (transient programmatic wrappers); allocated by
+  /// PrepareQueryImpl / PrepareDenialConstraint.
+  std::shared_ptr<IncrementalState> incremental_;
 };
 
 }  // namespace cleanm

@@ -59,6 +59,35 @@ class ViolationSink {
   /// violates (ordered as the operations ran).
   virtual Status OnDirtyEntity(const Value& entity,
                                const std::vector<std::string>& violated_ops) = 0;
+
+  // ---- Retractable results (incremental executions only) ----
+  //
+  // When an execution is served by the incremental delta path (the table
+  // snapshot differs from the cached state only by mutation-minor
+  // generations; see DESIGN.md, "Incremental validation & the delta log"),
+  // the stream becomes a *diff* against the previous execution: between
+  // OnOpBegin and OnOpEnd, violations that disappeared because of the
+  // mutations arrive via OnViolationRetracted, violations that appeared
+  // arrive via OnViolationNew, and violations that persist still arrive via
+  // plain OnViolation — so (previous − retracted + new) equals what a full
+  // re-execution would emit. Both have compatible defaults (retractions are
+  // dropped, new violations forward to OnViolation), so sinks written
+  // before this interface existed compile and behave unchanged.
+
+  /// A violation emitted by a previous execution of the same prepared query
+  /// that no longer holds after the table mutations. Default: ignored.
+  virtual Status OnViolationRetracted(const std::string& op_name,
+                                      const Value& violation) {
+    (void)op_name;
+    (void)violation;
+    return Status::OK();
+  }
+
+  /// A violation that did not exist before the table mutations. Default:
+  /// forwards to OnViolation, so non-diff-aware sinks see the usual stream.
+  virtual Status OnViolationNew(const std::string& op_name, const Value& violation) {
+    return OnViolation(op_name, violation);
+  }
 };
 
 /// \brief The materializing sink: accumulates everything into a

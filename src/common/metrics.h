@@ -61,6 +61,15 @@ namespace cleanm {
 //   pages_evicted — buffer-pool frames dropped by its byte budget.
 //   buffer_pool_hits / buffer_pool_misses — page pins served from resident
 //     frames / read from disk.
+//   delta_rows_processed — rows applied from table mutation delta logs
+//     (added + removed), by the incremental validator and by the planner's
+//     delta-extended scan path, instead of being re-partitioned from
+//     scratch.
+//   groups_remerged — cached Nest group partials updated in place by an
+//     incremental re-validation: delta units folded into a copied
+//     accumulator, or a touched group re-folded from its member bag.
+//   incremental_executions — executions served by the incremental delta
+//     path (cached group partials + delta merge) instead of a full run.
 #define CLEANM_METRICS_FIELDS(X)    \
   X(rows_shuffled, Add)             \
   X(bytes_shuffled, Add)            \
@@ -80,7 +89,10 @@ namespace cleanm {
   X(bytes_spilled, Add)             \
   X(pages_evicted, Add)             \
   X(buffer_pool_hits, Add)          \
-  X(buffer_pool_misses, Add)
+  X(buffer_pool_misses, Add)        \
+  X(delta_rows_processed, Add)      \
+  X(groups_remerged, Add)           \
+  X(incremental_executions, Add)
 
 /// \brief Plain copyable point-in-time copy of the engine counters — the
 /// form results and tests carry around (QueryMetrics itself is atomic and

@@ -93,6 +93,13 @@ struct Executor {
   /// and over budget, Nest partials and hash-join build sides go to the
   /// spill file and are re-read for the merge/probe phase.
   SpillContext* spill = nullptr;
+  /// Delta-extended scan rebuild: on a base-scan cache miss, a cached
+  /// partitioning of an earlier generation of the same table may be
+  /// patched forward through the table's delta log (rows removed/appended
+  /// in place of a full re-partition), as long as the whole window since
+  /// that generation is mutations. False (ExecOptions::incremental=false)
+  /// forces every miss to re-partition from the catalog dataset.
+  bool delta_scan = true;
 
   /// Compile context for this execution: registered functions + the
   /// cluster's metrics (udf_calls accounting).

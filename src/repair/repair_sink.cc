@@ -167,4 +167,74 @@ Result<RepairSummary> RepairSink::Commit() {
   return summary;
 }
 
+Result<RepairSummary> RepairSink::CommitDelta() {
+  if (db_ == nullptr) return Status::Internal("RepairSink has no CleanDB");
+  if (!target_table_.empty() && target_table_ != source_table_) {
+    return Status::InvalidArgument(
+        "CommitDelta repairs in place; re-registering under a new name ('" +
+        target_table_ + "') requires Commit()");
+  }
+  TraceScope commit_span("repair", "repair_commit_delta");
+  commit_span.SetRowsIn(actions_.size());
+  // Same serialization as Commit(): the commit lock keeps other committers
+  // out of the read-modify-write window. The mutation itself is atomic
+  // under the table lock; concurrent snapshots see either the pre- or
+  // post-repair generation, never a torn state.
+  auto commit_lock = db_->LockCommits();
+  CLEANM_ASSIGN_OR_RETURN(std::shared_ptr<const Dataset> source,
+                          db_->GetTableShared(source_table_));
+
+  RepairSummary summary;
+  summary.actions = actions_.size();
+
+  // Resolve target columns and index actions by entity hash up front (the
+  // same O(rows + actions) plan as ApplyRepairActions). Mutations never
+  // change a table's schema, so the indexes stay valid for the editor run.
+  std::vector<std::vector<size_t>> column_indexes(actions_.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> by_entity;
+  for (size_t a = 0; a < actions_.size(); a++) {
+    for (const auto& [column, value] : actions_[a].set) {
+      (void)value;
+      CLEANM_ASSIGN_OR_RETURN(size_t idx, source->schema().IndexOf(column));
+      column_indexes[a].push_back(idx);
+    }
+    by_entity[actions_[a].entity.Hash()].push_back(a);
+  }
+
+  std::vector<bool> matched(actions_.size(), false);
+  CLEANM_ASSIGN_OR_RETURN(
+      CleanDB::MutationResult mutation,
+      db_->UpdateRowsWith(
+          source_table_, [&](const Schema& schema, Row* row) -> bool {
+            const Value record = RowToRecord(schema, *row);
+            auto candidates = by_entity.find(record.Hash());
+            if (candidates == by_entity.end()) return false;
+            bool changed = false;
+            for (size_t a : candidates->second) {
+              if (!actions_[a].entity.Equals(record)) continue;
+              matched[a] = true;
+              for (size_t s = 0; s < actions_[a].set.size(); s++) {
+                const size_t idx = column_indexes[a][s];
+                const Value& new_value = actions_[a].set[s].second;
+                if ((*row)[idx].Equals(new_value)) continue;
+                (*row)[idx] = new_value;
+                summary.cells_changed++;
+                changed = true;
+              }
+            }
+            if (changed) summary.rows_changed++;
+            return changed;
+          }));
+  for (bool m : matched) {
+    if (!m) summary.unmatched++;
+  }
+  db_->cluster().session_metrics().repairs_applied += summary.cells_changed;
+
+  summary.table = source_table_;
+  summary.new_generation =
+      mutation.generation ? mutation.generation : db_->TableGeneration(source_table_);
+  actions_.clear();
+  return summary;
+}
+
 }  // namespace cleanm

@@ -102,6 +102,18 @@ class RepairSink final : public ViolationSink {
   /// the source table is unknown or an action names an unknown column.
   Result<RepairSummary> Commit();
 
+  /// Mutation-path commit: applies the collected actions through
+  /// CleanDB::UpdateRowsWith instead of re-registering. The repair lands as
+  /// a *minor* generation — cached partitionings stay valid and the next
+  /// execution of the detecting query re-validates incrementally from the
+  /// delta log, so the detect → repair fixpoint loops without ever
+  /// re-partitioning (repair → delta re-validate → repair). Only valid for
+  /// in-place repair (no target table, or target == source): a mutation
+  /// cannot create a new registration — use Commit() for that. A no-op
+  /// round (every action already applied or unmatched) publishes nothing;
+  /// MutationResult semantics, surfaced through the same RepairSummary.
+  Result<RepairSummary> CommitDelta();
+
   const std::vector<RepairAction>& actions() const { return actions_; }
 
  private:

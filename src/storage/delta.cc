@@ -1,0 +1,50 @@
+#include "storage/delta.h"
+
+namespace cleanm {
+
+namespace {
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DeltaLog::Collect(uint64_t from_exclusive, uint64_t to_inclusive,
+                       std::vector<Row>* added, std::vector<Row>* removed) const {
+  if (to_inclusive <= from_exclusive) return true;  // empty window
+  std::vector<Row> add_acc, rm_acc;
+  // Entry generations are consecutive within an epoch, so contiguous
+  // coverage means seeing exactly from+1, from+2, ..., to in order.
+  uint64_t expect = from_exclusive + 1;
+  for (const auto& entry : entries_) {
+    if (entry->generation <= from_exclusive) continue;
+    if (entry->generation > to_inclusive) break;
+    if (entry->generation != expect) return false;
+    expect++;
+    for (const auto& r : entry->removed) {
+      // A removal of a row added earlier in the window nets out: the base
+      // never saw it, so neither output should.
+      bool netted = false;
+      for (size_t i = 0; i < add_acc.size(); i++) {
+        if (RowsEqual(add_acc[i], r)) {
+          add_acc.erase(add_acc.begin() + static_cast<long>(i));
+          netted = true;
+          break;
+        }
+      }
+      if (!netted) rm_acc.push_back(r);
+    }
+    for (const auto& r : entry->added) add_acc.push_back(r);
+  }
+  if (expect != to_inclusive + 1) return false;  // window not fully covered
+  added->insert(added->end(), add_acc.begin(), add_acc.end());
+  removed->insert(removed->end(), rm_acc.begin(), rm_acc.end());
+  return true;
+}
+
+}  // namespace cleanm

@@ -311,6 +311,118 @@ TEST(ConcurrencyStressTest, ReRegistrationDuringExecutionIsAllOrNothing) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+TEST(ConcurrencyStressTest, MutateVersusUnregisterChurnStaysConsistent) {
+  // Mutators hammer AppendRows/DeleteRows while a registrar unregisters and
+  // re-registers the same table, and a reader re-executes a prepared query
+  // (alternating between the incremental delta path and cold engine runs as
+  // the epochs churn). Contracts under test: UnregisterTable drops the
+  // table, its generation counters, and its delta log in ONE exclusive
+  // critical section (the documented lock order), so a mutation either
+  // lands on a live registration — minor ≥ 1, delta logged — or fails with
+  // kKeyError; a fresh registration always starts at minor 0 with an empty
+  // log; and no execution ever sees a torn snapshot.
+  CleanDB db(FastCleanDBOptions(4));
+  const Schema schema{{"a", ValueType::kInt}, {"b", ValueType::kInt}};
+  auto fresh = [&] {
+    Dataset t(schema);
+    for (int i = 0; i < 8; i++) {
+      t.Append({Value(static_cast<int64_t>(i)), Value(static_cast<int64_t>(i))});
+    }
+    return t;
+  };
+  db.RegisterTable("churn", fresh());
+  auto pq = db.Prepare("SELECT * FROM churn c FD(c.a, c.b)");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> effective_mutations{0};
+  std::mutex first_mu;
+  std::string first_failure;
+  auto record_failure = [&](const std::string& what) {
+    failures++;
+    std::lock_guard<std::mutex> lock(first_mu);
+    if (first_failure.empty()) first_failure = what;
+  };
+
+  // The registrar churns until every mutator has finished its fixed
+  // iteration budget, so the unregister/mutate race is actually exercised
+  // regardless of scheduling.
+  std::atomic<int> mutators_done{0};
+  std::thread registrar([&] {
+    for (int round = 0; mutators_done.load() < 3; round++) {
+      db.UnregisterTable("churn");
+      if (round % 2 == 0) db.RegisterTable("churn", fresh());
+      // Breathe between rounds: an unthrottled churn loop re-acquires the
+      // table lock before the woken mutators are scheduled, starving them
+      // indefinitely (the writer queue is not fair).
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    db.RegisterTable("churn", fresh());
+    stop = true;
+  });
+
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < 3; m++) {
+    mutators.emplace_back([&, m] {
+      const Value tag(static_cast<int64_t>(100 + m));
+      for (int i = 0; i < 400; i++) {
+        Result<CleanDB::MutationResult> r =
+            (i % 2 == 0)
+                ? db.AppendRows("churn", {{tag, Value(static_cast<int64_t>(i))}})
+                : db.DeleteRows("churn", [&](const Schema&, const Row& row) {
+                    return row[0].Equals(tag);
+                  });
+        if (!r.ok()) {
+          // Racing an unregister is the expected failure; anything else
+          // (width error, internal) is a bug.
+          if (r.status().code() != StatusCode::kKeyError) {
+            record_failure("mutation: " + r.status().ToString());
+          }
+          continue;
+        }
+        if (r.value().rows_affected > 0) {
+          effective_mutations++;
+          // An effective mutation on a live registration must have landed
+          // in that registration's epoch: minor ≥ 1, generation > 0. A
+          // minor of 0 would mean the mutation wrote into a dropped (or
+          // not-yet-reset) delta log — the torn state the atomic
+          // UnregisterTable exists to prevent.
+          if (r.value().minor == 0 || r.value().generation == 0) {
+            record_failure("effective mutation with minor 0");
+          }
+        }
+      }
+      mutators_done++;
+    });
+  }
+
+  std::thread reader([&] {
+    while (!stop) {
+      auto r = pq.value().Execute();
+      if (!r.ok() && r.status().code() != StatusCode::kKeyError) {
+        record_failure("execute: " + r.status().ToString());
+      }
+    }
+  });
+
+  registrar.join();
+  for (auto& t : mutators) t.join();
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0) << first_failure;
+  EXPECT_GT(effective_mutations.load(), 0u) << "churn never exercised mutations";
+  // The final registration is fresh: minor 0, and the next mutation starts
+  // a brand-new delta log at minor 1.
+  EXPECT_EQ(db.TableMinor("churn"), 0u);
+  auto last = db.AppendRows("churn", {{Value(int64_t{1}), Value(int64_t{2})}});
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  EXPECT_EQ(last.value().minor, 1u);
+  // And the table still validates end to end (incremental path included).
+  auto final_run = pq.value().Execute();
+  ASSERT_TRUE(final_run.ok()) << final_run.status().ToString();
+}
+
 TEST(ConcurrencyStressTest, AdmissionBudgetSerializesWhileUnlimitedOverlaps) {
   // A slow scalar UDF samples how many executions are inside the engine at
   // once. Single-node sessions keep intra-execution parallelism at one, so

@@ -87,6 +87,23 @@ SCHEMA = {
         "deadline_run_s": None,
         "deadline_exceeded": ("higher", "exact"),
     },
+    "delta_incremental": {
+        "base_rows": None,
+        "delta_rows": None,
+        "full_reexec_s": None,
+        "incremental_s": None,
+        "speedup": ("higher", "timing"),
+        "full_rows_scanned": None,
+        # Deterministic delta-scaling ratio (rows a full round scans / rows
+        # an incremental round processes) — the machine-independent form of
+        # the ≥10x claim, so it hard-gates while the wall-clock speedup
+        # above only warns.
+        "row_ratio": ("higher", "exact"),
+        "delta_rows_processed": None,
+        "groups_remerged": None,
+        "incremental_repartitions": None,  # ==0 enforced by bench --check
+        "violations_identical": ("higher", "exact"),
+    },
     "observability": {
         "off_s": None,
         "profile_s": None,

@@ -67,8 +67,12 @@ set -x
 # rides the same binary: zero spans recorded with profiling off, the
 # profile's per-operator counters summing exactly to the flat metrics, ≥6
 # operator spans on the 8-FD plan, and a Chrome trace written for the
-# validator below. Measured numbers merge into BENCH_cluster.json next to
-# the dispatch gate's.
+# validator below. The delta-incremental gate rides it too: after a 1%
+# mutation, incremental re-validation must beat full re-execution ≥10x in
+# wall-clock and in the deterministic delta-scaling row ratio, with zero
+# re-partitions and the merged (violations − retractions + new) set
+# canonically identical to a cold post-delta run. Measured numbers merge
+# into BENCH_cluster.json next to the dispatch gate's.
 ./build-release/bench_unified_cleaning --nonet --check \
   --out build-release/BENCH_cluster.json \
   --trace-out build-release/trace_unified.json
